@@ -1,0 +1,563 @@
+(* Benchmark harness: regenerates every table (T1-T4) and figure series
+   (F1-F4) defined in DESIGN.md section 5, plus the correctness experiment
+   suite (E1-E6) recorded in EXPERIMENTS.md.
+
+   Run all:          dune exec bench/main.exe
+   Run a subset:     dune exec bench/main.exe -- T1 T3 F2 E
+
+   The paper (PODC'18) has no empirical evaluation; these benchmarks are
+   the evaluation a systems reader would expect, with the expected shapes
+   documented in DESIGN.md. *)
+
+let selected = ref []
+
+let want tag =
+  !selected = []
+  || List.exists
+       (fun s -> String.length s > 0 && String.length s <= String.length tag
+                 && String.sub tag 0 (String.length s) = s)
+       !selected
+
+let section tag title = Printf.printf "\n== %s: %s ==\n%!" tag title
+
+(* {1 Bechamel helper: estimated ns/op for a thunk} *)
+
+let estimate_ns name fn =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let tbl = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock tbl
+  in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ ols ] -> (match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan)
+  | _ -> nan
+
+let row3 a b c = Printf.printf "  %-34s %14s %14s\n%!" a b c
+let ns v = Printf.sprintf "%.1f ns" v
+let ratio a b = Printf.sprintf "%.2fx" (a /. b)
+
+(* {1 T1: recoverable vs plain register latency} *)
+
+let t1 () =
+  section "T1" "latency of recoverable vs plain register operations (1 domain)";
+  let nprocs = 4 in
+  let plain = Runtime.Rrw.Plain.create (0, 0) in
+  let reco = Runtime.Rrw.create ~nprocs (0, 0) in
+  let seq = ref 0 in
+  let plain_write =
+    estimate_ns "plain write" (fun () ->
+        incr seq;
+        Runtime.Rrw.Plain.write plain (0, !seq))
+  in
+  let reco_write =
+    estimate_ns "recoverable write" (fun () ->
+        incr seq;
+        Runtime.Rrw.write reco ~pid:0 (0, !seq))
+  in
+  let plain_read = estimate_ns "plain read" (fun () -> Runtime.Rrw.Plain.read plain) in
+  let reco_read = estimate_ns "recoverable read" (fun () -> Runtime.Rrw.read reco) in
+  row3 "operation" "plain" "recoverable";
+  row3 "WRITE" (ns plain_write) (ns reco_write);
+  row3 "READ" (ns plain_read) (ns reco_read);
+  row3 "WRITE overhead" "" (ratio reco_write plain_write);
+  row3 "READ overhead" "" (ratio reco_read plain_read)
+
+(* {1 T2: recoverable vs plain CAS / TAS latency} *)
+
+let t2 () =
+  section "T2" "latency of recoverable vs plain CAS and TAS (1 domain)";
+  let nprocs = 4 in
+  (* steady-state successful CAS: always CAS from the current value *)
+  let plain_c = Runtime.Rcas.Plain.create 0 in
+  let pc = ref 0 in
+  let plain_cas =
+    estimate_ns "plain cas" (fun () ->
+        let old = !pc in
+        let nw = old + 1 in
+        if Runtime.Rcas.Plain.cas plain_c ~old ~new_:nw then pc := nw)
+  in
+  let reco_c = Runtime.Rcas.create ~nprocs 0 in
+  let rc = ref 0 in
+  let reco_cas =
+    estimate_ns "recoverable cas" (fun () ->
+        let old = !rc in
+        let nw = old + 1 in
+        if Runtime.Rcas.cas reco_c ~pid:0 ~old ~new_:nw then rc := nw)
+  in
+  (* failed-CAS path (read + compare only) *)
+  let reco_cas_fail =
+    estimate_ns "recoverable cas (failing)" (fun () ->
+        ignore (Runtime.Rcas.cas reco_c ~pid:1 ~old:(-1) ~new_:(-2)))
+  in
+  (* TAS: the lose path is repeatable; the win path needs a fresh object *)
+  let lost = Runtime.Rtas.create ~nprocs in
+  ignore (Runtime.Rtas.test_and_set lost ~pid:0);
+  let reco_tas_lose =
+    estimate_ns "recoverable t&s (lose path)" (fun () ->
+        ignore (Runtime.Rtas.test_and_set lost ~pid:1))
+  in
+  let plain_alloc =
+    estimate_ns "alloc plain tas" (fun () -> Runtime.Rtas.Plain.create ())
+  in
+  let plain_tas_win =
+    estimate_ns "plain t&s (fresh)" (fun () ->
+        Runtime.Rtas.Plain.test_and_set (Runtime.Rtas.Plain.create ()))
+  in
+  let reco_alloc = estimate_ns "alloc reco tas" (fun () -> Runtime.Rtas.create ~nprocs) in
+  let reco_tas_win =
+    estimate_ns "recoverable t&s (fresh, win)" (fun () ->
+        Runtime.Rtas.test_and_set (Runtime.Rtas.create ~nprocs) ~pid:0)
+  in
+  (* native retry-loop objects vs their conventional counterparts *)
+  let plain_faa_c = Atomic.make 0 in
+  let plain_faa =
+    estimate_ns "atomic faa" (fun () -> ignore (Atomic.fetch_and_add plain_faa_c 1))
+  in
+  let rfaa = Runtime.Rfaa.create ~nprocs () in
+  let reco_faa = estimate_ns "recoverable faa" (fun () -> ignore (Runtime.Rfaa.faa rfaa ~pid:0 1)) in
+  let plain_stack = Atomic.make [] in
+  let plain_push_pop =
+    estimate_ns "plain list stack" (fun () ->
+        let l = Atomic.get plain_stack in
+        Atomic.set plain_stack (1 :: l);
+        match Atomic.get plain_stack with
+        | _ :: tl -> Atomic.set plain_stack tl
+        | [] -> ())
+  in
+  let rstack = Runtime.Rstack.create ~nprocs () in
+  let reco_push_pop =
+    estimate_ns "recoverable stack" (fun () ->
+        ignore (Runtime.Rstack.push rstack ~pid:0 1);
+        ignore (Runtime.Rstack.pop rstack ~pid:0))
+  in
+  row3 "operation" "plain" "recoverable";
+  row3 "CAS (success)" (ns plain_cas) (ns reco_cas);
+  row3 "CAS (failure)" "-" (ns reco_cas_fail);
+  row3 "CAS overhead" "" (ratio reco_cas plain_cas);
+  row3 "T&S win (alloc-corrected)"
+    (ns (plain_tas_win -. plain_alloc))
+    (ns (reco_tas_win -. reco_alloc));
+  row3 "T&S lose path" "-" (ns reco_tas_lose);
+  row3 "FAA (native, via strict CAS)" (ns plain_faa) (ns reco_faa);
+  row3 "stack push+pop (native)" (ns plain_push_pop) (ns reco_push_pop)
+
+(* {1 T3: counter throughput scaling on real domains} *)
+
+let t3 () =
+  section "T3" "recoverable counter throughput vs domains (inc-only and 10% read)";
+  let max_d = Runtime.Par.max_domains ~cap:8 () in
+  Printf.printf "  %-8s %16s %16s %16s\n%!" "domains" "recoverable" "plain-array" "faa-atomic";
+  let iters = 100_000 in
+  let rec sweep d =
+    if d <= max_d then begin
+      let reco = Runtime.Rcounter.create ~nprocs:d in
+      let r1 =
+        Runtime.Par.run ~domains:d ~iters (fun ~pid ~i ->
+            ignore i;
+            Runtime.Rcounter.inc reco ~pid)
+      in
+      let plain = Runtime.Rcounter.Plain.create ~nprocs:d in
+      let r2 =
+        Runtime.Par.run ~domains:d ~iters (fun ~pid ~i ->
+            ignore i;
+            Runtime.Rcounter.Plain.inc plain ~pid)
+      in
+      let faa = Runtime.Rcounter.Faa.create () in
+      let r3 =
+        Runtime.Par.run ~domains:d ~iters (fun ~pid ~i ->
+            ignore pid;
+            ignore i;
+            Runtime.Rcounter.Faa.inc faa)
+      in
+      Printf.printf "  %-8d %13.0f/s %13.0f/s %13.0f/s\n%!" d r1.Runtime.Par.ops_per_sec
+        r2.Runtime.Par.ops_per_sec r3.Runtime.Par.ops_per_sec;
+      sweep (d * 2)
+    end
+  in
+  sweep 1;
+  Printf.printf "  (90%% inc / 10%% read, recoverable):\n%!";
+  let rec sweep2 d =
+    if d <= max_d then begin
+      let reco = Runtime.Rcounter.create ~nprocs:d in
+      let r =
+        Runtime.Par.run ~domains:d ~iters (fun ~pid ~i ->
+            if i mod 10 = 9 then ignore (Runtime.Rcounter.read reco ~pid)
+            else Runtime.Rcounter.inc reco ~pid)
+      in
+      Printf.printf "  %-8d %13.0f/s\n%!" d r.Runtime.Par.ops_per_sec;
+      sweep2 (d * 2)
+    end
+  in
+  sweep2 1
+
+(* {1 T4: simulator throughput and NRL-check cost} *)
+
+let t4 () =
+  section "T4" "simulator step throughput and NRL-check cost";
+  let scen = Workload.Scenarios.register ~nprocs:3 ~ops:20 () in
+  let t0 = Unix.gettimeofday () in
+  let total_steps = ref 0 in
+  let trials = 50 in
+  for seed = 1 to trials do
+    let sim, _ = Workload.Trial.run ~seed ~crash_prob:0.02 scen in
+    total_steps := !total_steps + Machine.Sim.total_steps sim
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "  machine steps/s (incl. NRL check per trial): %.0f (%d steps, %.2fs)\n%!"
+    (float_of_int !total_steps /. dt)
+    !total_steps dt;
+  let t0 = Unix.gettimeofday () in
+  let steps = ref 0 in
+  for seed = 1 to trials do
+    let sim = Machine.Sim.create ~seed ~nprocs:3 () in
+    scen.Workload.Trial.build sim;
+    ignore (Machine.Schedule.run sim (Machine.Schedule.round_robin ()));
+    steps := !steps + Machine.Sim.total_steps sim
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "  machine steps/s (stepping only):             %.0f\n%!"
+    (float_of_int !steps /. dt)
+
+(* {1 T5: shared-access (persist-event) counts per operation} *)
+
+(* In the paper's model every shared access is immediately persistent, so
+   the number of shared accesses per operation is the model's analogue of
+   flush complexity.  Measured by running one operation solo on a fresh
+   object and reading the memory statistics. *)
+let t5 () =
+  section "T5" "shared accesses per operation (persist events), vs process count N";
+  let measure ~nprocs build =
+    let sim = Machine.Sim.create ~nprocs () in
+    let script = build sim in
+    Machine.Sim.set_script sim 0 script;
+    Nvm.Memory.reset_stats (Machine.Sim.mem sim);
+    (match Machine.Schedule.run sim (Machine.Schedule.round_robin ()) with
+    | Machine.Schedule.Completed -> ()
+    | _ -> failwith "t5: did not complete");
+    let st = Nvm.Memory.stats (Machine.Sim.mem sim) in
+    st.Nvm.Memory.reads + st.Nvm.Memory.writes + st.Nvm.Memory.rmws
+  in
+  let rows =
+    [
+      ( "register WRITE",
+        fun sim ->
+          let i = Objects.Rw_obj.make sim ~name:"R" in
+          [ (i, "WRITE", Machine.Sim.Args [| Workload.Opgen.tagged 0 1 |]) ] );
+      ( "register READ",
+        fun sim ->
+          let i = Objects.Rw_obj.make sim ~name:"R" in
+          [ (i, "READ", Machine.Sim.Args [||]) ] );
+      ( "cas CAS (success)",
+        fun sim ->
+          let i = Objects.Cas_obj.make sim ~name:"C" in
+          [ Workload.Opgen.cas_fixed ~pid:0 i ~old:Nvm.Value.Null ~seq:1 ] );
+      ( "tas T&S (win)",
+        fun sim ->
+          let i = Objects.Tas_obj.make sim ~name:"T" in
+          [ (i, "T&S", Machine.Sim.Args [||]) ] );
+      ( "counter INC",
+        fun sim ->
+          let i = Objects.Counter_obj.make sim ~name:"K" in
+          [ (i, "INC", Machine.Sim.Args [||]) ] );
+      ( "counter READ",
+        fun sim ->
+          let i = Objects.Counter_obj.make sim ~name:"K" in
+          [ (i, "READ", Machine.Sim.Args [||]) ] );
+      ( "elect ELECT (slot 0)",
+        fun sim ->
+          let i = Objects.Elect_obj.make sim ~name:"E" in
+          [ (i, "ELECT", Machine.Sim.Args [||]) ] );
+      ( "faa FAA",
+        fun sim ->
+          let i = Objects.Faa_obj.make sim ~name:"F" in
+          [ (i, "FAA", Machine.Sim.Args [| Nvm.Value.Int 1 |]) ] );
+      ( "stack PUSH",
+        fun sim ->
+          let i = Objects.Stack_obj.make sim ~name:"S" in
+          [ (i, "PUSH", Machine.Sim.Args [| Nvm.Value.Int 1 |]) ] );
+      ( "stack PUSH+POP",
+        fun sim ->
+          let i = Objects.Stack_obj.make sim ~name:"S" in
+          [ (i, "PUSH", Machine.Sim.Args [| Nvm.Value.Int 1 |]); (i, "POP", Machine.Sim.Args [||]) ] );
+      ( "queue ENQ+DEQ",
+        fun sim ->
+          let i = Objects.Queue_obj.make sim ~name:"Q" in
+          [ (i, "ENQ", Machine.Sim.Args [| Nvm.Value.Int 1 |]); (i, "DEQ", Machine.Sim.Args [||]) ] );
+      ( "max WRITE_MAX (install)",
+        fun sim ->
+          let i = Objects.Max_register_obj.make sim ~name:"M" in
+          [ (i, "WRITE_MAX", Machine.Sim.Args [| Nvm.Value.Int 5 |]) ] );
+      ( "histogram RECORD",
+        fun sim ->
+          let i = Objects.Histogram_obj.make ~k:4 sim ~name:"H" in
+          [ (i, "RECORD", Machine.Sim.Args [| Nvm.Value.Int 0 |]) ] );
+      ( "histogram TOTAL (k=4)",
+        fun sim ->
+          let i = Objects.Histogram_obj.make ~k:4 sim ~name:"H" in
+          [ (i, "TOTAL", Machine.Sim.Args [||]) ] );
+    ]
+  in
+  Printf.printf "  %-26s %8s %8s %8s
+%!" "operation" "N=2" "N=4" "N=8";
+  List.iter
+    (fun (name, build) ->
+      let a2 = measure ~nprocs:2 build in
+      let a4 = measure ~nprocs:4 build in
+      let a8 = measure ~nprocs:8 build in
+      Printf.printf "  %-26s %8d %8d %8d
+%!" name a2 a4 a8)
+    rows
+
+(* {1 F1: recovery latency vs crash position} *)
+
+let f1 () =
+  section "F1" "recovery latency vs crash position (real runtime, 1 domain)";
+  (* pre-build arrays of crashed objects, then time only the recovery
+     calls: no setup noise in the measured region *)
+  let batch = 20_000 in
+  Printf.printf "  WRITE (Algorithm 1), crash position -> recovery ns/op:\n";
+  for k = 0 to 3 do
+    let objs =
+      Array.init batch (fun _ ->
+          let r = Runtime.Rrw.create ~nprocs:2 (0, 0) in
+          let cp = Runtime.Crash.create () in
+          Runtime.Crash.arm cp k;
+          (try Runtime.Rrw.write ~cp r ~pid:0 (0, 1) with Runtime.Crash.Crashed -> ());
+          r)
+    in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun r -> Runtime.Rrw.write_recover r ~pid:0 (0, 1)) objs;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch *. 1e9 in
+    Printf.printf "    crash@%d: %8.1f ns\n%!" k dt
+  done;
+  Printf.printf "  T&S (Algorithm 3), solo, crash position -> recovery ns/op:\n";
+  for k = 0 to 7 do
+    let objs =
+      Array.init batch (fun _ ->
+          let t = Runtime.Rtas.create ~nprocs:1 in
+          let cp = Runtime.Crash.create () in
+          Runtime.Crash.arm cp k;
+          (try ignore (Runtime.Rtas.test_and_set ~cp t ~pid:0)
+           with Runtime.Crash.Crashed -> ());
+          t)
+    in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun t -> ignore (Runtime.Rtas.recover t ~pid:0)) objs;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch *. 1e9 in
+    Printf.printf "    crash@%d: %8.1f ns\n%!" k dt
+  done;
+  Printf.printf "  CAS (Algorithm 2), crash position -> recovery ns/op (N=4):\n";
+  for k = 0 to 1 do
+    let objs =
+      Array.init batch (fun _ ->
+          let c = Runtime.Rcas.create ~nprocs:4 0 in
+          let cp = Runtime.Crash.create () in
+          Runtime.Crash.arm cp k;
+          (try ignore (Runtime.Rcas.cas ~cp c ~pid:0 ~old:0 ~new_:1)
+           with Runtime.Crash.Crashed -> ());
+          c)
+    in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun c -> ignore (Runtime.Rcas.cas_recover c ~pid:0 ~old:0 ~new_:1)) objs;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch *. 1e9 in
+    Printf.printf "    crash@%d: %8.1f ns\n%!" k dt
+  done
+
+(* {1 F2: NRL checker cost vs history length} *)
+
+let f2 () =
+  section "F2" "NRL check cost vs history length (register scenario, 3 procs)";
+  Printf.printf "  %-14s %10s %12s\n%!" "ops/process" "hist len" "check ms";
+  List.iter
+    (fun ops ->
+      let scen = Workload.Scenarios.register ~nprocs:3 ~ops () in
+      let sim = Machine.Sim.create ~seed:7 ~nprocs:3 () in
+      scen.Workload.Trial.build sim;
+      let policy = Machine.Schedule.random ~crash_prob:0.02 ~max_crashes:4 ~seed:99 () in
+      ignore (Machine.Schedule.run sim policy);
+      let h = Machine.Sim.history sim in
+      let t0 = Unix.gettimeofday () in
+      let reps = 50 in
+      for _ = 1 to reps do
+        ignore (Workload.Check.nrl sim)
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e3 in
+      Printf.printf "  %-14d %10d %12.3f\n%!" ops (History.length h) dt)
+    [ 4; 8; 12; 16; 24; 32 ]
+
+(* {1 F3: CAS helping-matrix recovery scan vs N (ablation)} *)
+
+let f3 () =
+  section "F3" "CAS recovery row-scan cost vs process count N (Algorithm 2 ablation)";
+  Printf.printf "  %-6s %14s\n%!" "N" "recover ns";
+  List.iter
+    (fun n ->
+      let c = Runtime.Rcas.create ~nprocs:n 0 in
+      (* worst helpful case: the evidence sits in the last matrix slot *)
+      Atomic.set c.Runtime.Rcas.r.(0).(n - 1) (Some 1);
+      Atomic.set c.Runtime.Rcas.c (1, 999) (* C no longer holds p0's pair *);
+      let t =
+        estimate_ns
+          (Printf.sprintf "scan%d" n)
+          (fun () -> ignore (Runtime.Rcas.cas_recover c ~pid:0 ~old:0 ~new_:1))
+      in
+      Printf.printf "  %-6d %14.1f\n%!" n t)
+    [ 2; 4; 8; 16; 32; 64; 128 ]
+
+(* {1 F4: TAS under crash rates; recovery blocking} *)
+
+let f4 () =
+  section "F4" "TAS: outcome vs crash rate, and recovery blocking (simulator)";
+  Printf.printf "  crash-rate sweep (4 procs, 200 trials each):\n";
+  Printf.printf "  %-12s %10s %10s %10s\n%!" "crash prob" "completed" "crashes" "NRL pass";
+  List.iter
+    (fun p ->
+      let scen = Workload.Scenarios.tas ~nprocs:4 () in
+      let s = Workload.Trial.batch ~crash_prob:p ~max_crashes:8 ~trials:200 scen in
+      Printf.printf "  %-12.2f %10d %10d %9d%%\n%!" p s.Workload.Trial.completed
+        s.Workload.Trial.total_crashes
+        (100 * s.Workload.Trial.passed / s.Workload.Trial.trials))
+    [ 0.0; 0.02; 0.05; 0.1; 0.2 ];
+  Printf.printf "  recovery blocking: p0 crashes after its base t&s while others sit\n";
+  Printf.printf "  inside the doorway; p0's solo recovery must spin until they finish:\n";
+  Printf.printf "  %-22s %12s\n%!" "concurrent processes" "solo steps";
+  List.iter
+    (fun n ->
+      let sim = Machine.Sim.create ~seed:5 ~nprocs:n () in
+      let inst = Objects.Tas_obj.make sim ~name:"T" in
+      for p = 0 to n - 1 do
+        Machine.Sim.set_script sim p [ (inst, "T&S", Machine.Sim.Args [||]) ]
+      done;
+      (* p0 runs through its base t&s, everyone else enters the doorway *)
+      for _ = 1 to 7 do
+        Machine.Sim.step sim 0
+      done;
+      for q = 1 to n - 1 do
+        for _ = 1 to 4 do
+          Machine.Sim.step sim q
+        done
+      done;
+      Machine.Sim.crash sim 0;
+      Machine.Sim.recover sim 0;
+      let spins = ref 0 in
+      let budget = 2000 in
+      while !spins < budget && Machine.Sim.results sim 0 = [] do
+        Machine.Sim.step sim 0;
+        incr spins
+      done;
+      let blocked = Machine.Sim.results sim 0 = [] in
+      Printf.printf "  %-22d %12s\n%!" n
+        (if blocked then Printf.sprintf ">%d (blocked)" budget else string_of_int !spins))
+    [ 2; 3; 4; 6 ]
+
+(* {1 F5: exhaustive-exploration capacity} *)
+
+(* How large an instance the bounded-exhaustive checker covers, and at
+   what cost: terminal executions and wall-clock versus per-process
+   operation count, register object, 2 processes, 1 crash. *)
+let f5 () =
+  section "F5" "exhaustive exploration capacity (register, 2 procs, 1 crash)";
+  Printf.printf "  %-14s %14s %10s %12s
+%!" "ops/process" "terminals" "nodes" "seconds";
+  List.iter
+    (fun ops ->
+      let build () =
+        let sim = Machine.Sim.create ~nprocs:2 () in
+        let inst = Objects.Rw_obj.make sim ~name:"R" in
+        for p = 0 to 1 do
+          Machine.Sim.set_script sim p
+            (List.init ops (fun k ->
+                 if k mod 2 = 0 then
+                   (inst, "WRITE", Machine.Sim.Args [| Workload.Opgen.tagged p (k + 1) |])
+                 else (inst, "READ", Machine.Sim.Args [||])))
+        done;
+        sim
+      in
+      let cfg =
+        {
+          Machine.Explore.default_config with
+          max_steps = 60 * ops;
+          max_crashes = 1;
+          crash_procs = [ 0 ];
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let viol, stats =
+        Machine.Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ())
+      in
+      assert (viol = None);
+      Printf.printf "  %-14d %14d %10d %12.2f
+%!" ops stats.Machine.Explore.terminals
+        stats.Machine.Explore.nodes
+        (Unix.gettimeofday () -. t0))
+    [ 1; 2 ];
+  Printf.printf
+    "  (3 ops/process: ~6.8M terminals, minutes of CPU and GBs of heap --\n";
+  Printf.printf
+    "   reproduce explicitly with `nrlsim explore register --ops 3`)\n%!"
+
+(* {1 E-suite: correctness experiments (recorded in EXPERIMENTS.md)} *)
+
+let e_suite () =
+  section "E1-E4" "NRL pass rates for the paper's algorithms (must be 100%)";
+  Printf.printf "  %-26s %10s %10s %10s\n%!" "scenario" "trials" "passed" "crashes";
+  List.iter
+    (fun scen ->
+      let s = Workload.Trial.batch ~crash_prob:0.08 ~max_crashes:6 ~trials:300 scen in
+      Printf.printf "  %-26s %10d %10d %10d\n%!" scen.Workload.Trial.scen_name
+        s.Workload.Trial.trials s.Workload.Trial.passed s.Workload.Trial.total_crashes)
+    (Workload.Scenarios.all_paper ~nprocs:3 ()
+    @ [
+        Workload.Scenarios.elect ~nprocs:3 ();
+        Workload.Scenarios.faa ~nprocs:3 ();
+        Workload.Scenarios.stack ~nprocs:3 ();
+        Workload.Scenarios.histogram ~nprocs:3 ();
+        Workload.Scenarios.queue ~nprocs:3 ();
+        Workload.Scenarios.max_register ~nprocs:3 ();
+      ]);
+  section "E5" "Theorem 4: valency analysis and candidate refutation";
+  Format.printf "%a@." Impossibility.Theorem.pp_report
+    (Impossibility.Theorem.analyze_paper_algorithm ());
+  List.iter
+    (fun c ->
+      Format.printf "%a@." Impossibility.Theorem.pp_report
+        (Impossibility.Theorem.analyze_candidate c))
+    Impossibility.Candidates.all;
+  section "E6" "NRL violation detection for naive baselines";
+  Printf.printf "  %-30s %10s %10s\n%!" "baseline" "trials" "violations";
+  List.iter
+    (fun scen ->
+      let s = Workload.Trial.batch ~crash_prob:0.15 ~max_crashes:6 ~trials:300 scen in
+      Printf.printf "  %-30s %10d %10d\n%!" scen.Workload.Trial.scen_name
+        s.Workload.Trial.trials s.Workload.Trial.failed)
+    [
+      Workload.Scenarios.naive_rw ~strategy:`Optimistic ();
+      Workload.Scenarios.naive_rw ~strategy:`Reexecute ();
+      Workload.Scenarios.naive_cas ~strategy:`Optimistic ();
+      Workload.Scenarios.naive_cas ~strategy:`Reexecute ();
+      Workload.Scenarios.naive_tas ~nprocs:3 ();
+    ];
+  Printf.printf "  (naive-rw-reexec fails by *value resurrection*: a re-executed write\n";
+  Printf.printf "   makes an already-overwritten value reappear; reads observe a,b,a.\n";
+  Printf.printf "   Algorithm 1's conditional recovery exists to close this window.)\n%!"
+
+let () =
+  selected := List.tl (Array.to_list Sys.argv);
+  Printf.printf "NRL benchmark harness (tables T1-T4, figures F1-F4, experiments E1-E6)\n";
+  Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
+  if want "T1" then t1 ();
+  if want "T2" then t2 ();
+  if want "T3" then t3 ();
+  if want "T4" then t4 ();
+  if want "T5" then t5 ();
+  if want "F1" then f1 ();
+  if want "F2" then f2 ();
+  if want "F3" then f3 ();
+  if want "F4" then f4 ();
+  if want "F5" then f5 ();
+  if want "E" then e_suite ();
+  Printf.printf "\ndone.\n%!"

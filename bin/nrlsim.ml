@@ -1,0 +1,175 @@
+(* nrlsim: command-line driver for the NRL machine.
+
+   Subcommands:
+     run      - randomized crash-torture batches over a scenario
+     check    - one seeded run with the full history and NRL verdict
+     explore  - bounded exhaustive schedule exploration of a small instance
+     theorem  - the Theorem 4 analysis (valency, critical configs, refutation)
+     list     - available scenarios *)
+
+open Cmdliner
+
+let scenario_names =
+  [
+    "register"; "cas"; "tas"; "counter"; "elect"; "faa"; "stack"; "histogram"; "queue"; "max-register";
+    "naive-rw-optimistic"; "naive-rw-reexec";
+    "naive-cas-optimistic"; "naive-cas-reexec"; "naive-tas";
+  ]
+
+let scenario_of_name name ~nprocs ~ops =
+  match name with
+  | "register" -> Workload.Scenarios.register ~nprocs ~ops ()
+  | "cas" -> Workload.Scenarios.cas ~nprocs ~ops ()
+  | "tas" -> Workload.Scenarios.tas ~nprocs ()
+  | "counter" -> Workload.Scenarios.counter ~nprocs ~ops ()
+  | "elect" -> Workload.Scenarios.elect ~nprocs ()
+  | "faa" -> Workload.Scenarios.faa ~nprocs ~ops ()
+  | "stack" -> Workload.Scenarios.stack ~nprocs ~ops ()
+  | "histogram" -> Workload.Scenarios.histogram ~nprocs ~ops ()
+  | "queue" -> Workload.Scenarios.queue ~nprocs ~ops ()
+  | "max-register" -> Workload.Scenarios.max_register ~nprocs ~ops ()
+  | "naive-rw-optimistic" -> Workload.Scenarios.naive_rw ~strategy:`Optimistic ~nprocs ~ops ()
+  | "naive-rw-reexec" -> Workload.Scenarios.naive_rw ~strategy:`Reexecute ~nprocs ~ops ()
+  | "naive-cas-optimistic" -> Workload.Scenarios.naive_cas ~strategy:`Optimistic ~nprocs ~ops ()
+  | "naive-cas-reexec" -> Workload.Scenarios.naive_cas ~strategy:`Reexecute ~nprocs ~ops ()
+  | "naive-tas" -> Workload.Scenarios.naive_tas ~nprocs ()
+  | other -> invalid_arg (Printf.sprintf "unknown scenario %S (try: nrlsim list)" other)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace every machine decision (very chatty).")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.Src.set_level Machine.Schedule.src (Some Logs.Debug)
+
+(* common args *)
+let scenario_arg =
+  let doc = "Scenario name (see $(b,nrlsim list))." in
+  Arg.(value & pos 0 string "counter" & info [] ~docv:"SCENARIO" ~doc)
+
+let nprocs_arg =
+  Arg.(value & opt int 3 & info [ "n"; "nprocs" ] ~docv:"N" ~doc:"Number of processes.")
+
+let ops_arg =
+  Arg.(value & opt int 5 & info [ "ops" ] ~docv:"K" ~doc:"Operations per process.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let crash_prob_arg =
+  Arg.(value & opt float 0.08 & info [ "crash-prob" ] ~docv:"P" ~doc:"Crash probability per step.")
+
+let max_crashes_arg =
+  Arg.(value & opt int 6 & info [ "max-crashes" ] ~docv:"C" ~doc:"Crash budget per run.")
+
+let system_crash_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "system-crash-prob" ] ~docv:"P"
+        ~doc:"Probability of a full-system crash (all processes at once) per step.")
+
+(* run *)
+let run_cmd =
+  let trials_arg =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Number of trials.")
+  in
+  let run name nprocs ops trials seed crash_prob max_crashes system_crash_prob =
+    let scen = scenario_of_name name ~nprocs ~ops in
+    let s =
+      Workload.Trial.batch ~base_seed:seed ~crash_prob ~max_crashes
+        ~system_crash_prob ~trials scen
+    in
+    Format.printf "%s: %a@." scen.Workload.Trial.scen_name Workload.Trial.pp_summary s;
+    if s.Workload.Trial.failed > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Randomized crash-torture batch with NRL checking")
+    Term.(
+      const run $ scenario_arg $ nprocs_arg $ ops_arg $ trials_arg $ seed_arg
+      $ crash_prob_arg $ max_crashes_arg $ system_crash_arg)
+
+(* check *)
+let check_cmd =
+  let dump_memory_arg =
+    Arg.(value & flag & info [ "dump-memory" ] ~doc:"Print the final NVRAM contents.")
+  in
+  let check name nprocs ops seed crash_prob max_crashes verbose dump_memory =
+    setup_logs verbose;
+    let scen = scenario_of_name name ~nprocs ~ops in
+    let sim, r = Workload.Trial.run ~seed ~crash_prob ~max_crashes scen in
+    Format.printf "history:@.%a@." History.pp (Machine.Sim.history sim);
+    for p = 0 to nprocs - 1 do
+      Format.printf "p%d results: %a@." p
+        Fmt.(list ~sep:comma (pair ~sep:(any "=") string Nvm.Value.pp))
+        (Machine.Sim.results sim p)
+    done;
+    Format.printf "steps: %d, crashes: %d@." r.Workload.Trial.steps r.Workload.Trial.crashes;
+    if dump_memory then
+      Format.printf "NVRAM:@.%a@." Nvm.Memory.pp (Machine.Sim.mem sim);
+    Format.printf "NRL: %a@." Linearize.Nrl.pp (Workload.Check.nrl sim);
+    if not r.Workload.Trial.nrl_ok then exit 2
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"One seeded run with the full history and NRL verdict")
+    Term.(
+      const check $ scenario_arg $ nprocs_arg $ ops_arg $ seed_arg $ crash_prob_arg
+      $ max_crashes_arg $ verbose_arg $ dump_memory_arg)
+
+(* explore *)
+let explore_cmd =
+  let steps_arg =
+    Arg.(value & opt int 100 & info [ "max-steps" ] ~docv:"S" ~doc:"Depth bound.")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 1 & info [ "crashes" ] ~docv:"C" ~doc:"Crash budget (process 0 crashes).")
+  in
+  let explore name nprocs ops max_steps max_crashes =
+    let build () =
+      let sim = Machine.Sim.create ~nprocs () in
+      (scenario_of_name name ~nprocs ~ops).Workload.Trial.build sim;
+      sim
+    in
+    let cfg =
+      { Machine.Explore.default_config with max_steps; max_crashes; crash_procs = [ 0 ] }
+    in
+    let t0 = Sys.time () in
+    let viol, stats =
+      Machine.Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ())
+    in
+    (match viol with
+    | Some (sim, reason) ->
+      Format.printf "VIOLATION: %s@.history:@.%a@." reason History.pp
+        (Machine.Sim.history sim);
+      exit 2
+    | None ->
+      Format.printf
+        "no violation: %d complete executions checked (%d truncated, %d nodes, %.1fs)@."
+        stats.Machine.Explore.terminals stats.Machine.Explore.truncated
+        stats.Machine.Explore.nodes (Sys.time () -. t0))
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Bounded exhaustive schedule exploration (use small instances)")
+    Term.(const explore $ scenario_arg $ nprocs_arg $ ops_arg $ steps_arg $ crashes_arg)
+
+(* theorem *)
+let theorem_cmd =
+  let run () =
+    Format.printf "%a@." Impossibility.Theorem.pp_report
+      (Impossibility.Theorem.analyze_paper_algorithm ());
+    List.iter
+      (fun c ->
+        Format.printf "%a@." Impossibility.Theorem.pp_report
+          (Impossibility.Theorem.analyze_candidate c))
+      Impossibility.Candidates.all
+  in
+  Cmd.v (Cmd.info "theorem" ~doc:"Theorem 4 analysis") Term.(const run $ const ())
+
+(* list *)
+let list_cmd =
+  let run () = List.iter print_endline scenario_names in
+  Cmd.v (Cmd.info "list" ~doc:"List available scenarios") Term.(const run $ const ())
+
+let () =
+  let doc = "Nesting-safe recoverable linearizability: simulator and checkers" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "nrlsim" ~doc) [ run_cmd; check_cmd; explore_cmd; theorem_cmd; list_cmd ]))

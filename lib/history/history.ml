@@ -1,0 +1,265 @@
+(** Histories and their sub-histories, following Section 2 of the paper. *)
+
+module Step = Step
+
+type t = Step.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let length = Array.length
+let is_empty h = Array.length h = 0
+
+let pp ppf (h : t) =
+  Fmt.pf ppf "@[<v>";
+  Array.iteri (fun i s -> Fmt.pf ppf "%3d: %a@," i Step.pp s) h;
+  Fmt.pf ppf "@]"
+
+let filter f (h : t) : t =
+  Array.of_list (List.filter f (Array.to_list h))
+
+(** [H|p]: the subhistory of all steps by process [p]. *)
+let by_proc (h : t) p = filter (fun s -> Step.pid s = p) h
+
+(** [H|O]: all invoke and response steps on object [o], plus any crash step
+    whose crashed operation is on [o] and the matching recovery step by the
+    same process (if present).  Matching recovery steps are identified as
+    the first [Rec] step of the crashing process after the crash. *)
+let by_object (h : t) o : t =
+  let n = Array.length h in
+  let keep = Array.make n false in
+  for i = 0 to n - 1 do
+    match h.(i) with
+    | Step.Inv { opref; _ } | Step.Res { opref; _ } ->
+      if opref.Step.obj = o then keep.(i) <- true
+    | Step.Crash { pid; crashed = Some (opref, _) } when opref.Step.obj = o ->
+      keep.(i) <- true;
+      (* the matching recovery step is p's next step, if it is a Rec *)
+      let rec find j =
+        if j >= n then ()
+        else
+          match h.(j) with
+          | Step.Rec { pid = q } when q = pid -> keep.(j) <- true
+          | s when Step.pid s = pid -> ()
+          | _ -> find (j + 1)
+      in
+      find (i + 1)
+    | Step.Crash _ | Step.Rec _ -> ()
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := h.(i) :: !out
+  done;
+  Array.of_list !out
+
+(** [H|<p,O>]: all steps on object [o] by process [p]. *)
+let proj (h : t) p o =
+  filter
+    (fun s ->
+      Step.pid s = p
+      &&
+      match s with
+      | Step.Inv { opref; _ } | Step.Res { opref; _ } -> opref.Step.obj = o
+      | Step.Crash { crashed = Some (opref, _); _ } -> opref.Step.obj = o
+      | Step.Crash { crashed = None; _ } | Step.Rec _ -> false)
+    h
+
+(** [N(H)]: the history obtained by removing all crash and recovery steps. *)
+let n_of (h : t) : t =
+  filter (function Step.Crash _ | Step.Rec _ -> false | _ -> true) h
+
+let is_crash_free (h : t) =
+  Array.for_all (function Step.Crash _ | Step.Rec _ -> false | _ -> true) h
+
+(** All object ids appearing in [h]. *)
+let objects (h : t) =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      match s with
+      | Step.Inv { opref; _ } | Step.Res { opref; _ } ->
+        Hashtbl.replace tbl opref.Step.obj ()
+      | Step.Crash { crashed = Some (opref, _); _ } ->
+        Hashtbl.replace tbl opref.Step.obj ()
+      | Step.Crash _ | Step.Rec _ -> ())
+    h;
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+(** All process ids appearing in [h]. *)
+let procs (h : t) =
+  let tbl = Hashtbl.create 8 in
+  Array.iter (fun s -> Hashtbl.replace tbl (Step.pid s) ()) h;
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+(** A completed operation of a crash-free object subhistory, for the
+    happens-before order and for the linearizability checker. *)
+type op_record = {
+  pid : int;
+  opref : Step.opref;
+  args : Nvm.Value.t array;
+  ret : Nvm.Value.t option;  (** [None] while pending *)
+  inv_pos : int;  (** index of the invocation step in the source history *)
+  res_pos : int option;
+  call_id : int;
+}
+
+(** Extract operation records (completed and pending) from a history,
+    ignoring crash/recovery steps.  Records are ordered by invocation. *)
+let ops_of (h : t) : op_record list =
+  let open Step in
+  let pending : (int, op_record) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Inv { pid; opref; args; call_id } ->
+        let r =
+          { pid; opref; args; ret = None; inv_pos = i; res_pos = None; call_id }
+        in
+        Hashtbl.replace pending call_id r;
+        out := r :: !out
+      | Res { ret; call_id; _ } -> (
+        match Hashtbl.find_opt pending call_id with
+        | None -> ()
+        | Some r ->
+          Hashtbl.remove pending call_id;
+          let r' = { r with ret = Some ret; res_pos = Some i } in
+          out := List.map (fun x -> if x.call_id = call_id then r' else x) !out)
+      | Crash _ | Rec _ -> ())
+    h;
+  List.rev !out
+
+(** [happens_before a b] per the paper: [a]'s response step precedes [b]'s
+    invocation step. *)
+let happens_before a b =
+  match a.res_pos with Some r -> r < b.inv_pos | None -> false
+
+let concurrent a b = (not (happens_before a b)) && not (happens_before b a)
+
+(** Well-formedness checks from Section 2 (Definitions preceding Def. 3 and
+    Definition 3 itself). *)
+module Wellformed = struct
+  type result = Ok | Violation of string
+
+  let is_ok = function Ok -> true | Violation _ -> false
+
+  let pp_result ppf = function
+    | Ok -> Fmt.string ppf "well-formed"
+    | Violation msg -> Fmt.pf ppf "violation: %s" msg
+
+  (* A crash-free subhistory [H|<p,O>] must be a sequence of alternating,
+     matching invocation and response steps, starting with an invocation
+     (possibly ending with a pending invocation). *)
+  let check_alternating ~p ~o (h : t) =
+    let open Step in
+    let state = ref None (* pending call_id *) in
+    let bad = ref None in
+    Array.iter
+      (fun s ->
+        if !bad = None then
+          match s, !state with
+          | Inv { call_id; _ }, None -> state := Some call_id
+          | Inv _, Some _ ->
+            bad :=
+              Some
+                (Fmt.str "p%d invoked a second operation on object %d while one is pending"
+                   p o)
+          | Res { call_id; _ }, Some pending when call_id = pending -> state := None
+          | Res _, Some _ ->
+            bad := Some (Fmt.str "p%d: response does not match pending invocation on object %d" p o)
+          | Res _, None ->
+            bad := Some (Fmt.str "p%d: response without invocation on object %d" p o)
+          | (Crash _ | Rec _), _ -> ())
+      h;
+    match !bad with Some m -> Violation m | None -> Ok
+
+  (* Requirement (2) of crash-free well-formedness: per process, matched
+     invocation/response pairs are properly nested: if i1 < i2 < r1 then
+     r2 < r1. *)
+  let check_nesting ~p (h : t) =
+    let ops =
+      List.filter (fun (r : op_record) -> r.pid = p && r.res_pos <> None) (ops_of h)
+    in
+    let bad = ref None in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a.call_id <> b.call_id && !bad = None then
+              match a.res_pos, b.res_pos with
+              | Some r1, Some r2 ->
+                if a.inv_pos < b.inv_pos && b.inv_pos < r1 && not (r2 < r1) then
+                  bad :=
+                    Some
+                      (Fmt.str
+                         "p%d: operation %s (#%d) invoked inside %s (#%d) responds after it"
+                         p b.opref.Step.op b.call_id a.opref.Step.op a.call_id)
+              | _ -> ())
+          ops)
+      ops;
+    match !bad with Some m -> Violation m | None -> Ok
+
+  (* Also require that a pending inner operation blocks the outer from
+     responding: if i1 < i2, op2 pending, then op1 must be pending too.
+     This is implied by requirement (2) read contrapositively and holds in
+     all histories the machine produces. *)
+
+  (** Crash-free well-formedness: (1) every [H|O] is well-formed; (2) the
+      per-process nesting condition. *)
+  let check_well_formed (h : t) =
+    if not (is_crash_free h) then
+      Violation "history contains crash/recovery steps (use recoverable well-formedness)"
+    else
+      let results =
+        List.concat_map
+          (fun o ->
+            List.map (fun p -> check_alternating ~p ~o (proj h p o)) (procs h))
+          (objects h)
+        @ List.map (fun p -> check_nesting ~p (by_proc h p)) (procs h)
+      in
+      match List.find_opt (fun r -> not (is_ok r)) results with
+      | Some v -> v
+      | None -> Ok
+
+  (** Definition 3 (Recoverable Well-Formedness): (1) every crash step of
+      [p] is either [p]'s last step or is followed in [H|p] by a matching
+      recovery step; (2) [N(H)] is well-formed. *)
+  let check_recoverable_well_formed (h : t) =
+    let open Step in
+    let crash_rule =
+      List.fold_left
+        (fun acc p ->
+          if not (is_ok acc) then acc
+          else begin
+            let hp = by_proc h p in
+            let n = Array.length hp in
+            let bad = ref None in
+            Array.iteri
+              (fun i s ->
+                if !bad = None then
+                  match s with
+                  | Crash _ ->
+                    if i < n - 1 then begin
+                      match hp.(i + 1) with
+                      | Rec _ -> ()
+                      | _ ->
+                        bad :=
+                          Some
+                            (Fmt.str "p%d: crash step not followed by a matching recovery step" p)
+                    end
+                  | Rec _ ->
+                    if i = 0 then
+                      bad := Some (Fmt.str "p%d: recovery step without preceding crash" p)
+                    else begin
+                      match hp.(i - 1) with
+                      | Crash _ -> ()
+                      | _ ->
+                        bad := Some (Fmt.str "p%d: recovery step without preceding crash" p)
+                    end
+                  | Inv _ | Res _ -> ())
+              hp;
+            match !bad with Some m -> Violation m | None -> Ok
+          end)
+        Ok (procs h)
+    in
+    if not (is_ok crash_rule) then crash_rule else check_well_formed (n_of h)
+end

@@ -1,0 +1,56 @@
+(** Steps of a history, following Section 2 of the paper.
+
+    A history is a sequence of four kinds of steps:
+    - an {e invocation} step [(INV, p, O, Op)],
+    - a {e response} step [(RES, p, O, Op, ret)],
+    - a {e crash} step [(CRASH, p)] whose {e crashed operation} is the
+      inner-most recoverable operation of [p] pending when the crash
+      occurred, and
+    - a {e recovery} step [(REC, p)], the only step of [p] allowed to
+      follow a crash step of [p].
+
+    Each operation execution carries a unique [call_id] linking its
+    invocation to its response; the well-formedness checkers validate the
+    matching structurally and do not trust the ids blindly. *)
+
+type opref = {
+  obj : int;  (** object instance identifier *)
+  obj_name : string;
+  op : string;  (** operation name, e.g. "WRITE" *)
+}
+
+let pp_opref ppf r = Fmt.pf ppf "%s.%s" r.obj_name r.op
+
+type t =
+  | Inv of { pid : int; opref : opref; args : Nvm.Value.t array; call_id : int }
+  | Res of {
+      pid : int;
+      opref : opref;
+      ret : Nvm.Value.t;
+      call_id : int;
+      persisted : bool option;
+          (** [Some true] if at the moment of the response the designated
+              per-process persistent response variable held [ret]
+              (Definition 1, strictness); [None] when the object declares
+              no such variable. *)
+    }
+  | Crash of { pid : int; crashed : (opref * int) option }
+      (** [crashed] identifies the crashed operation (inner-most pending
+          recoverable operation), or [None] if the process had no pending
+          operation when it failed. *)
+  | Rec of { pid : int }
+
+let pid = function
+  | Inv { pid; _ } | Res { pid; _ } | Crash { pid; _ } | Rec { pid } -> pid
+
+let pp ppf = function
+  | Inv { pid; opref; args; call_id } ->
+    Fmt.pf ppf "(INV, p%d, %a(%a)) #%d" pid pp_opref opref
+      Fmt.(array ~sep:comma Nvm.Value.pp)
+      args call_id
+  | Res { pid; opref; ret; call_id; _ } ->
+    Fmt.pf ppf "(RES, p%d, %a, %a) #%d" pid pp_opref opref Nvm.Value.pp ret call_id
+  | Crash { pid; crashed = Some (r, id) } ->
+    Fmt.pf ppf "(CRASH, p%d) [crashed: %a #%d]" pid pp_opref r id
+  | Crash { pid; crashed = None } -> Fmt.pf ppf "(CRASH, p%d) [idle]" pid
+  | Rec { pid } -> Fmt.pf ppf "(REC, p%d)" pid

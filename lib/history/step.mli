@@ -1,0 +1,34 @@
+(** Steps of a history (paper, Section 2): invocation, response, crash and
+    recovery steps.  Each operation execution carries a unique [call_id]
+    linking its invocation to its response; the well-formedness checkers
+    validate the matching structurally. *)
+
+type opref = {
+  obj : int;  (** object instance identifier *)
+  obj_name : string;
+  op : string;  (** operation name, e.g. "WRITE" *)
+}
+
+val pp_opref : opref Fmt.t
+
+type t =
+  | Inv of { pid : int; opref : opref; args : Nvm.Value.t array; call_id : int }
+  | Res of {
+      pid : int;
+      opref : opref;
+      ret : Nvm.Value.t;
+      call_id : int;
+      persisted : bool option;
+          (** [Some true] iff, at response time, the operation's
+              designated persistent response variable held [ret]
+              (Definition 1, strictness); [None] when the object declares
+              no such variable *)
+    }
+  | Crash of { pid : int; crashed : (opref * int) option }
+      (** [crashed] identifies the crashed operation — the inner-most
+          pending recoverable operation — or is [None] for a process with
+          no pending operation *)
+  | Rec of { pid : int }
+
+val pid : t -> int
+val pp : t Fmt.t

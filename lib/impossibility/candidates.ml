@@ -1,0 +1,93 @@
+(** Candidate recoverable TAS implementations with {e wait-free} recovery
+    functions — the algorithms Theorem 4 proves cannot exist (from
+    read/write and non-recoverable TAS base objects).  Each candidate is a
+    natural attempt; the explorer exhibits a concrete schedule-with-crash
+    under which its history violates NRL, and the valency analysis shows
+    where the indistinguishability argument bites.
+
+    For contrast, the paper's Algorithm 3 ({!Objects.Tas_obj}) is correct —
+    and its recovery function is blocking, as the theorem says it must
+    be. *)
+
+open Machine.Program
+
+let op name body recover = (name, { Machine.Objdef.op_name = name; body; recover })
+
+(** Candidate "reexec": recovery re-executes the primitive t&s.  Fails
+    because a winner that crashes before persisting its response loses its
+    win: re-execution returns 1, so every completed T&S can return 1. *)
+let reexec sim ~name = Objects.Naive.make_tas ~strategy:`Reexecute sim ~name
+
+(** Candidate "announce": the winner announces itself in [Win] after the
+    primitive t&s; recovery trusts the announcement ([Win = p] means I
+    won) and re-executes otherwise.  Fails in the window between winning
+    the t&s and writing [Win]: the crashed winner re-executes, reads 1,
+    and nobody ever returns 0. *)
+let announce sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let t = Nvm.Memory.alloc ~name:(name ^ ".t") mem (Nvm.Value.Int 0) in
+  let win = Nvm.Memory.alloc ~name:(name ^ ".Win") mem Nvm.Value.Null in
+  let body =
+    make ~name:"T&S"
+      [
+        (2, Tas_prim ("ret", at t));
+        (3, Branch_if (neq (local "ret") (int 0), 5));
+        (4, Write (at win, self));
+        (5, Ret (local "ret"));
+      ]
+  in
+  let recover =
+    make ~name:"T&S.RECOVER"
+      [
+        (7, Read ("w", at win));
+        (8, Branch_if (bnot (eq (local "w") self), 10));
+        (9, Ret (int 0));
+        (10, Resume 2);
+      ]
+  in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"tas" ~name [ op "T&S" body recover ]
+
+(** Candidate "pessimistic": like "announce" but when in doubt returns 1
+    instead of re-executing.  Fails even solo: a process that crashes
+    right after winning the t&s recovers, sees no announcement, returns 1
+    — yet it is the only process, so its (completed) T&S must return 0. *)
+let pessimistic sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let t = Nvm.Memory.alloc ~name:(name ^ ".t") mem (Nvm.Value.Int 0) in
+  let win = Nvm.Memory.alloc ~name:(name ^ ".Win") mem Nvm.Value.Null in
+  let started =
+    Nvm.Memory.alloc_array ~name:(name ^ ".Started") mem (Machine.Sim.nprocs sim)
+      (Nvm.Value.Int 0)
+  in
+  let body =
+    make ~name:"T&S"
+      [
+        (2, Write (my_slot started, int 1));
+        (3, Tas_prim ("ret", at t));
+        (4, Branch_if (neq (local "ret") (int 0), 6));
+        (5, Write (at win, self));
+        (6, Ret (local "ret"));
+      ]
+  in
+  let recover =
+    make ~name:"T&S.RECOVER"
+      [
+        (8, Read ("w", at win));
+        (9, Branch_if (bnot (eq (local "w") self), 11));
+        (10, Ret (int 0));
+        (11, Read ("st", my_slot started));
+        (12, Branch_if (eq (local "st") (int 0), 14));
+        (13, Ret (int 1));  (* in doubt after starting: claim to have lost *)
+        (14, Resume 2);
+      ]
+  in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"tas" ~name [ op "T&S" body recover ]
+
+type candidate = { cand_name : string; make : Machine.Sim.t -> name:string -> Machine.Objdef.instance }
+
+let all =
+  [
+    { cand_name = "reexec"; make = (fun sim ~name -> reexec sim ~name) };
+    { cand_name = "announce"; make = (fun sim ~name -> announce sim ~name) };
+    { cand_name = "pessimistic"; make = (fun sim ~name -> pessimistic sim ~name) };
+  ]

@@ -1,0 +1,23 @@
+(** Candidate recoverable-TAS implementations whose recovery functions are
+    wait-free — the algorithms Theorem 4 proves cannot be correct.  Each
+    is a natural attempt; {!Theorem.analyze_candidate} exhibits its
+    concrete violating schedule. *)
+
+val reexec : Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Recovery re-executes the primitive t&s (a crashed winner loses its
+    win). *)
+
+val announce : Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** The winner announces itself after the t&s; recovery trusts the
+    announcement and re-executes otherwise (fails in the
+    win-to-announce window). *)
+
+val pessimistic : Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Like [announce], but returns 1 when in doubt (fails even solo). *)
+
+type candidate = {
+  cand_name : string;
+  make : Machine.Sim.t -> name:string -> Machine.Objdef.instance;
+}
+
+val all : candidate list

@@ -1,0 +1,64 @@
+(** Canonical serialisation of a machine configuration, used to memoise
+    the valency analysis over reachable configurations.
+
+    The key covers everything that determines future behaviour: shared
+    memory, and for each process its status, results so far, remaining
+    script length, and frame stack (object, operation, phase, pc, [LI],
+    interrupted flag, local bindings).  History bookkeeping (call ids) is
+    deliberately excluded: two configurations with identical keys generate
+    identical future behaviour even if they were reached by different
+    interleavings. *)
+
+let frame_key (f : Machine.Sim.frame) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int f.Machine.Sim.f_obj.Machine.Objdef.id);
+  Buffer.add_char b '.';
+  Buffer.add_string b f.Machine.Sim.f_op.Machine.Objdef.op_name;
+  Buffer.add_string b
+    (match f.Machine.Sim.f_phase with Machine.Sim.Body -> "/b" | Machine.Sim.Recovery -> "/r");
+  Buffer.add_string b (Printf.sprintf "@%d;li%d" f.Machine.Sim.f_pc f.Machine.Sim.f_li);
+  if f.Machine.Sim.f_interrupted then Buffer.add_string b "!";
+  Buffer.add_char b '{';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b (Nvm.Value.to_string v);
+      Buffer.add_char b ';')
+    (Machine.Env.bindings f.Machine.Sim.f_env);
+  Buffer.add_char b '}';
+  Array.iter
+    (fun a ->
+      Buffer.add_string b (Nvm.Value.to_string a);
+      Buffer.add_char b ',')
+    f.Machine.Sim.f_args;
+  Buffer.contents b
+
+let of_sim (sim : Machine.Sim.t) =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun v ->
+      Buffer.add_string b (Nvm.Value.to_string v);
+      Buffer.add_char b '|')
+    (Nvm.Memory.snapshot (Machine.Sim.mem sim));
+  for p = 0 to Machine.Sim.nprocs sim - 1 do
+    let pr = Machine.Sim.proc sim p in
+    Buffer.add_string b
+      (match pr.Machine.Sim.status with Machine.Sim.Ready -> "R" | Machine.Sim.Crashed -> "C");
+    Buffer.add_string b (string_of_int (List.length pr.Machine.Sim.script));
+    Buffer.add_char b ':';
+    List.iter
+      (fun (op, v) ->
+        Buffer.add_string b op;
+        Buffer.add_string b (Nvm.Value.to_string v);
+        Buffer.add_char b ',')
+      pr.Machine.Sim.results;
+    Buffer.add_char b '[';
+    List.iter
+      (fun f ->
+        Buffer.add_string b (frame_key f);
+        Buffer.add_char b '/')
+      pr.Machine.Sim.stack;
+    Buffer.add_string b "]#"
+  done;
+  Buffer.contents b

@@ -1,0 +1,8 @@
+(** Canonical serialisation of a machine configuration, used to memoise
+    the valency analysis.  The key covers everything that determines
+    future behaviour (memory, statuses, results, scripts remaining,
+    frame stacks with locals) and deliberately excludes history
+    bookkeeping such as call ids. *)
+
+val of_sim : Machine.Sim.t -> string
+val frame_key : Machine.Sim.frame -> string

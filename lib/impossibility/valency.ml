@@ -1,0 +1,141 @@
+(** Valency analysis over crash-free executions, following the proof of
+    Theorem 4.
+
+    A configuration [C] is {e p-valent} if there is a crash-free execution
+    starting from [C] in which [p] returns 0 or has already returned 0;
+    {e bivalent} if it is p-valent for two distinct processes, and
+    {e univalent} otherwise.  The analysis enumerates every reachable
+    crash-free configuration (memoised on the canonical state key) and
+    computes, for each, the set of processes that can return 0. *)
+
+module Smap = Map.Make (String)
+
+type t = {
+  mutable memo : int Smap.t;  (** state key -> bitmask of processes that can return 0 *)
+  mutable configs : int;
+}
+
+let create () = { memo = Smap.empty; configs = 0 }
+
+let returned_zero sim p =
+  List.exists (fun (_, v) -> Nvm.Value.equal v (Nvm.Value.Int 0)) (Machine.Sim.results sim p)
+
+(** Bitmask of processes that can return 0 in some crash-free execution
+    from [sim]'s configuration. *)
+let rec zero_mask t sim =
+  let key = Statekey.of_sim sim in
+  match Smap.find_opt key t.memo with
+  | Some m -> m
+  | None ->
+    t.configs <- t.configs + 1;
+    (* break cycles (busy-wait loops) pessimistically: a revisited
+       configuration contributes nothing new on this branch *)
+    t.memo <- Smap.add key 0 t.memo;
+    let base =
+      let m = ref 0 in
+      for p = 0 to Machine.Sim.nprocs sim - 1 do
+        if returned_zero sim p then m := !m lor (1 lsl p)
+      done;
+      !m
+    in
+    let m = ref base in
+    for p = 0 to Machine.Sim.nprocs sim - 1 do
+      if Machine.Sim.enabled sim p then begin
+        let s = Machine.Sim.clone sim in
+        Machine.Sim.step s p;
+        m := !m lor zero_mask t s
+      end
+    done;
+    t.memo <- Smap.add key !m t.memo;
+    !m
+
+type verdict = Bivalent of int list | Univalent of int | Zerovalent
+
+let classify t sim =
+  let m = zero_mask t sim in
+  let procs =
+    List.filter (fun p -> m land (1 lsl p) <> 0) (List.init (Machine.Sim.nprocs sim) Fun.id)
+  in
+  match procs with
+  | [] -> Zerovalent
+  | [ p ] -> Univalent p
+  | ps -> Bivalent ps
+
+let pp_verdict ppf = function
+  | Bivalent ps -> Fmt.pf ppf "bivalent {%a}" Fmt.(list ~sep:comma int) ps
+  | Univalent p -> Fmt.pf ppf "p%d-valent" p
+  | Zerovalent -> Fmt.string ppf "no process can return 0"
+
+(** Information about the next step each process would take, used to verify
+    the critical-step claim of the proof (both processes must be about to
+    apply [t&s] to the same base object). *)
+type pending_step = {
+  ps_pid : int;
+  ps_kind : string;  (** "read" | "write" | "t&s" | "cas" | "local" | ... *)
+  ps_addr : Nvm.Memory.addr option;
+}
+
+let pending_step sim p =
+  let pr = Machine.Sim.proc sim p in
+  match pr.Machine.Sim.stack with
+  | [] -> None
+  | f :: _ ->
+    let prog = Machine.Sim.current_program f in
+    if f.Machine.Sim.f_pc >= Machine.Program.length prog then None
+    else
+      let ctx = Machine.Sim.ctx_of sim f p in
+      let env = f.Machine.Sim.f_env in
+      let kind, addr =
+        match Machine.Program.instr prog f.Machine.Sim.f_pc with
+        | Machine.Program.Read (_, a) -> ("read", Some (a ctx env))
+        | Machine.Program.Write (a, _) -> ("write", Some (a ctx env))
+        | Machine.Program.Cas_prim (_, a, _, _) -> ("cas", Some (a ctx env))
+        | Machine.Program.Tas_prim (_, a) -> ("t&s", Some (a ctx env))
+        | Machine.Program.Faa_prim (_, a, _) -> ("faa", Some (a ctx env))
+        | Machine.Program.Invoke _ -> ("invoke", None)
+        | Machine.Program.Assign _ | Machine.Program.Branch_if _ | Machine.Program.Jump _
+        | Machine.Program.Ret _ | Machine.Program.Resume _ ->
+          ("local", None)
+      in
+      Some { ps_pid = p; ps_kind = kind; ps_addr = addr }
+
+type critical = {
+  sim : Machine.Sim.t;  (** the critical configuration *)
+  depth : int;  (** steps from the initial configuration *)
+  steps : pending_step list;  (** the processes' pending (critical) steps *)
+}
+
+(** Search for a {e critical} configuration: a bivalent configuration every
+    enabled step of which leads to a univalent configuration.  Follows the
+    proof: keep extending inside the bivalent region; because the T&S
+    operation is wait-free the region is finite and a critical
+    configuration must exist. *)
+let find_critical ?(max_depth = 500) t sim0 =
+  let rec walk sim depth =
+    if depth > max_depth then None
+    else begin
+      let enabled =
+        List.filter (fun p -> Machine.Sim.enabled sim p)
+          (List.init (Machine.Sim.nprocs sim) Fun.id)
+      in
+      let children =
+        List.map
+          (fun p ->
+            let s = Machine.Sim.clone sim in
+            Machine.Sim.step s p;
+            (p, s))
+          enabled
+      in
+      let bivalent_children =
+        List.filter
+          (fun (_, s) -> match classify t s with Bivalent _ -> true | _ -> false)
+          children
+      in
+      match bivalent_children with
+      | [] ->
+        let steps = List.filter_map (fun p -> pending_step sim p) enabled in
+        Some { sim; depth; steps }
+      | (_, s) :: _ -> walk s (depth + 1)
+    end
+  in
+  match classify t sim0 with Bivalent _ -> walk sim0 0 | _ -> None

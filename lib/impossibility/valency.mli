@@ -1,0 +1,45 @@
+(** Valency analysis over crash-free executions, following the proof of
+    Theorem 4.
+
+    A configuration is {e p-valent} if some crash-free execution from it
+    has [p] return 0 (or [p] already did); {e bivalent} if p-valent for
+    two distinct processes.  The analysis enumerates reachable crash-free
+    configurations with memoisation.  It assumes loop-free operation
+    bodies (true of every TAS implementation analysed; busy-wait loops
+    appear only in recovery code, which crash-free executions never
+    run). *)
+
+type t = {
+  mutable memo : int Map.Make(String).t;
+  mutable configs : int;  (** distinct configurations explored *)
+}
+
+val create : unit -> t
+
+val zero_mask : t -> Machine.Sim.t -> int
+(** Bitmask of processes that can return 0 from this configuration. *)
+
+type verdict = Bivalent of int list | Univalent of int | Zerovalent
+
+val classify : t -> Machine.Sim.t -> verdict
+val pp_verdict : verdict Fmt.t
+
+(** The next step a process would take, used to verify the proof's
+    critical-step claim. *)
+type pending_step = {
+  ps_pid : int;
+  ps_kind : string;  (** "read" | "write" | "t&s" | "cas" | "faa" | "invoke" | "local" *)
+  ps_addr : Nvm.Memory.addr option;
+}
+
+val pending_step : Machine.Sim.t -> int -> pending_step option
+
+type critical = {
+  sim : Machine.Sim.t;  (** the critical configuration *)
+  depth : int;
+  steps : pending_step list;  (** the processes' pending (critical) steps *)
+}
+
+val find_critical : ?max_depth:int -> t -> Machine.Sim.t -> critical option
+(** Walk inside the bivalent region until reaching a configuration whose
+    every enabled step leads to a univalent configuration. *)

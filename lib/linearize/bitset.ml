@@ -1,0 +1,31 @@
+(** Small fixed-capacity bit sets used by the linearizability checker to
+    track which operations have been linearized along a search branch.
+    Represented as bytes so they can serve directly as hash-table keys. *)
+
+type t = Bytes.t
+
+let create n = Bytes.make ((n + 7) / 8) '\000'
+
+let copy = Bytes.copy
+
+let mem t i =
+  Char.code (Bytes.get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  let b = Bytes.copy t in
+  Bytes.set b (i lsr 3) (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))));
+  b
+
+let cardinal t =
+  let c = ref 0 in
+  Bytes.iter
+    (fun ch ->
+      let x = ref (Char.code ch) in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr c
+      done)
+    t;
+  !c
+
+let key t = Bytes.to_string t

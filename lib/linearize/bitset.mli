@@ -1,0 +1,19 @@
+(** Small fixed-capacity persistent bit sets used by the linearizability
+    checker to track linearized operations along a search branch; the
+    byte representation doubles as a hash-table key. *)
+
+type t
+
+val create : int -> t
+(** [create n]: an empty set over a universe of [n] elements. *)
+
+val copy : t -> t
+val mem : t -> int -> bool
+
+val add : t -> int -> t
+(** Functional insertion (the input set is unchanged). *)
+
+val cardinal : t -> int
+
+val key : t -> string
+(** The raw bytes, usable as a memoisation key. *)

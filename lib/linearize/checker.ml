@@ -1,0 +1,119 @@
+(** Linearizability checker (Definition 2), in the style of Wing & Gong
+    with Lowe's memoisation.
+
+    Given a crash-free history of a single object and the object's
+    sequential specification, the checker searches for a completion and a
+    legal sequential ordering that respects the real-time (happens-before)
+    order.  Pending operations may either be linearized with some legal
+    response or dropped, exactly as Definition 2's notion of completion
+    allows.  Visited (linearized-set, specification-state) pairs are
+    memoised, which keeps the search tractable on the history sizes the
+    simulator produces. *)
+
+type linearization = (History.op_record * Nvm.Value.t) list
+
+type verdict =
+  | Linearizable of linearization
+  | Not_linearizable of string
+
+let is_linearizable = function Linearizable _ -> true | Not_linearizable _ -> false
+
+let pp_verdict ppf = function
+  | Linearizable w ->
+    Fmt.pf ppf "linearizable: @[<h>%a@]"
+      Fmt.(
+        list ~sep:sp (fun ppf ((r : History.op_record), ret) ->
+            Fmt.pf ppf "p%d:%s->%a" r.pid r.opref.History.Step.op Nvm.Value.pp ret))
+      w
+  | Not_linearizable msg -> Fmt.pf ppf "NOT linearizable: %s" msg
+
+exception Success of linearization
+
+(** [check_object ~spec ~nprocs h] checks the crash-free single-object
+    history [h].  All completed operations must be linearized; pending
+    invocations may be completed with a legal response or dropped. *)
+let check_object ~(spec : Spec.t) ~nprocs (h : History.t) : verdict =
+  let ops = Array.of_list (History.ops_of h) in
+  let n = Array.length ops in
+  let completed = Array.map (fun (r : History.op_record) -> r.ret <> None) ops in
+  let n_completed = Array.fold_left (fun a c -> if c then a + 1 else a) 0 completed in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let best_progress = ref 0 in
+  (* minimal response position among unlinearized completed ops: an op can
+     be linearized next only if it was invoked before that response *)
+  let min_res linearized =
+    let m = ref max_int in
+    Array.iteri
+      (fun i (r : History.op_record) ->
+        if (not (Bitset.mem linearized i)) && completed.(i) then
+          match r.res_pos with Some p -> if p < !m then m := p | None -> ())
+      ops;
+    !m
+  in
+  let rec go linearized state acc done_completed =
+    if done_completed = n_completed then raise (Success (List.rev acc));
+    let key = Bitset.key linearized ^ "|" ^ Nvm.Value.to_string state.Spec.repr in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if done_completed > !best_progress then best_progress := done_completed;
+      let frontier = min_res linearized in
+      Array.iteri
+        (fun i (r : History.op_record) ->
+          if (not (Bitset.mem linearized i)) && r.inv_pos < frontier then begin
+            let outcomes =
+              state.Spec.apply ~pid:r.pid ~op:r.opref.History.Step.op ~args:r.args
+            in
+            let outcomes =
+              match r.ret with
+              | Some ret ->
+                List.filter (fun (ret', _) -> Nvm.Value.equal ret ret') outcomes
+              | None -> outcomes
+            in
+            List.iter
+              (fun (ret, state') ->
+                go (Bitset.add linearized i) state' ((r, ret) :: acc)
+                  (if completed.(i) then done_completed + 1 else done_completed))
+              outcomes
+          end)
+        ops
+    end
+  in
+  if n = 0 then Linearizable []
+  else
+    try
+      go (Bitset.create n) (spec.Spec.initial ~nprocs) [] 0;
+      Not_linearizable
+        (Fmt.str "no legal linearization (best: %d of %d completed ops ordered)"
+           !best_progress n_completed)
+    with Success w -> Linearizable w
+
+type object_report = {
+  obj : int;
+  obj_name : string;
+  verdict : verdict option;  (** [None] if no specification is known *)
+}
+
+(** Check every object of a crash-free history, using linearizability's
+    locality: the history is linearizable iff each per-object subhistory
+    is. *)
+let check_all ~spec_for ~nprocs (h : History.t) : object_report list =
+  List.map
+    (fun o ->
+      let events =
+        History.filter
+          (function
+            | History.Step.Inv { opref; _ } | History.Step.Res { opref; _ } ->
+              opref.History.Step.obj = o
+            | _ -> false)
+          h
+      in
+      let name =
+        match History.ops_of events with
+        | r :: _ -> r.opref.History.Step.obj_name
+        | [] -> Printf.sprintf "obj%d" o
+      in
+      match spec_for o with
+      | None -> { obj = o; obj_name = name; verdict = None }
+      | Some spec ->
+        { obj = o; obj_name = name; verdict = Some (check_object ~spec ~nprocs events) })
+    (History.objects h)

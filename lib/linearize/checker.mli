@@ -1,0 +1,33 @@
+(** Linearizability checker (Definition 2), in the style of Wing & Gong
+    with Lowe's memoisation.
+
+    The checker searches for a completion and a legal sequential ordering
+    of a crash-free single-object history that respects the real-time
+    (happens-before) order.  Pending operations may be linearized with
+    some legal response or dropped, per Definition 2's completions. *)
+
+type linearization = (History.op_record * Nvm.Value.t) list
+(** A witness: operations in linearization order with their (possibly
+    completed) responses. *)
+
+type verdict =
+  | Linearizable of linearization
+  | Not_linearizable of string
+
+val is_linearizable : verdict -> bool
+val pp_verdict : verdict Fmt.t
+
+val check_object : spec:Spec.t -> nprocs:int -> History.t -> verdict
+(** Check a crash-free history containing the invocation/response steps
+    of a single object. *)
+
+type object_report = {
+  obj : int;
+  obj_name : string;
+  verdict : verdict option;  (** [None] if no specification is known *)
+}
+
+val check_all :
+  spec_for:(int -> Spec.t option) -> nprocs:int -> History.t -> object_report list
+(** Check every object of a crash-free history separately
+    (linearizability is local). *)

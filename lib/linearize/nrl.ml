@@ -1,0 +1,65 @@
+(** Nesting-safe recoverable linearizability (Definition 4).
+
+    A finite history [H] satisfies NRL if it is recoverable well-formed
+    (Definition 3) and [N(H)] — [H] with all crash and recovery steps
+    removed — is linearizable.  Linearizability of [N(H)] is established
+    object by object (locality). *)
+
+type result = {
+  rwf : History.Wellformed.result;
+  objects : Checker.object_report list;  (** per-object verdicts on [N(H)] *)
+}
+
+let ok r =
+  History.Wellformed.is_ok r.rwf
+  && List.for_all
+       (fun (o : Checker.object_report) ->
+         match o.verdict with
+         | Some v -> Checker.is_linearizable v
+         | None -> true)
+       r.objects
+
+(** Objects whose subhistory of [N(H)] is not linearizable. *)
+let failing_objects r =
+  List.filter
+    (fun (o : Checker.object_report) ->
+      match o.verdict with Some v -> not (Checker.is_linearizable v) | None -> false)
+    r.objects
+
+let check ~spec_for ~nprocs (h : History.t) : result =
+  let rwf = History.Wellformed.check_recoverable_well_formed h in
+  let objects =
+    if History.Wellformed.is_ok rwf then
+      Checker.check_all ~spec_for ~nprocs (History.n_of h)
+    else []
+  in
+  { rwf; objects }
+
+let explain r =
+  if ok r then "satisfies NRL"
+  else
+    match r.rwf with
+    | History.Wellformed.Violation m -> "not recoverable well-formed: " ^ m
+    | History.Wellformed.Ok ->
+      Fmt.str "N(H) not linearizable for object(s): %a"
+        Fmt.(
+          list ~sep:comma (fun ppf (o : Checker.object_report) ->
+              Fmt.pf ppf "%s (%s)" o.obj_name
+                (match o.verdict with
+                | Some (Checker.Not_linearizable m) -> m
+                | _ -> "?")))
+        (failing_objects r)
+
+let pp ppf r = Fmt.string ppf (explain r)
+
+(** Definition 1 (strict recoverable operations): every response of an
+    operation that declares a designated per-process persistent response
+    variable must find its response value already persisted there.  The
+    machine stamps each response step with that fact; this function
+    returns the stamped-false responses. *)
+let strictness_violations (h : History.t) =
+  List.filter
+    (function
+      | History.Step.Res { persisted = Some false; _ } -> true
+      | _ -> false)
+    (History.to_list h)

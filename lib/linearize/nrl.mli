@@ -1,0 +1,23 @@
+(** Nesting-safe recoverable linearizability (Definition 4): a finite
+    history satisfies NRL if it is recoverable well-formed (Definition 3)
+    and its crash-free projection [N(H)] is linearizable. *)
+
+type result = {
+  rwf : History.Wellformed.result;
+  objects : Checker.object_report list;  (** per-object verdicts on [N(H)] *)
+}
+
+val ok : result -> bool
+
+val failing_objects : result -> Checker.object_report list
+(** Objects whose subhistory of [N(H)] is not linearizable. *)
+
+val check : spec_for:(int -> Spec.t option) -> nprocs:int -> History.t -> result
+
+val explain : result -> string
+val pp : result Fmt.t
+
+val strictness_violations : History.t -> History.Step.t list
+(** Responses of operations declared strict (Definition 1) whose value
+    was {e not} found in the designated persistent variable at response
+    time, as stamped by the machine. *)

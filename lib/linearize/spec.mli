@@ -1,0 +1,62 @@
+(** Sequential specifications.
+
+    The sequential specification of an object is represented
+    operationally: a state plus a transition function listing, for each
+    operation, the legal response/next-state pairs.  Non-singleton result
+    lists express nondeterminism, which the linearizability checker uses
+    when completing pending operations (Definition 2 allows appending
+    {e some} legal response).
+
+    States carry a canonical {!Nvm.Value.t} encoding ([repr]) so the
+    checker can memoise visited search nodes. *)
+
+type state = {
+  apply :
+    pid:int -> op:string -> args:Nvm.Value.t array -> (Nvm.Value.t * state) list;
+  repr : Nvm.Value.t;
+}
+
+type t = {
+  spec_name : string;
+  initial : nprocs:int -> state;
+}
+
+val register : ?init:Nvm.Value.t -> unit -> t
+(** Read/write register: [WRITE v] returns [ack]; [READ] returns the
+    current value. *)
+
+val cas : ?init:Nvm.Value.t -> unit -> t
+(** Compare-and-swap object (paper §3.2): [CAS (old, new)] swaps and
+    returns [true] iff the current value is [old]; [READ]. *)
+
+val tas : unit -> t
+(** Non-resettable test-and-set (paper §3.3): [T&S] writes 1, returns the
+    previous value. *)
+
+val counter : unit -> t
+(** Counter (paper §3.4): [INC] returns [ack]; [READ]. *)
+
+val max_register : unit -> t
+(** [WRITE_MAX v] raises the stored maximum; [READ]. *)
+
+val faa_register : ?init:int -> unit -> t
+(** [FAA d] adds [d], returns the previous value; [READ]. *)
+
+val slot_allocator : k:int -> unit -> t
+(** [ELECT] returns {e some} currently free slot in [0..k-1] (a
+    nondeterministic specification) and marks it taken; [-1] if full. *)
+
+val histogram : k:int -> unit -> t
+(** [RECORD b] increments bucket [b]; [BUCKET b] reads it; [TOTAL] sums. *)
+
+val stack : unit -> t
+(** [PUSH x] returns [ack]; [POP] pops or returns ["empty"]; [PEEK]. *)
+
+val queue : unit -> t
+(** [ENQ x] returns [ack]; [DEQ] dequeues or returns ["empty"];
+    [FRONT]. *)
+
+val of_otype : string -> t option
+(** Specification for an object-type tag, with default initial values.
+    Prefer {!Workload.Check.spec_for}, which also threads instance
+    initial values and sizes. *)

@@ -1,0 +1,59 @@
+(** Volatile process-local variables.
+
+    In the paper's model each process has local variables stored in volatile
+    processor registers; a crash-failure resets them all to {e arbitrary}
+    values.  We model the strongest reading of "arbitrary": a scrambled
+    environment answers {e every} lookup (even of names that were never
+    bound) with adversarially generated junk, so an algorithm that relies on
+    any local value across a crash is certain to misbehave in tests. *)
+
+type t = {
+  tbl : (string, Nvm.Value.t) Hashtbl.t;
+  mutable junk : Junk.t option;
+      (** [Some j] once the environment has been scrambled by a crash:
+          unbound lookups then produce junk instead of failing. *)
+}
+
+exception Unbound_local of string
+
+let create () = { tbl = Hashtbl.create 8; junk = None }
+
+(** A fresh environment in post-crash mode: empty, but reads of unbound
+    names yield arbitrary junk instead of raising.  Recovery functions
+    run in such environments — the paper's locals are "arbitrary" after a
+    crash, so a recovery that reads before writing sees garbage (and the
+    NRL checker catches any resulting misbehaviour) rather than aborting
+    the simulation. *)
+let create_post_crash junk = { tbl = Hashtbl.create 8; junk = Some junk }
+
+let copy t = { tbl = Hashtbl.copy t.tbl; junk = Option.map Junk.copy t.junk }
+
+let set t name v = Hashtbl.replace t.tbl name v
+
+let get t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some v -> v
+  | None -> (
+    match t.junk with
+    | Some j ->
+      (* an uninitialised register read after a crash: arbitrary contents *)
+      let v = Junk.next j in
+      Hashtbl.replace t.tbl name v;
+      v
+    | None -> raise (Unbound_local name))
+
+let mem t name = Hashtbl.mem t.tbl name
+
+(** Reset every local variable to an arbitrary value (crash semantics). *)
+let scramble t junk =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
+  List.iter (fun k -> Hashtbl.replace t.tbl k (Junk.next junk)) keys;
+  t.junk <- Some junk
+
+let bindings t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:semi (pair ~sep:(any "=") string Nvm.Value.pp))
+    (bindings t)

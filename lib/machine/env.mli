@@ -1,0 +1,43 @@
+(** Volatile process-local variables.
+
+    In the paper's model each process has local variables stored in
+    volatile processor registers; a crash-failure resets them all to
+    {e arbitrary} values.  A scrambled environment answers every lookup —
+    even of names never bound — with adversarially generated junk, so an
+    algorithm that relies on any local value across a crash misbehaves
+    loudly in tests. *)
+
+type t
+
+exception Unbound_local of string
+(** Raised when reading a local that was never bound in an environment
+    that has not been scrambled — an algorithm bug on a crash-free path. *)
+
+val create : unit -> t
+(** A fresh, empty, strict environment (used for operation bodies, where
+    reading an unbound local is a crash-free-path bug). *)
+
+val create_post_crash : Junk.t -> t
+(** A fresh environment for recovery invocations: unbound reads yield
+    arbitrary junk, matching the paper's "locals reset to arbitrary
+    values". *)
+
+val copy : t -> t
+(** Independent copy, for machine cloning. *)
+
+val set : t -> string -> Nvm.Value.t -> unit
+
+val get : t -> string -> Nvm.Value.t
+(** Read a local.  After a crash ({!scramble}), unbound names yield junk
+    instead of raising. *)
+
+val mem : t -> string -> bool
+
+val scramble : t -> Junk.t -> unit
+(** Crash semantics: replace every binding with an arbitrary value and
+    switch the environment into scrambled mode. *)
+
+val bindings : t -> (string * Nvm.Value.t) list
+(** Sorted bindings, for state hashing and debugging. *)
+
+val pp : t Fmt.t

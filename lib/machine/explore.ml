@@ -1,0 +1,159 @@
+(** Exhaustive bounded exploration of schedules.
+
+    For small instances (two or three processes, one or two operations
+    each, a bounded crash budget) the decision tree is small enough to
+    enumerate completely.  Exploration clones the machine at each branch
+    point, so programs run forward only and every leaf carries its own
+    history — this is what lets the checkers examine {e every} history of a
+    bounded instance, turning the paper's universally quantified
+    correctness lemmas into machine-checked facts for those bounds. *)
+
+type config = {
+  max_steps : int;  (** depth bound per branch (guards busy-wait loops) *)
+  max_crashes : int;  (** total crash budget across all processes *)
+  crash_procs : int list;  (** processes allowed to crash *)
+  crash_mid_op_only : bool;
+      (** restrict crash steps to processes with a pending operation *)
+  immediate_recovery : bool;
+      (** if set, the only decision after a crash of [p] is [Drecover p]
+          (smaller trees); otherwise recovery interleaves adversarially *)
+  reduce_local : bool;
+      (** partial-order reduction: fire local (non-shared-access)
+          transitions eagerly, responses first.  Sound and complete for
+          violation search — see {!Sim.next_is_local} *)
+}
+
+let default_config =
+  {
+    max_steps = 200;
+    max_crashes = 1;
+    crash_procs = [];
+    crash_mid_op_only = true;
+    immediate_recovery = false;
+    reduce_local = true;
+  }
+
+type stats = {
+  mutable terminals : int;  (** complete executions reached *)
+  mutable truncated : int;  (** branches cut by the depth bound *)
+  mutable nodes : int;
+}
+
+let decisions cfg ~crashes sim =
+  let n = Sim.nprocs sim in
+  let all = List.init n Fun.id in
+  let crashed = List.filter (fun p -> Sim.can_recover sim p) all in
+  if cfg.immediate_recovery && crashed <> [] then
+    List.map (fun p -> Schedule.Drecover p) crashed
+  else begin
+    let crashes_d =
+      if crashes >= cfg.max_crashes then []
+      else
+        List.filter_map
+          (fun p ->
+            if Sim.can_crash ~mid_op_only:cfg.crash_mid_op_only sim p then
+              Some (Schedule.Dcrash p)
+            else None)
+          cfg.crash_procs
+    in
+    let locals =
+      if cfg.reduce_local then
+        List.filter (fun p -> Sim.enabled sim p && Sim.next_is_local sim p) all
+      else []
+    in
+    match locals with
+    | _ :: _ ->
+      (* fire one local transition deterministically (responses first);
+         crash decisions are still offered so every crash position is
+         reachable *)
+      let pick =
+        match List.filter (fun p -> Sim.next_is_ret sim p) locals with
+        | p :: _ -> p
+        | [] -> List.hd locals
+      in
+      Schedule.Dstep pick :: crashes_d
+    | [] ->
+      let steps =
+        List.filter_map
+          (fun p -> if Sim.enabled sim p then Some (Schedule.Dstep p) else None)
+          all
+      in
+      let recoveries = List.map (fun p -> Schedule.Drecover p) crashed in
+      steps @ recoveries @ crashes_d
+  end
+
+(** Depth-first enumeration of all schedules of [sim0] under [cfg], calling
+    [on_terminal] on every completed execution.  Returns the statistics.
+    [on_terminal] may raise to abort the search (e.g. on the first
+    counterexample). *)
+let dfs ?(cfg = default_config) ~on_terminal sim0 =
+  let stats = { terminals = 0; truncated = 0; nodes = 0 } in
+  (* terminal: every process either completed its script or is down for
+     good (a crash may be a process's last step, per Definition 3) *)
+  let terminal sim =
+    Sim.all_done sim
+    || (let n = Sim.nprocs sim in
+        let rec ok p =
+          p >= n
+          || ((Sim.status sim p = Sim.Crashed || not (Sim.enabled sim p)) && ok (p + 1))
+        in
+        ok 0)
+  in
+  let rec go sim depth crashes =
+    stats.nodes <- stats.nodes + 1;
+    if Sim.all_done sim then begin
+      stats.terminals <- stats.terminals + 1;
+      on_terminal sim
+    end
+    else if terminal sim then begin
+      (* some process is down with no one else runnable: this is a complete
+         execution (check it), but recovery may still extend it *)
+      stats.terminals <- stats.terminals + 1;
+      on_terminal sim;
+      if depth < cfg.max_steps then
+        List.iter
+          (fun d ->
+            let s = Sim.clone sim in
+            Schedule.apply s d;
+            go s (depth + 1) crashes)
+          (decisions cfg ~crashes sim)
+    end
+    else if depth >= cfg.max_steps then stats.truncated <- stats.truncated + 1
+    else begin
+      let ds = decisions cfg ~crashes sim in
+      match ds with
+      | [] ->
+        (* deadlock: crashed processes that may not recover, or empty
+           scripts; count as truncated so callers notice *)
+        stats.truncated <- stats.truncated + 1
+      | _ ->
+        List.iter
+          (fun d ->
+            let s = Sim.clone sim in
+            Schedule.apply s d;
+            let crashes' =
+              match d with Schedule.Dcrash _ -> crashes + 1 | _ -> crashes
+            in
+            go s (depth + 1) crashes')
+          ds
+    end
+  in
+  go sim0 0 0;
+  stats
+
+exception Found of Sim.t * string
+
+(** Search for the first terminal execution whose history fails [check];
+    [check] returns [Some reason] on a violation.  Returns the violating
+    machine (with its full history) if one exists, plus the statistics. *)
+let find_violation ?(cfg = default_config) ~check sim0 =
+  try
+    let stats =
+      dfs ~cfg sim0 ~on_terminal:(fun sim ->
+          match check sim with
+          | Some reason -> raise (Found (sim, reason))
+          | None -> ())
+    in
+    (None, stats)
+  with Found (sim, reason) ->
+    (Some (sim, reason), { terminals = 0; truncated = 0; nodes = 0 })

@@ -1,0 +1,55 @@
+(** Exhaustive bounded exploration of schedules.
+
+    For small instances the decision tree is enumerated completely, which
+    turns the paper's universally-quantified correctness lemmas into
+    machine-checked facts for those bounds.  Exploration clones the
+    machine at each branch point, so every leaf carries its own history.
+
+    A sound partial-order reduction ([reduce_local]) fires local
+    (non-shared-access) transitions eagerly, response steps first: among
+    all schedules with a given shared-access interleaving this yields the
+    history with the {e most} real-time constraints, so the reduced
+    search finds a violation iff one exists in the full space.  Crash
+    decisions are still offered at every instruction boundary. *)
+
+type config = {
+  max_steps : int;  (** depth bound per branch (guards busy-wait loops) *)
+  max_crashes : int;  (** total crash budget across all processes *)
+  crash_procs : int list;  (** processes allowed to crash *)
+  crash_mid_op_only : bool;
+      (** restrict crash steps to processes with a pending operation *)
+  immediate_recovery : bool;
+      (** if set, the only decision after a crash of [p] is recovering
+          [p] (smaller trees, weaker adversary) *)
+  reduce_local : bool;  (** the partial-order reduction; on by default *)
+}
+
+val default_config : config
+(** 200 steps, 1 crash, no crashing processes (set [crash_procs]),
+    mid-operation crashes only, adversarial recovery, reduction on. *)
+
+type stats = {
+  mutable terminals : int;
+      (** complete executions reached (including executions in which a
+          crashed process stays down for good, per Definition 3) *)
+  mutable truncated : int;  (** branches cut by the depth bound *)
+  mutable nodes : int;
+}
+
+val decisions : config -> crashes:int -> Sim.t -> Schedule.decision list
+(** The decisions the explorer branches over at a configuration. *)
+
+val dfs : ?cfg:config -> on_terminal:(Sim.t -> unit) -> Sim.t -> stats
+(** Depth-first enumeration; [on_terminal] is called on every complete
+    execution and may raise to abort the search. *)
+
+exception Found of Sim.t * string
+
+val find_violation :
+  ?cfg:config ->
+  check:(Sim.t -> string option) ->
+  Sim.t ->
+  (Sim.t * string) option * stats
+(** First terminal execution for which [check] returns [Some reason],
+    with its machine (and so its full history), or [None] with the
+    complete search statistics. *)

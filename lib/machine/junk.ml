@@ -1,0 +1,26 @@
+(** Deterministic, clonable generator of arbitrary values used to scramble
+    the volatile local variables of a process when it incurs a
+    crash-failure.  Keeping the generator state explicit makes whole-machine
+    cloning (for exhaustive schedule exploration) and replay possible. *)
+
+type t = { mutable s : int }
+
+let create seed = { s = (if seed = 0 then 0x9e3779b9 else seed land max_int) }
+let copy t = { s = t.s }
+
+let bits t =
+  let s = t.s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  t.s <- s land max_int;
+  t.s
+
+let next t : Nvm.Value.t =
+  match bits t mod 6 with
+  | 0 -> Null
+  | 1 -> Bool (bits t land 1 = 0)
+  | 2 -> Int ((bits t mod 1024) - 512)
+  | 3 -> Pid (bits t mod 16)
+  | 4 -> Str "junk"
+  | _ -> Pair (Int (bits t mod 64), Bool (bits t land 1 = 0))

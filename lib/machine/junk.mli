@@ -1,0 +1,16 @@
+(** Deterministic, clonable generator of arbitrary values used to scramble
+    volatile local variables on a crash-failure.  Explicit state makes
+    whole-machine cloning and replay of failing executions possible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — the stream is a pure function of the seed. *)
+
+val copy : t -> t
+
+val next : t -> Nvm.Value.t
+(** The next arbitrary value; advances the state. *)
+
+val bits : t -> int
+(** Raw generator output (non-negative); advances the state. *)

@@ -1,0 +1,57 @@
+(** Recoverable object definitions and the instance registry.
+
+    A recoverable object is an object all of whose operations are
+    recoverable: each operation comes with a program for its body and a
+    program for its recovery function, which the system invokes (with the
+    operation's original arguments and access to [LI_p]) when the
+    operation is the crashed operation of a resurrected process. *)
+
+type op_def = {
+  op_name : string;
+  body : Program.t;
+  recover : Program.t;
+}
+
+type instance = {
+  id : int;
+  otype : string;
+      (** sequential type tag ("rw", "cas", "tas", "counter", ...) used to
+          select a specification when checking *)
+  obj_name : string;
+  ops : (string * op_def) list;
+  init_value : Nvm.Value.t;
+      (** the object's initial abstract value, used to instantiate its
+          sequential specification *)
+  strict_cells : (string * Nvm.Memory.addr array) list;
+      (** for each {e strict} operation (Definition 1), the designated
+          per-process persistent cells holding the response — possibly
+          tagged as [<seq, ret>] *)
+  subobjects : instance list;
+      (** recoverable base objects this instance was built from *)
+}
+
+val find_op : instance -> string -> op_def
+(** @raise Invalid_argument on an unknown operation name. *)
+
+val opref : instance -> string -> History.Step.opref
+
+type registry
+
+val create_registry : unit -> registry
+
+val register :
+  registry ->
+  otype:string ->
+  name:string ->
+  ?init_value:Nvm.Value.t ->
+  ?strict_cells:(string * Nvm.Memory.addr array) list ->
+  ?subobjects:instance list ->
+  (string * op_def) list ->
+  instance
+(** Allocate a fresh instance id and record the instance. *)
+
+val find : registry -> int -> instance
+(** @raise Invalid_argument on an unknown instance id. *)
+
+val instances : registry -> instance list
+(** All registered instances, sorted by id. *)

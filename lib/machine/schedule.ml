@@ -1,0 +1,164 @@
+(** Schedules: who takes the next step, and when crash and recovery steps
+    occur.  The machine is driven by a policy that inspects the simulator
+    and picks the next decision; this module provides the standard
+    policies (round-robin, seeded random with crash injection, scripted)
+    and the driver loop. *)
+
+type decision =
+  | Dstep of int
+  | Dcrash of int
+  | Drecover of int
+  | Dhalt
+
+let pp_decision ppf = function
+  | Dstep p -> Fmt.pf ppf "step p%d" p
+  | Dcrash p -> Fmt.pf ppf "crash p%d" p
+  | Drecover p -> Fmt.pf ppf "recover p%d" p
+  | Dhalt -> Fmt.string ppf "halt"
+
+type policy = Sim.t -> decision
+
+(* step-level tracing: enable with a Logs reporter and
+   [Logs.Src.set_level src (Some Debug)]; see bin/nrlsim's --verbose *)
+let src = Logs.Src.create "nrl.machine" ~doc:"NRL machine decisions"
+
+module Log = (val Logs.src_log src)
+
+(** Apply one decision.  Raises [Invalid_argument] on an inapplicable
+    decision, which indicates a policy bug. *)
+let apply sim d =
+  Log.debug (fun m ->
+      m "%a | %a" pp_decision d
+        Fmt.(array ~sep:sp Sim.pp_proc)
+        (Array.init (Sim.nprocs sim) (Sim.proc sim)));
+  match d with
+  | Dstep p -> Sim.step sim p
+  | Dcrash p -> Sim.crash sim p
+  | Drecover p -> Sim.recover sim p
+  | Dhalt -> invalid_arg "Schedule.apply: halt"
+
+type outcome = Completed | Halted | Out_of_steps
+
+(** Drive [sim] with [policy] until every process has completed its script,
+    the policy halts, or [max_steps] machine steps have been taken. *)
+let run ?(max_steps = 100_000) sim policy =
+  let rec loop steps =
+    if Sim.all_done sim then Completed
+    else if steps >= max_steps then Out_of_steps
+    else
+      match policy sim with
+      | Dhalt -> Halted
+      | d ->
+        apply sim d;
+        loop (steps + 1)
+  in
+  loop 0
+
+(** Round-robin over live processes; a crashed process is recovered as soon
+    as its turn comes. *)
+let round_robin () : policy =
+  let cursor = ref 0 in
+  fun sim ->
+    let n = Sim.nprocs sim in
+    let rec find k =
+      if k >= n then Dhalt
+      else
+        let p = (!cursor + k) mod n in
+        if Sim.can_recover sim p then begin
+          cursor := (p + 1) mod n;
+          Drecover p
+        end
+        else if Sim.enabled sim p then begin
+          cursor := (p + 1) mod n;
+          Dstep p
+        end
+        else find (k + 1)
+    in
+    find 0
+
+(* A tiny self-contained PRNG so schedules are reproducible and independent
+   of the global [Random] state. *)
+module Prng = struct
+  type t = { mutable s : int }
+
+  let create seed = { s = (if seed = 0 then 0x2545f491 else seed land max_int) }
+
+  let bits t =
+    let s = t.s in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    t.s <- s land max_int;
+    t.s
+
+  let int t n = if n <= 0 then 0 else bits t mod n
+  let float t = float_of_int (bits t land 0xFFFFFF) /. 16777216.0
+  let pick t l = List.nth l (int t (List.length l))
+end
+
+(** Seeded uniform-random schedule with crash injection.
+
+    - With probability [crash_prob], and while fewer than [max_crashes]
+      crashes have been injected, crash a random live process that has a
+      pending operation (crashes in the middle of operations are the
+      interesting adversarial case; idle crashes are exercised separately).
+    - A crashed process is recovered with probability [recover_prob] each
+      time it is considered; otherwise other processes keep running first,
+      modelling a slow resurrection. *)
+let random ?(crash_prob = 0.0) ?(recover_prob = 0.5) ?(max_crashes = max_int)
+    ?(system_crash_prob = 0.0) ~seed () : policy =
+  let rng = Prng.create seed in
+  let crashes = ref 0 in
+  (* decisions queued by a system-wide crash: every live process fails at
+     the same point, as in the full-system failure model *)
+  let pending = ref [] in
+  fun sim ->
+    match !pending with
+    | d :: rest ->
+      pending := rest;
+      d
+    | [] ->
+      let n = Sim.nprocs sim in
+      let live_mid_op =
+        List.filter
+          (fun p -> Sim.can_crash ~mid_op_only:true sim p)
+          (List.init n Fun.id)
+      in
+      let live = List.filter (fun p -> Sim.can_crash sim p) (List.init n Fun.id) in
+      let crashed = List.filter (fun p -> Sim.can_recover sim p) (List.init n Fun.id) in
+      let enabled = List.filter (fun p -> Sim.enabled sim p) (List.init n Fun.id) in
+      if
+        !crashes < max_crashes
+        && live_mid_op <> []
+        && Prng.float rng < system_crash_prob
+      then begin
+        incr crashes;
+        match List.map (fun p -> Dcrash p) live with
+        | [] -> Dhalt
+        | d :: rest ->
+          pending := rest;
+          d
+      end
+      else if
+        !crashes < max_crashes
+        && live_mid_op <> []
+        && Prng.float rng < crash_prob
+      then begin
+        incr crashes;
+        Dcrash (Prng.pick rng live_mid_op)
+      end
+      else if crashed <> [] && (enabled = [] || Prng.float rng < recover_prob) then
+        Drecover (Prng.pick rng crashed)
+      else if enabled <> [] then Dstep (Prng.pick rng enabled)
+      else if crashed <> [] then Drecover (Prng.pick rng crashed)
+      else Dhalt
+
+(** Replay an explicit decision list, then halt. *)
+let scripted decisions : policy =
+  let rest = ref decisions in
+  fun _ ->
+    match !rest with
+    | [] -> Dhalt
+    | d :: tl ->
+      rest := tl;
+      d

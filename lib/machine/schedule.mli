@@ -1,0 +1,64 @@
+(** Schedules: who takes the next step, and when crash and recovery steps
+    occur. *)
+
+type decision =
+  | Dstep of int
+  | Dcrash of int
+  | Drecover of int
+  | Dhalt
+
+val pp_decision : decision Fmt.t
+
+type policy = Sim.t -> decision
+
+val src : Logs.src
+(** The machine's log source ("nrl.machine"): decisions are logged at
+    debug level; install a reporter and set the level to see them. *)
+
+val apply : Sim.t -> decision -> unit
+(** Apply one decision.
+    @raise Invalid_argument on an inapplicable decision (or [Dhalt]). *)
+
+type outcome = Completed | Halted | Out_of_steps
+
+val run : ?max_steps:int -> Sim.t -> policy -> outcome
+(** Drive the machine until every process completed its script, the
+    policy halts, or [max_steps] (default 100,000) steps were taken. *)
+
+val round_robin : unit -> policy
+(** Cycle over processes; a crashed process is recovered as soon as its
+    turn comes.  (Note: this recovers crashed processes eagerly — for
+    targeted schedules that keep a process down, drive {!Sim} directly.) *)
+
+val random :
+  ?crash_prob:float ->
+  ?recover_prob:float ->
+  ?max_crashes:int ->
+  ?system_crash_prob:float ->
+  seed:int ->
+  unit ->
+  policy
+(** Seeded uniform-random schedule with crash injection: with probability
+    [crash_prob] (and while under [max_crashes]) crash a random live
+    process that has a pending operation; with probability
+    [system_crash_prob], crash {e every} live process at the same point
+    (the full-system failure model — the paper's individual-process model
+    subsumes it as N simultaneous crashes).  Crashed processes recover
+    with probability [recover_prob] per consideration (modelling slow
+    resurrection). *)
+
+val scripted : decision list -> policy
+(** Replay an explicit decision list, then halt. *)
+
+(** A tiny self-contained PRNG, also used by the workload generators so
+    that schedules and workloads are reproducible and independent of the
+    global [Random] state. *)
+module Prng : sig
+  type t
+
+  val create : int -> t
+  val bits : t -> int
+  val int : t -> int -> int
+  val float : t -> float
+  val pick : t -> 'a list -> 'a
+end

@@ -1,0 +1,390 @@
+(** The crash-recovery machine: executes recoverable-object programs under
+    an external schedule, injecting crash and recovery steps, and records
+    the resulting history.
+
+    This is the executable form of the paper's individual-process
+    crash-recovery model (Section 2):
+
+    - shared variables live in simulated NVRAM ({!Nvm.Memory}) and survive
+      crashes;
+    - local variables are volatile ({!Env}) and are scrambled to arbitrary
+      values by a crash;
+    - each process runs a stack of frames, one per pending (possibly
+      nested) recoverable operation; the stack structure, the operations'
+      arguments and the program counters are system metadata and persist;
+    - a recovery step resurrects a process by invoking [Op.Recover] of the
+      inner-most pending operation, with [Op]'s original arguments and the
+      persistent instruction index [LI_p];
+    - a crash during recovery leaves the crashed operation unchanged, so
+      the next recovery step re-invokes the same recovery function. *)
+
+type phase = Body | Recovery
+
+type frame = {
+  f_obj : Objdef.instance;
+  f_op : Objdef.op_def;
+  f_args : Nvm.Value.t array;
+  mutable f_phase : phase;
+  mutable f_pc : int;  (** pc within the current program; persists (system metadata) *)
+  mutable f_li : int;
+      (** [LI_p]: paper line of the last instruction of the operation's
+          {e body} that started executing; -1 before any did.  Updated as
+          the body runs (an [Invoke] line stays current while the nested
+          call is pending), frozen while the recovery function runs. *)
+  mutable f_interrupted : bool;
+      (** set by a crash for {e every} pending frame: when the inner
+          operation's recovery completes, an interrupted parent runs its
+          own recovery function instead of resuming normally (its locals
+          were scrambled too) — this is what makes recovery cascade
+          outward through the nesting, as the paper's counter requires *)
+  mutable f_env : Env.t;  (** volatile locals *)
+  f_dst : string option;  (** parent's local receiving the response *)
+  f_call_id : int;
+}
+
+type status = Ready | Crashed
+
+(** Arguments of a scripted operation: fixed values, or computed when the
+    operation is invoked (a client that, e.g., CASes from the value it just
+    observed).  Computation must be deterministic and must not mutate the
+    machine. *)
+type arg_spec = Args of Nvm.Value.t array | Compute of (Nvm.Memory.t -> Nvm.Value.t array)
+
+type proc = {
+  pid : int;
+  mutable stack : frame list;  (** inner-most first *)
+  mutable script : (Objdef.instance * string * arg_spec) list;
+  mutable status : status;
+  mutable results : (string * Nvm.Value.t) list;  (** completed top-level ops, newest first *)
+  mutable crashes : int;
+}
+
+type t = {
+  mem : Nvm.Memory.t;
+  reg : Objdef.registry;
+  procs : proc array;
+  junk : Junk.t;
+  mutable hist_rev : History.Step.t list;
+  mutable next_call : int;
+  mutable total_steps : int;
+}
+
+let create ?(seed = 1) ~nprocs () =
+  {
+    mem = Nvm.Memory.create ();
+    reg = Objdef.create_registry ();
+    procs =
+      Array.init nprocs (fun pid ->
+          { pid; stack = []; script = []; status = Ready; results = []; crashes = 0 });
+    junk = Junk.create seed;
+    hist_rev = [];
+    next_call = 0;
+    total_steps = 0;
+  }
+
+let mem t = t.mem
+let registry t = t.reg
+let nprocs t = Array.length t.procs
+let total_steps t = t.total_steps
+let history t = History.of_list (List.rev t.hist_rev)
+
+let proc t p = t.procs.(p)
+let status t p = t.procs.(p).status
+let results t p = List.rev t.procs.(p).results
+let crash_count t p = t.procs.(p).crashes
+
+let set_script t p ops = t.procs.(p).script <- ops
+
+let append_script t p ops = t.procs.(p).script <- t.procs.(p).script @ ops
+
+(** A process is enabled for a normal step if it is alive and has work:
+    either a pending operation or a script entry to start. *)
+let enabled t p =
+  let pr = t.procs.(p) in
+  pr.status = Ready && (pr.stack <> [] || pr.script <> [])
+
+(** A crash step is allowed for any live process.  [mid_op_only] restricts
+    to processes with a pending operation (the interesting case). *)
+let can_crash ?(mid_op_only = false) t p =
+  let pr = t.procs.(p) in
+  pr.status = Ready && ((not mid_op_only) || pr.stack <> [])
+
+let can_recover t p = t.procs.(p).status = Crashed
+
+(** The process's next transition is "local": it touches no shared memory
+    and can be fired eagerly by a partial-order-reduced exploration.
+    Invocation and response steps are included: firing an invocation as
+    early as possible and a response as soon as it is enabled yields the
+    history with the {e most} real-time constraints among all schedules
+    with the same shared-access interleaving, so a reduced search that
+    only checks these histories is complete for violation finding. *)
+let next_is_local t p =
+  let pr = t.procs.(p) in
+  pr.status = Ready
+  &&
+  match pr.stack with
+  | [] -> pr.script <> []  (* starting a scripted operation records only INV *)
+  | f :: _ -> (
+    let prog = match f.f_phase with Body -> f.f_op.Objdef.body | Recovery -> f.f_op.Objdef.recover in
+    f.f_pc >= 0 && f.f_pc < Program.length prog
+    &&
+    match Program.instr prog f.f_pc with
+    | Program.Assign _ | Program.Branch_if _ | Program.Jump _ | Program.Ret _
+    | Program.Resume _ | Program.Invoke _ ->
+      true
+    | Program.Read _ | Program.Write _ | Program.Cas_prim _ | Program.Tas_prim _
+    | Program.Faa_prim _ ->
+      false)
+
+(** The process's next transition is a response step (operation return). *)
+let next_is_ret t p =
+  let pr = t.procs.(p) in
+  pr.status = Ready
+  &&
+  match pr.stack with
+  | [] -> false
+  | f :: _ -> (
+    let prog = match f.f_phase with Body -> f.f_op.Objdef.body | Recovery -> f.f_op.Objdef.recover in
+    f.f_pc >= 0 && f.f_pc < Program.length prog
+    && match Program.instr prog f.f_pc with Program.Ret _ -> true | _ -> false)
+
+let all_done t =
+  Array.for_all (fun pr -> pr.status = Ready && pr.stack = [] && pr.script = []) t.procs
+
+let record t s = t.hist_rev <- s :: t.hist_rev
+
+let fresh_call t =
+  let id = t.next_call in
+  t.next_call <- id + 1;
+  id
+
+let current_program (f : frame) =
+  match f.f_phase with Body -> f.f_op.Objdef.body | Recovery -> f.f_op.Objdef.recover
+
+let ctx_of t (f : frame) p : Program.ctx =
+  { pid = p; nprocs = Array.length t.procs; args = f.f_args; li_line = f.f_li }
+
+let push_frame t pr (inst : Objdef.instance) opname args dst =
+  let opdef = Objdef.find_op inst opname in
+  let call_id = fresh_call t in
+  let f =
+    {
+      f_obj = inst;
+      f_op = opdef;
+      f_args = args;
+      f_phase = Body;
+      f_pc = 0;
+      f_li = -1;
+      f_interrupted = false;
+      f_env = Env.create ();
+      f_dst = dst;
+      f_call_id = call_id;
+    }
+  in
+  pr.stack <- f :: pr.stack;
+  record t (Inv { pid = pr.pid; opref = Objdef.opref inst opname; args; call_id })
+
+(* Check Definition 1 instrumentation: did the operation persist its
+   response in its designated per-process cell before responding?  The
+   cell may hold the response directly, or tagged with an invocation
+   sequence number as [<seq, ret>] (the refinement strict objects use so
+   a caller's recovery can tell *which* invocation the persisted response
+   belongs to). *)
+let persisted_flag t pr (f : frame) ret =
+  match List.assoc_opt f.f_op.Objdef.op_name f.f_obj.Objdef.strict_cells with
+  | None -> None
+  | Some cells ->
+    let stored = Nvm.Memory.peek t.mem cells.(pr.pid) in
+    let matches =
+      Nvm.Value.equal stored ret
+      || (match stored with Nvm.Value.Pair (_, r) -> Nvm.Value.equal r ret | _ -> false)
+    in
+    Some matches
+
+let complete_op t pr (f : frame) ret =
+  record t
+    (Res
+       {
+         pid = pr.pid;
+         opref = Objdef.opref f.f_obj f.f_op.Objdef.op_name;
+         ret;
+         call_id = f.f_call_id;
+         persisted = persisted_flag t pr f ret;
+       });
+  (match pr.stack with
+  | [] -> assert false
+  | _ :: rest ->
+    pr.stack <- rest;
+    (match rest with
+    | parent :: _ ->
+      (* the response is stored into a local variable of the parent *)
+      (match f.f_dst with Some dst -> Env.set parent.f_env dst ret | None -> ());
+      if parent.f_interrupted then begin
+        (* the parent was pending during a crash: its locals are scrambled,
+           so instead of resuming it the system invokes its recovery
+           function — recovery cascades outward through the nesting *)
+        parent.f_phase <- Recovery;
+        parent.f_pc <- 0;
+        parent.f_env <- Env.create_post_crash t.junk;
+        parent.f_interrupted <- false
+      end
+      else parent.f_pc <- parent.f_pc + 1
+    | [] -> pr.results <- (f.f_op.Objdef.op_name, ret) :: pr.results))
+
+exception Stuck of string
+
+let exec_instr t pr (f : frame) =
+  let prog = current_program f in
+  if f.f_pc < 0 || f.f_pc >= Program.length prog then
+    raise
+      (Stuck
+         (Printf.sprintf "p%d: pc %d out of range in %s" pr.pid f.f_pc (Program.name prog)));
+  let ctx = ctx_of t f pr.pid in
+  let env = f.f_env in
+  let jump_to line = f.f_pc <- Program.pc_of_line prog line in
+  (* LI_p tracks the last body instruction that started executing *)
+  (match f.f_phase with
+  | Body -> f.f_li <- Program.line_of_pc prog f.f_pc
+  | Recovery -> ());
+  match Program.instr prog f.f_pc with
+  | Assign (x, e) ->
+    Env.set env x (e ctx env);
+    f.f_pc <- f.f_pc + 1
+  | Read (x, a) ->
+    Env.set env x (Nvm.Memory.read t.mem (a ctx env));
+    f.f_pc <- f.f_pc + 1
+  | Write (a, e) ->
+    Nvm.Memory.write t.mem (a ctx env) (e ctx env);
+    f.f_pc <- f.f_pc + 1
+  | Cas_prim (x, a, old_e, new_e) ->
+    let ok =
+      Nvm.Memory.cas t.mem (a ctx env) ~expected:(old_e ctx env) ~desired:(new_e ctx env)
+    in
+    Env.set env x (Nvm.Value.Bool ok);
+    f.f_pc <- f.f_pc + 1
+  | Tas_prim (x, a) ->
+    Env.set env x (Nvm.Memory.tas t.mem (a ctx env));
+    f.f_pc <- f.f_pc + 1
+  | Faa_prim (x, a, d) ->
+    let d = Nvm.Value.as_int (d ctx env) in
+    Env.set env x (Nvm.Memory.fetch_and_add t.mem (a ctx env) d);
+    f.f_pc <- f.f_pc + 1
+  | Invoke (dst, oid, opname, arg_es) ->
+    let inst = Objdef.find t.reg (oid ctx env) in
+    let args = Array.map (fun e -> e ctx env) arg_es in
+    (* the parent's pc stays at the Invoke; it advances when the child
+       completes, so a crash in between leaves the nesting intact *)
+    push_frame t pr inst opname args (Some dst)
+  | Branch_if (c, line) -> if c ctx env then jump_to line else f.f_pc <- f.f_pc + 1
+  | Jump line -> jump_to line
+  | Ret e -> complete_op t pr f (e ctx env)
+  | Resume line ->
+    (* "proceed from line k": recovery continues executing the operation's
+       own code; locals carry over (the resumed code re-establishes any it
+       needs) *)
+    f.f_phase <- Body;
+    f.f_pc <- Program.pc_of_line f.f_op.Objdef.body line
+
+(** Execute one step of process [p]: start the next scripted operation if
+    idle, otherwise execute one instruction of the inner-most frame. *)
+let step t p =
+  let pr = t.procs.(p) in
+  if pr.status <> Ready then invalid_arg (Printf.sprintf "Sim.step: p%d is not ready" p);
+  t.total_steps <- t.total_steps + 1;
+  match pr.stack with
+  | f :: _ -> exec_instr t pr f
+  | [] -> (
+    match pr.script with
+    | [] -> invalid_arg (Printf.sprintf "Sim.step: p%d has no work" p)
+    | (inst, opname, spec) :: rest ->
+      pr.script <- rest;
+      let args =
+        match spec with Args a -> a | Compute f -> f t.mem
+      in
+      push_frame t pr inst opname args None)
+
+(** Crash-failure of process [p]: all local variables become arbitrary; the
+    crashed operation is the inner-most pending recoverable operation. *)
+let crash t p =
+  let pr = t.procs.(p) in
+  if pr.status <> Ready then invalid_arg (Printf.sprintf "Sim.crash: p%d is not ready" p);
+  t.total_steps <- t.total_steps + 1;
+  pr.crashes <- pr.crashes + 1;
+  List.iter
+    (fun f ->
+      Env.scramble f.f_env t.junk;
+      f.f_interrupted <- true)
+    pr.stack;
+  let crashed =
+    match pr.stack with
+    | [] -> None
+    | f :: _ -> Some (Objdef.opref f.f_obj f.f_op.Objdef.op_name, f.f_call_id)
+  in
+  record t (Crash { pid = p; crashed });
+  pr.status <- Crashed
+
+(** Recovery step: the system resurrects [p], invoking [Op.Recover] of the
+    crashed operation with fresh volatile locals. *)
+let recover t p =
+  let pr = t.procs.(p) in
+  if pr.status <> Crashed then
+    invalid_arg (Printf.sprintf "Sim.recover: p%d has not crashed" p);
+  t.total_steps <- t.total_steps + 1;
+  record t (Rec { pid = p });
+  (match pr.stack with
+  | [] -> ()  (* no pending operation: the process simply resumes its script *)
+  | f :: _ ->
+    f.f_phase <- Recovery;
+    f.f_pc <- 0;
+    f.f_env <- Env.create_post_crash t.junk;
+    f.f_interrupted <- false);
+  pr.status <- Ready
+
+let clone t =
+  let copy_frame (f : frame) =
+    {
+      f_obj = f.f_obj;
+      f_op = f.f_op;
+      f_args = f.f_args;
+      f_phase = f.f_phase;
+      f_pc = f.f_pc;
+      f_li = f.f_li;
+      f_interrupted = f.f_interrupted;
+      f_env = Env.copy f.f_env;
+      f_dst = f.f_dst;
+      f_call_id = f.f_call_id;
+    }
+  in
+  {
+    mem = Nvm.Memory.copy t.mem;
+    reg = t.reg;  (* instances are immutable; cell addresses coincide in the copied heap *)
+    procs =
+      Array.map
+        (fun pr ->
+          {
+            pid = pr.pid;
+            stack = List.map copy_frame pr.stack;
+            script = pr.script;
+            status = pr.status;
+            results = pr.results;
+            crashes = pr.crashes;
+          })
+        t.procs;
+    junk = Junk.copy t.junk;
+    hist_rev = t.hist_rev;
+    next_call = t.next_call;
+    total_steps = t.total_steps;
+  }
+
+(** Short description of a process state, for debugging and error reports. *)
+let pp_proc ppf (pr : proc) =
+  let pp_frame ppf f =
+    Fmt.pf ppf "%s.%s@@%s:%d"
+      f.f_obj.Objdef.obj_name f.f_op.Objdef.op_name
+      (match f.f_phase with Body -> "body" | Recovery -> "recover")
+      (Program.line_of_pc (current_program f) f.f_pc)
+  in
+  Fmt.pf ppf "p%d[%s; stack=%a; script=%d]" pr.pid
+    (match pr.status with Ready -> "ready" | Crashed -> "crashed")
+    Fmt.(list ~sep:comma pp_frame)
+    pr.stack (List.length pr.script)

@@ -1,0 +1,121 @@
+(** The crash-recovery machine — the executable form of the paper's
+    individual-process crash-recovery model (Section 2).
+
+    - Shared variables live in simulated NVRAM and survive crashes.
+    - Local variables are volatile and are scrambled to arbitrary values
+      by a crash.
+    - Each process runs a stack of frames, one per pending (possibly
+      nested) recoverable operation; the stack structure, operation
+      arguments, program counters and [LI_p] persist as system metadata.
+    - A recovery step resurrects a process by invoking the recovery
+      function of the inner-most pending operation with fresh locals;
+      when it completes, recovery cascades outward through interrupted
+      parents.
+    - A crash during recovery leaves the crashed operation unchanged, so
+      the next recovery step re-invokes the same recovery function. *)
+
+type phase = Body | Recovery
+
+type frame = {
+  f_obj : Objdef.instance;
+  f_op : Objdef.op_def;
+  f_args : Nvm.Value.t array;
+  mutable f_phase : phase;
+  mutable f_pc : int;  (** pc in the current program; system metadata, persists *)
+  mutable f_li : int;
+      (** [LI_p]: last line of the operation's {e body} that started
+          executing; frozen while the recovery function runs *)
+  mutable f_interrupted : bool;
+      (** set by a crash for every pending frame; an interrupted parent
+          runs its own recovery function when its child completes *)
+  mutable f_env : Env.t;  (** volatile locals *)
+  f_dst : string option;  (** parent's local receiving the response *)
+  f_call_id : int;
+}
+
+type status = Ready | Crashed
+
+(** Arguments of a scripted operation: fixed, or computed at invocation
+    time (deterministically, without mutating the machine). *)
+type arg_spec = Args of Nvm.Value.t array | Compute of (Nvm.Memory.t -> Nvm.Value.t array)
+
+type proc = {
+  pid : int;
+  mutable stack : frame list;  (** inner-most first *)
+  mutable script : (Objdef.instance * string * arg_spec) list;
+  mutable status : status;
+  mutable results : (string * Nvm.Value.t) list;
+      (** completed top-level operations, newest first *)
+  mutable crashes : int;
+}
+
+type t
+
+exception Stuck of string
+(** A program ran off the end of its instruction array — an object bug. *)
+
+val create : ?seed:int -> nprocs:int -> unit -> t
+(** A fresh machine; [seed] drives the junk used to scramble locals. *)
+
+val mem : t -> Nvm.Memory.t
+val registry : t -> Objdef.registry
+val nprocs : t -> int
+val total_steps : t -> int
+
+val history : t -> History.t
+(** The history recorded so far (invocation, response, crash and recovery
+    steps, in order). *)
+
+val proc : t -> int -> proc
+val status : t -> int -> status
+
+val results : t -> int -> (string * Nvm.Value.t) list
+(** Completed top-level operations of a process, oldest first. *)
+
+val crash_count : t -> int -> int
+
+val set_script : t -> int -> (Objdef.instance * string * arg_spec) list -> unit
+val append_script : t -> int -> (Objdef.instance * string * arg_spec) list -> unit
+
+val enabled : t -> int -> bool
+(** The process is alive and has work (a pending operation or a script
+    entry to start). *)
+
+val can_crash : ?mid_op_only:bool -> t -> int -> bool
+val can_recover : t -> int -> bool
+
+val next_is_local : t -> int -> bool
+(** The process's next transition touches no shared memory (including
+    invocation and response steps); used by the partial-order-reduced
+    exploration — see {!Explore}. *)
+
+val next_is_ret : t -> int -> bool
+(** The process's next transition is a response step. *)
+
+val all_done : t -> bool
+(** Every process is alive with an empty stack and an empty script. *)
+
+val step : t -> int -> unit
+(** Execute one step of a process: start the next scripted operation, or
+    execute one instruction of the inner-most frame.
+    @raise Invalid_argument if the process is not {!enabled}. *)
+
+val crash : t -> int -> unit
+(** Crash-failure: scramble every pending frame's locals, mark frames
+    interrupted, record the crash step (with the inner-most pending
+    operation as the crashed operation).
+    @raise Invalid_argument if the process is not alive. *)
+
+val recover : t -> int -> unit
+(** Recovery step: resurrect the process, switching its inner-most frame
+    to the recovery program with fresh locals.
+    @raise Invalid_argument if the process has not crashed. *)
+
+val clone : t -> t
+(** Independent deep copy sharing only immutable structure (programs,
+    instance definitions); used by the exhaustive explorer and the
+    valency analysis. *)
+
+val current_program : frame -> Program.t
+val ctx_of : t -> frame -> int -> Program.ctx
+val pp_proc : proc Fmt.t

@@ -1,0 +1,149 @@
+(** Simulated non-volatile shared memory.
+
+    The paper's model provides base objects — persistent shared-memory
+    variables supporting atomic read, write and read-modify-write
+    operations — whose contents survive crash-failures.  This module is
+    that substrate: a growable heap of {!Value.t} cells with atomic
+    primitives and per-primitive access statistics.
+
+    Atomicity: the simulator executes one instruction at a time, so every
+    primitive here is trivially atomic.  The invariants the real NVRAM
+    would enforce (persistence of every completed write) hold by
+    construction because cells are never cleared by crash steps. *)
+
+type addr = int
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable rmws : int;
+}
+
+type t = {
+  mutable cells : Value.t array;
+  mutable used : int;
+  names : (addr, string) Hashtbl.t;
+  stats : stats;
+}
+
+let create () =
+  {
+    cells = Array.make 64 Value.Null;
+    used = 0;
+    names = Hashtbl.create 64;
+    stats = { reads = 0; writes = 0; rmws = 0 };
+  }
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.reads <- 0;
+  t.stats.writes <- 0;
+  t.stats.rmws <- 0
+
+let size t = t.used
+
+let ensure t n =
+  if n > Array.length t.cells then begin
+    let cells = Array.make (max n (2 * Array.length t.cells)) Value.Null in
+    Array.blit t.cells 0 cells 0 t.used;
+    t.cells <- cells
+  end
+
+let alloc ?name t init =
+  ensure t (t.used + 1);
+  let a = t.used in
+  t.cells.(a) <- init;
+  t.used <- t.used + 1;
+  (match name with None -> () | Some n -> Hashtbl.replace t.names a n);
+  a
+
+let alloc_array ?name t n init =
+  if n < 0 then invalid_arg "Memory.alloc_array: negative size";
+  ensure t (t.used + n);
+  let base = t.used in
+  for i = 0 to n - 1 do
+    t.cells.(base + i) <- init
+  done;
+  t.used <- t.used + n;
+  (match name with
+  | None -> ()
+  | Some nm ->
+    for i = 0 to n - 1 do
+      Hashtbl.replace t.names (base + i) (Printf.sprintf "%s[%d]" nm i)
+    done);
+  base
+
+let check t a =
+  if a < 0 || a >= t.used then
+    invalid_arg (Printf.sprintf "Memory: address %d out of bounds (size %d)" a t.used)
+
+let name t a =
+  match Hashtbl.find_opt t.names a with
+  | Some n -> n
+  | None -> Printf.sprintf "cell#%d" a
+
+let read t a =
+  check t a;
+  t.stats.reads <- t.stats.reads + 1;
+  t.cells.(a)
+
+let write t a v =
+  check t a;
+  t.stats.writes <- t.stats.writes + 1;
+  t.cells.(a) <- v
+
+(* Read-modify-write primitives.  Each counts as a single atomic access. *)
+
+let cas t a ~expected ~desired =
+  check t a;
+  t.stats.rmws <- t.stats.rmws + 1;
+  if Value.equal t.cells.(a) expected then begin
+    t.cells.(a) <- desired;
+    true
+  end
+  else false
+
+(** Test-and-set on an integer cell: atomically write 1, return the previous
+    value.  The paper's non-resettable TAS base object. *)
+let tas t a =
+  check t a;
+  t.stats.rmws <- t.stats.rmws + 1;
+  let prev = t.cells.(a) in
+  t.cells.(a) <- Value.Int 1;
+  prev
+
+let fetch_and_add t a delta =
+  check t a;
+  t.stats.rmws <- t.stats.rmws + 1;
+  let prev = Value.as_int t.cells.(a) in
+  t.cells.(a) <- Value.Int (prev + delta);
+  Value.Int prev
+
+(** Non-counting read used by checkers, debuggers and pretty-printers; not
+    available to simulated algorithms. *)
+let peek t a =
+  check t a;
+  t.cells.(a)
+
+let snapshot t = Array.sub t.cells 0 t.used
+
+let restore t snap =
+  ensure t (Array.length snap);
+  Array.blit snap 0 t.cells 0 (Array.length snap);
+  t.used <- Array.length snap
+
+let copy t =
+  {
+    cells = Array.copy t.cells;
+    used = t.used;
+    names = Hashtbl.copy t.names;
+    stats = { reads = t.stats.reads; writes = t.stats.writes; rmws = t.stats.rmws };
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  for a = 0 to t.used - 1 do
+    Fmt.pf ppf "%s = %a@," (name t a) Value.pp t.cells.(a)
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,52 @@
+(** Simulated non-volatile shared memory: a heap of {!Value.t} cells with
+    atomic read / write / read-modify-write primitives.  Cell contents
+    survive crash-failures by construction (crash steps never touch them),
+    exactly as the paper's model prescribes for NVRAM variables. *)
+
+type addr = int
+type t
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable rmws : int;
+}
+
+val create : unit -> t
+
+val alloc : ?name:string -> t -> Value.t -> addr
+(** Allocate one persistent cell with the given initial value. *)
+
+val alloc_array : ?name:string -> t -> int -> Value.t -> addr
+(** [alloc_array t n init] allocates [n] contiguous cells, returning the base
+    address; cell [i] is at [base + i]. *)
+
+val read : t -> addr -> Value.t
+val write : t -> addr -> Value.t -> unit
+
+val cas : t -> addr -> expected:Value.t -> desired:Value.t -> bool
+(** Atomic compare-and-swap using structural value equality. *)
+
+val tas : t -> addr -> Value.t
+(** Atomic test-and-set: writes [Int 1], returns the previous contents. *)
+
+val fetch_and_add : t -> addr -> int -> Value.t
+(** Atomic fetch-and-add on an integer cell; returns the previous value. *)
+
+val peek : t -> addr -> Value.t
+(** Read without counting an access; for checkers and debugging only. *)
+
+val snapshot : t -> Value.t array
+(** Copy of the current heap contents, for state exploration. *)
+
+val restore : t -> Value.t array -> unit
+(** Restore a heap snapshot taken with {!snapshot}. *)
+
+val copy : t -> t
+(** Independent deep copy (cells, names and statistics). *)
+
+val name : t -> addr -> string
+val size : t -> int
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp : t Fmt.t

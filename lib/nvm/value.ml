@@ -1,0 +1,113 @@
+(** Universal value type stored in simulated non-volatile memory cells and in
+    volatile process-local variables.
+
+    The paper's model manipulates integers, booleans, process identifiers,
+    [null] and pairs (e.g. the [S_p] variable of Algorithm 1 stores a
+    [<flag, value>] pair, and the CAS object of Algorithm 2 stores an
+    [<id, value>] pair).  A single sum type covers all of them so the
+    virtual machine, the history checker and the sequential specifications
+    can exchange values freely. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Pid of int  (** a process identifier, kept distinct from plain integers *)
+  | Str of string
+  | Pair of t * t
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Pid x, Pid y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | (Null | Bool _ | Int _ | Pid _ | Str _ | Pair _), _ -> false
+
+let rec compare a b =
+  let tag = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Pid _ -> 3
+    | Str _ -> 4
+    | Pair _ -> 5
+  in
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Pid x, Pid y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Pair (x1, x2), Pair (y1, y2) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c else compare x2 y2
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let rec hash v =
+  match v with
+  | Null -> 0x9e37
+  | Bool b -> if b then 3 else 5
+  | Int i -> Hashtbl.hash i
+  | Pid p -> 0x5bd1 lxor Hashtbl.hash p
+  | Str s -> Hashtbl.hash s
+  | Pair (a, b) -> (hash a * 65599) + hash b
+
+let rec pp ppf v =
+  match v with
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Pid p -> Fmt.pf ppf "p%d" p
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (a, b) -> Fmt.pf ppf "<%a,%a>" pp a pp b
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Constructors and accessors; accessors raise [Type_error] on a mismatch,
+   which in the simulator indicates either an algorithm bug or a local
+   variable that was scrambled by a crash and then used without
+   reinitialisation -- exactly the failure the paper's model exposes. *)
+
+exception Type_error of string * t
+
+let type_error what v = raise (Type_error (what, v))
+
+let pair a b = Pair (a, b)
+
+let as_int = function Int i -> i | v -> type_error "int" v
+let as_bool = function Bool b -> b | v -> type_error "bool" v
+let as_pid = function Pid p -> p | v -> type_error "pid" v
+let as_pair = function Pair (a, b) -> (a, b) | v -> type_error "pair" v
+let fst = function Pair (a, _) -> a | v -> type_error "pair" v
+let snd = function Pair (_, b) -> b | v -> type_error "pair" v
+
+let is_null = function Null -> true | _ -> false
+
+(** The acknowledgment value returned by operations such as WRITE and INC. *)
+let ack = Str "ack"
+
+(** Deterministic "arbitrary junk" generator used to scramble volatile local
+    variables on a crash.  The stream is seeded so that failing executions
+    can be replayed. *)
+let junk_stream seed =
+  let state = ref seed in
+  let next () =
+    (* xorshift, kept local to avoid depending on Random's global state *)
+    let s = !state in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    state := s;
+    s land max_int
+  in
+  fun () ->
+    match next () mod 6 with
+    | 0 -> Null
+    | 1 -> Bool (next () land 1 = 0)
+    | 2 -> Int (next () mod 1024 - 512)
+    | 3 -> Pid (next () mod 16)
+    | 4 -> Str "junk"
+    | _ -> Pair (Int (next () mod 64), Bool (next () land 1 = 0))

@@ -1,0 +1,39 @@
+(** Universal value type for simulated non-volatile memory.
+
+    Covers every value the paper's algorithms store: integers, booleans,
+    process identifiers, [null], strings and pairs (such as Algorithm 1's
+    [<flag, value>] and Algorithm 2's [<id, value>]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Pid of int
+  | Str of string
+  | Pair of t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+exception Type_error of string * t
+(** Raised by accessors on a type mismatch — in simulations this usually
+    means a crash-scrambled local variable was used uninitialised. *)
+
+val pair : t -> t -> t
+val as_int : t -> int
+val as_bool : t -> bool
+val as_pid : t -> int
+val as_pair : t -> t * t
+val fst : t -> t
+val snd : t -> t
+val is_null : t -> bool
+
+val ack : t
+(** The acknowledgment response of operations such as WRITE and INC. *)
+
+val junk_stream : int -> unit -> t
+(** [junk_stream seed] is a deterministic generator of arbitrary values,
+    used to scramble volatile locals when a crash-failure occurs. *)

@@ -1,0 +1,106 @@
+(** Algorithm 2: nesting-safe recoverable CAS object [C].
+
+    [C] stores a pair [<id, val>]: the identifier of the last process to
+    perform a successful CAS and the value it wrote (both initially
+    [null]).  An [N x N] matrix [R] of single-reader-single-writer
+    variables implements the helping mechanism: before attempting its own
+    cas, a process [p] that read [<q, v>] from [C] writes [v] to
+    [R\[q\]\[p\]], informing [q] that [q]'s CAS took effect.  On recovery,
+    [p] concludes its CAS succeeded if [C] still holds [<p, new>] or [new]
+    appears in row [R\[p\]\[.\]]; otherwise the CAS had no visible effect
+    and is re-executed.
+
+    Assumptions (from the paper, satisfied by the workload generators):
+    CAS is never invoked with [old = new], and values written to [C] by the
+    same process are distinct.
+
+    Line numbers match the paper; line 13's multi-access condition is
+    split into single-access instructions (1301..1307), evaluating the left
+    term first as the proof requires.
+
+    {v
+    CAS(old,new)                       CAS.RECOVER(old,new)
+    2: <id,val> <- C                   13: if C = <p,new> \/ new in R[p][*]
+    3: if val <> old then              14:   return true
+    4:   return false                  16: else proceed from line 2
+    5: if id <> null then
+    6:   R[id][p] <- val               READ() / READ.RECOVER()
+    7: ret <- cas(C,<id,val>,<p,new>)  10: <id,val> <- C
+    8: return ret                      11: return val
+    v} *)
+
+open Machine.Program
+
+type cells = {
+  c : Nvm.Memory.addr;  (** the [<id, val>] pair *)
+  r : Nvm.Memory.addr;  (** base of the [N x N] helping matrix, row-major *)
+  n : int;
+}
+
+let alloc_cells mem ~nprocs ~name =
+  let c = Nvm.Memory.alloc ~name mem (Nvm.Value.Pair (Nvm.Value.Null, Nvm.Value.Null)) in
+  let r = Nvm.Memory.alloc_array ~name:(name ^ ".R") mem (nprocs * nprocs) Nvm.Value.Null in
+  { c; r; n = nprocs }
+
+(* R[q][p] where q is the pid in the first field of the pair stored in a
+   local and p is the executing process (line 6) *)
+let help_slot cells row_local : int exp =
+ fun ctx env ->
+  let q = Nvm.Value.as_pid (Nvm.Value.fst (Machine.Env.get env row_local)) in
+  cells.r + (q * cells.n) + ctx.pid
+
+(* R[p][j] while scanning p's own row during recovery (line 13) *)
+let row_scan_slot cells : int exp =
+ fun ctx env -> cells.r + (ctx.pid * cells.n) + Nvm.Value.as_int (Machine.Env.get env "j")
+
+let cas_body cells =
+  make ~name:"CAS"
+    [
+      (2, Read ("cv", at cells.c));
+      (3, Branch_if (neq (snd_of (local "cv")) (arg 0), 4));
+      (5, Branch_if (is_null (fst_of (local "cv")), 7));
+      (6, Write (help_slot cells "cv", snd_of (local "cv")));
+      (7, Cas_prim ("ret", at cells.c, local "cv", pair self (arg 1)));
+      (8, Ret (local "ret"));
+      (4, Ret (bool false));
+    ]
+
+let cas_recover cells =
+  make ~name:"CAS.RECOVER"
+    [
+      (13, Read ("c13", at cells.c));
+      (1301, Branch_if (eq (local "c13") (pair self (arg 1)), 14));
+      (1302, Assign ("j", int 0));
+      ( 1303,
+        Branch_if ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "j") >= ctx.nprocs), 16) );
+      (1304, Read ("rv", row_scan_slot cells));
+      (1305, Branch_if (eq (local "rv") (arg 1), 14));
+      (1306, Assign ("j", add (local "j") (int 1)));
+      (1307, Jump 1303);
+      (14, Ret (bool true));
+      (16, Resume 2);
+    ]
+
+let read_body cells =
+  make ~name:"READ" [ (10, Read ("cv", at cells.c)); (11, Ret (snd_of (local "cv"))) ]
+
+let read_recover cells =
+  make ~name:"READ.RECOVER"
+    [ (18, Read ("cv", at cells.c)); (19, Ret (snd_of (local "cv"))) ]
+
+(** Create a recoverable CAS object instance in [sim]'s memory, also
+    returning its cell layout (used by workload generators and benches). *)
+let make_ex sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let cells = alloc_cells mem ~nprocs ~name in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"cas" ~name
+    [
+      ( "CAS",
+        { Machine.Objdef.op_name = "CAS"; body = cas_body cells; recover = cas_recover cells } );
+      ( "READ",
+        { Machine.Objdef.op_name = "READ"; body = read_body cells; recover = read_recover cells } );
+    ]
+  |> fun inst -> (inst, cells)
+
+let make sim ~name = fst (make_ex sim ~name)

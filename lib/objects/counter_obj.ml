@@ -1,0 +1,104 @@
+(** Algorithm 4: nesting-safe recoverable counter, built {e modularly} from
+    an array of recoverable read/write objects (Algorithm 1 instances).
+
+    This is the paper's demonstration that NRL base objects compose: INC's
+    write to [R\[p\]] goes through the {e recoverable} WRITE operation, so
+    if the process crashes inside it, the system runs [WRITE.RECOVER]
+    (whose NRL guarantee ensures the write is linearized exactly once and
+    its response is obtainable) and INC then completes at line 5.  Only
+    crashes that hit INC itself reach [INC.RECOVER], which consults [LI_p]
+    to decide whether the write already happened.
+
+    The distinct-written-values assumption of Algorithm 1 is satisfied for
+    free: [R\[p\]] is written only by [p] with strictly increasing values.
+
+    READ is implemented as a {e strict} recoverable operation (Definition
+    1): it persists its response in [Res_p] (line 15) before returning.
+
+    {v
+    INC()                       INC.RECOVER()
+    2: temp <- R[p].READ        7: if LI_p < 4 then
+    3: temp <- temp + 1         8:   proceed from line 2
+    4: R[p].WRITE(temp)         10: else return ack
+    5: return ack
+
+    READ()                      READ.RECOVER()
+    12: val <- 0                18: proceed from line 12
+    13: for i from 1 to N do
+    14:   val <- val + R[i].READ
+    15: Res_p <- val
+    16: return val
+    v}
+
+    Recovery cascades: if the crash hit the nested WRITE of line 4, the
+    system first completes [WRITE.RECOVER] (whose NRL guarantee linearizes
+    the write exactly once) and then invokes [INC.RECOVER], which sees
+    [LI_p = 4] — the write happened — and simply returns.  [LI_p] here is
+    the last line of INC's own body that started executing, so [LI_p < 4]
+    holds exactly when the write of line 4 had not started. *)
+
+open Machine.Program
+
+type cells = {
+  regs : Machine.Objdef.instance array;  (** recoverable read/write objects *)
+  reg_ids : int array;
+  res : Nvm.Memory.addr;  (** per-process [Res_p] for strict READ *)
+}
+
+let inc_body c =
+  make ~name:"INC"
+    [
+      (2, Invoke ("temp", (fun ctx _ -> c.reg_ids.(ctx.pid)), "READ", [||]));
+      (3, Assign ("temp", add (local "temp") (int 1)));
+      (4, Invoke ("ack4", (fun ctx _ -> c.reg_ids.(ctx.pid)), "WRITE", [| local "temp" |]));
+      (5, Ret (const Nvm.Value.ack));
+    ]
+
+let inc_recover _c =
+  make ~name:"INC.RECOVER"
+    [
+      (7, Branch_if ((fun ctx env -> ignore env; ctx.li_line < 4), 8));
+      (10, Ret (const Nvm.Value.ack));
+      (8, Resume 2);
+    ]
+
+let read_body c =
+  make ~name:"READ"
+    [
+      (12, Assign ("val", int 0));
+      (13, Assign ("i", int 0));
+      (1301, Branch_if ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "i") >= ctx.nprocs), 15));
+      (14, Invoke ("tmp", (fun _ env -> c.reg_ids.(Nvm.Value.as_int (Machine.Env.get env "i"))), "READ", [||]));
+      (1401, Assign ("val", add (local "val") (local "tmp")));
+      (1402, Assign ("i", add (local "i") (int 1)));
+      (1403, Jump 1301);
+      (15, Write (my_slot c.res, local "val"));
+      (16, Ret (local "val"));
+    ]
+
+let read_recover _c = make ~name:"READ.RECOVER" [ (18, Resume 12) ]
+
+(** Create a recoverable counter instance in [sim]'s memory, together with
+    its array of per-process recoverable read/write registers. *)
+let make sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let regs =
+    Array.init nprocs (fun i ->
+        Rw_obj.make ~init:(Nvm.Value.Int 0) sim ~name:(Printf.sprintf "%s.R[%d]" name i))
+  in
+  let c =
+    {
+      regs;
+      reg_ids = Array.map (fun (r : Machine.Objdef.instance) -> r.Machine.Objdef.id) regs;
+      res = Nvm.Memory.alloc_array ~name:(name ^ ".Res") mem nprocs Nvm.Value.Null;
+    }
+  in
+  let res_cells = Array.init nprocs (fun i -> c.res + i) in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"counter" ~name
+    ~strict_cells:[ ("READ", res_cells) ]
+    ~subobjects:(Array.to_list regs)
+    [
+      ("INC", { Machine.Objdef.op_name = "INC"; body = inc_body c; recover = inc_recover c });
+      ("READ", { Machine.Objdef.op_name = "READ"; body = read_body c; recover = read_recover c });
+    ]

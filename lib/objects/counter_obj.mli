@@ -1,0 +1,11 @@
+(** Algorithm 4: nesting-safe recoverable counter, built modularly from
+    per-process recoverable read/write registers (Algorithm 1).
+
+    Operations: [INC] (returns [ack]) and strict [READ].  A crash inside
+    the nested recoverable WRITE is first handled by the register's own
+    recovery; [INC.RECOVER] then consults [LI_p] to decide whether the
+    write of line 4 had started. *)
+
+val make : Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Register a recoverable counter (object type ["counter"]) together
+    with its array of per-process recoverable registers. *)

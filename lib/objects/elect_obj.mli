@@ -1,0 +1,14 @@
+(** Extension: a recoverable slot allocator ("elect"), built modularly
+    from an array of recoverable TAS objects (Algorithm 3).
+
+    [ELECT ()] returns the index of the first TAS the process wins; each
+    slot is owned by at most one process.  The construction relies on the
+    {e strictness} of the paper's T&S: ELECT's recovery reads the nested
+    operation's persisted response [Res_p] to survive a crash at the
+    completion boundary (after the nested T&S returned, before its
+    volatile response was consumed). *)
+
+val make : ?k:int -> Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Register a slot allocator over [k] slots (default: one per process);
+    object type ["slot_allocator"], spec checked nondeterministically
+    ("returns some free slot"). *)

@@ -1,0 +1,40 @@
+(** Extension: a recoverable fetch-and-add register, nested on the strict
+    recoverable CAS via the generic {!Retry_loop} recipe.
+
+    This demonstrates the nesting that plain Algorithm 2 cannot support:
+    a crash {e after} a nested CAS completed loses the (volatile)
+    response, and the caller cannot blindly re-invoke a CAS whose first
+    execution may have taken effect.  The strict CAS persists
+    [<seq, ret>]; the retry loop's persisted per-attempt tag lets the
+    recovery interpret it (see {!Retry_loop} for the full protocol).
+
+    The backing CAS holds the plain integer value: written values are
+    strictly increasing (deltas must be positive), which satisfies the
+    distinct-values assumption without stamping.
+
+    Operations: strict [FAA d] ([d >= 1]; returns the previous value) and
+    [READ]. *)
+
+open Machine.Program
+
+(* cur + d, where cur is the integer the attempt read *)
+let plus_delta : expr =
+ fun ctx env ->
+  Nvm.Value.Int (Nvm.Value.as_int (Machine.Env.get env "cur") + Nvm.Value.as_int ctx.args.(0))
+
+(** Create a recoverable fetch-and-add register (initially [init]) and its
+    underlying strict CAS instance. *)
+let make ?(init = 0) sim ~name =
+  let nprocs = Machine.Sim.nprocs sim in
+  let c = Retry_loop.alloc sim ~name ~init:(Nvm.Value.Int init) in
+  let faa_body = Retry_loop.body c ~name:"FAA" ~resp:(local "cur") ~new_value:plus_delta () in
+  let faa_recover = Retry_loop.recover c ~name:"FAA.RECOVER" in
+  let read_body, read_recover = Retry_loop.reader c ~name:"READ" ~view:Fun.id in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"faa_register" ~name
+    ~init_value:(Nvm.Value.Int init)
+    ~strict_cells:[ ("FAA", Retry_loop.own_cells c ~nprocs) ]
+    ~subobjects:[ c.Retry_loop.scas ]
+    [
+      ("FAA", { Machine.Objdef.op_name = "FAA"; body = faa_body; recover = faa_recover });
+      ("READ", { Machine.Objdef.op_name = "READ"; body = read_body; recover = read_recover });
+    ]

@@ -1,0 +1,11 @@
+(** Extension: a recoverable fetch-and-add register, nested on the strict
+    recoverable CAS ({!Scas_obj}) via the classic CAS retry loop —
+    demonstrating the general recipe by which strictness plus a persisted
+    per-attempt tag make recoverable RMW loops nestable.
+
+    Operations: strict [FAA d] (requires [d >= 1]; returns the previous
+    value) and [READ]. *)
+
+val make : ?init:int -> Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Register a fetch-and-add register (object type ["faa_register"])
+    together with its underlying strict CAS instance. *)

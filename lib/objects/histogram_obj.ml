@@ -1,0 +1,102 @@
+(** Extension: a recoverable histogram — three levels of nesting.
+
+    The histogram keeps one recoverable counter (Algorithm 4) per bucket;
+    each counter is itself built from recoverable read/write registers
+    (Algorithm 1).  A [RECORD] therefore nests three deep:
+
+    {v histogram.RECORD -> counter.INC -> register.READ / register.WRITE v}
+
+    A crash anywhere in that stack exercises the full recovery cascade:
+    the register's recovery completes first, then the counter's (using its
+    [LI]), then the histogram's (using its own [LI]) — each level only
+    reasoning about its own program, which is precisely the modularity NRL
+    is designed to license.
+
+    Operations:
+    - [RECORD (bucket)]: increment the bucket's counter, return [ack];
+    - [BUCKET (bucket)]: read one bucket's count (strict);
+    - [TOTAL ()]: sum of all buckets (strict).
+
+    [RECORD]'s recovery mirrors [INC.RECOVER]: if the nested [INC] of
+    line 3 started ([LI_p >= 3]) its own recovery has already linearized
+    it exactly once, so just return; otherwise re-execute. *)
+
+open Machine.Program
+
+type cells = {
+  counters : Machine.Objdef.instance array;
+  counter_ids : int array;
+  res : Nvm.Memory.addr;  (** per-process strict response cells *)
+  k : int;
+}
+
+let bucket_id c (e : expr) : int exp =
+ fun ctx env -> c.counter_ids.(Nvm.Value.as_int (e ctx env))
+
+let record_body c =
+  make ~name:"RECORD"
+    [
+      (2, Assign ("b", arg 0));
+      (3, Invoke ("a", bucket_id c (local "b"), "INC", [||]));
+      (4, Ret (const Nvm.Value.ack));
+    ]
+
+let record_recover _c =
+  make ~name:"RECORD.RECOVER"
+    [
+      (6, Branch_if ((fun ctx env -> ignore env; ctx.li_line < 3), 7));
+      (8, Ret (const Nvm.Value.ack));
+      (7, Resume 2);
+    ]
+
+let bucket_body c =
+  make ~name:"BUCKET"
+    [
+      (10, Invoke ("v", bucket_id c (arg 0), "READ", [||]));
+      (11, Write (my_slot c.res, local "v"));
+      (12, Ret (local "v"));
+    ]
+
+let bucket_recover _c = make ~name:"BUCKET.RECOVER" [ (14, Resume 10) ]
+
+let total_body c =
+  make ~name:"TOTAL"
+    [
+      (16, Assign ("sum", int 0));
+      (17, Assign ("i", int 0));
+      (1701, Branch_if ((fun _ env -> Nvm.Value.as_int (Machine.Env.get env "i") >= c.k), 19));
+      (18, Invoke ("v", bucket_id c (local "i"), "READ", [||]));
+      (1801, Assign ("sum", add (local "sum") (local "v")));
+      (1802, Assign ("i", add (local "i") (int 1)));
+      (1803, Jump 1701);
+      (19, Write (my_slot c.res, local "sum"));
+      (20, Ret (local "sum"));
+    ]
+
+let total_recover _c = make ~name:"TOTAL.RECOVER" [ (22, Resume 16) ]
+
+(** Create a recoverable histogram with [k] buckets. *)
+let make ?(k = 4) sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let counters =
+    Array.init k (fun b -> Counter_obj.make sim ~name:(Printf.sprintf "%s.b%d" name b))
+  in
+  let c =
+    {
+      counters;
+      counter_ids = Array.map (fun (i : Machine.Objdef.instance) -> i.Machine.Objdef.id) counters;
+      res = Nvm.Memory.alloc_array ~name:(name ^ ".Res") mem nprocs Nvm.Value.Null;
+      k;
+    }
+  in
+  let res_cells = Array.init nprocs (fun i -> c.res + i) in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"histogram" ~name
+    ~init_value:(Nvm.Value.Int k)
+    ~strict_cells:[ ("BUCKET", res_cells); ("TOTAL", res_cells) ]
+    ~subobjects:(Array.to_list counters)
+    [
+      ("RECORD", { Machine.Objdef.op_name = "RECORD"; body = record_body c; recover = record_recover c });
+      ("BUCKET", { Machine.Objdef.op_name = "BUCKET"; body = bucket_body c; recover = bucket_recover c });
+      ("TOTAL", { Machine.Objdef.op_name = "TOTAL"; body = total_body c; recover = total_recover c });
+    ]

@@ -1,0 +1,10 @@
+(** Extension: a recoverable histogram — three levels of nesting
+    (histogram -> counter -> register), exercising the full outward
+    recovery cascade.
+
+    Operations: [RECORD b] (returns [ack]), strict [BUCKET b], strict
+    [TOTAL]. *)
+
+val make : ?k:int -> Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Register a histogram with [k] buckets (default 4); object type
+    ["histogram"]. *)

@@ -1,0 +1,45 @@
+(** Extension: a recoverable max-register over the strict recoverable CAS
+    via the generic {!Retry_loop} recipe.
+
+    A max-register cannot be built by taking the maximum of a collect of
+    per-process registers — that construction is not linearizable (a
+    reader can return a maximum the object never held between two
+    concurrent raises).  The single-CAS-cell construction is: [WRITE_MAX]
+    either observes a current value at least as large — the retry loop's
+    {e early} path, linearized at the read — or installs its value with a
+    CAS, retrying on interference.
+
+    The CAS cell stores [<stamp, m>] with a writer-unique stamp.
+
+    Operations: strict [WRITE_MAX v] (integer [v]; returns [ack]) and
+    [READ]. *)
+
+open Machine.Program
+
+let m_of (cur : expr) : int exp = fun ctx env -> Nvm.Value.as_int (Nvm.Value.snd (cur ctx env))
+
+(** Create a recoverable max-register (initially [init], default 0). *)
+let make ?(init = 0) sim ~name =
+  let nprocs = Machine.Sim.nprocs sim in
+  let c =
+    Retry_loop.alloc sim ~name ~init:(Nvm.Value.Pair (Nvm.Value.Null, Nvm.Value.Int init))
+  in
+  let dominated ctx env = m_of (local "cur") ctx env >= Nvm.Value.as_int ctx.args.(0) in
+  let body =
+    Retry_loop.body c ~name:"WRITE_MAX"
+      ~early:(dominated, const Nvm.Value.ack)
+      ~resp:(const Nvm.Value.ack)
+      ~new_value:(Retry_loop.stamped (arg 0))
+      ()
+  in
+  let read_body, read_recover = Retry_loop.reader c ~name:"READ" ~view:snd_of in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"max_register" ~name
+    ~init_value:(Nvm.Value.Int init)
+    ~strict_cells:[ ("WRITE_MAX", Retry_loop.own_cells c ~nprocs) ]
+    ~subobjects:[ c.Retry_loop.scas ]
+    [
+      ( "WRITE_MAX",
+        { Machine.Objdef.op_name = "WRITE_MAX"; body;
+          recover = Retry_loop.recover c ~name:"WRITE_MAX.RECOVER" } );
+      ("READ", { Machine.Objdef.op_name = "READ"; body = read_body; recover = read_recover });
+    ]

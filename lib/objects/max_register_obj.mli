@@ -1,0 +1,7 @@
+(** Extension: a recoverable max-register over the strict recoverable CAS
+    (the per-process-collect construction is not linearizable; this one
+    is).  Operations: strict [WRITE_MAX v] (integer), [READ]. *)
+
+val make : ?init:int -> Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Register a max-register (object type ["max_register"]) together with
+    its underlying strict CAS instance. *)

@@ -1,0 +1,121 @@
+(** Naive baseline objects whose recovery strategies are {e not}
+    nesting-safe.  These are the foil for the paper's algorithms: under
+    crash-free schedules they are perfectly linearizable, but targeted
+    crash schedules produce histories that the NRL checker rejects,
+    reproducing the failure modes the paper's introduction describes
+    (most prominently: a CAS response lost in a volatile register, leaving
+    the recovering process unable to tell whether its CAS took effect).
+
+    Two naive recovery strategies are provided for each primitive:
+
+    - {e optimistic}: assume the crashed operation's effect happened and
+      return a fabricated response ("the write went through", "the CAS
+      succeeded");
+    - {e re-execute}: run the operation again from scratch, risking a
+      duplicated effect or a response that contradicts the first
+      execution's visible effect.
+
+    All of these are unsound, each in an instructive way (tests and
+    experiment E6):
+
+    - optimistic WRITE recovery loses writes that never executed;
+    - optimistic CAS recovery fabricates successes;
+    - re-executed CAS contradicts its own visible success (the paper's
+      introductory scenario), and re-executed TAS loses the win;
+    - re-executed WRITE exhibits {e value resurrection}: once the write's
+      first execution has been observed and overwritten, a recovery that
+      re-executes makes the old value reappear — reads then observe
+      [a, b, a] with a single WRITE(a) in the history, which no
+      linearization order explains.  Two concurrent observations are not
+      enough to expose it (the 2-process exhaustive search finds no
+      violation), but one writer + one observer with three reads and a
+      single crash suffice.  Algorithm 1's conditional recovery (line 14:
+      do not re-execute if [R] changed since) exists precisely to close
+      this window. *)
+
+open Machine.Program
+
+let reg_op sim ~otype ~name ?init_value ops =
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype ~name ?init_value ops
+
+let op ~name body recover = (name, { Machine.Objdef.op_name = name; body; recover })
+
+(* {2 Naive read/write register} *)
+
+let rw_read r =
+  make ~name:"READ" [ (8, Read ("temp", at r)); (9, Ret (local "temp")) ]
+
+let rw_read_rec r =
+  make ~name:"READ.RECOVER" [ (19, Read ("temp", at r)); (20, Ret (local "temp")) ]
+
+let rw_write r =
+  make ~name:"WRITE" [ (2, Write (at r, arg 0)); (3, Ret (const Nvm.Value.ack)) ]
+
+(** WRITE.RECOVER that assumes the write happened: loses the write when the
+    crash hit before line 2 executed. *)
+let rw_write_rec_optimistic =
+  make ~name:"WRITE.RECOVER" [ (11, Ret (const Nvm.Value.ack)) ]
+
+(** WRITE.RECOVER that re-executes the write unconditionally — unsound by
+    value resurrection; see the module documentation. *)
+let rw_write_rec_reexec = make ~name:"WRITE.RECOVER" [ (11, Resume 2) ]
+
+let make_rw ?(init = Nvm.Value.Null) ~strategy sim ~name =
+  let r = Nvm.Memory.alloc ~name (Machine.Sim.mem sim) init in
+  let recover =
+    match strategy with
+    | `Optimistic -> rw_write_rec_optimistic
+    | `Reexecute -> rw_write_rec_reexec
+  in
+  reg_op sim ~otype:"rw" ~name ~init_value:init
+    [ op ~name:"WRITE" (rw_write r) recover; op ~name:"READ" (rw_read r) (rw_read_rec r) ]
+
+(* {2 Naive CAS object} *)
+
+let cas_body c =
+  make ~name:"CAS"
+    [ (2, Cas_prim ("ret", at c, arg 0, arg 1)); (3, Ret (local "ret")) ]
+
+let cas_read c = make ~name:"READ" [ (10, Read ("v", at c)); (11, Ret (local "v")) ]
+
+let cas_read_rec c =
+  make ~name:"READ.RECOVER" [ (18, Read ("v", at c)); (19, Ret (local "v")) ]
+
+(** CAS.RECOVER that claims success: wrong whenever the crash preceded the
+    primitive cas, or the cas failed. *)
+let cas_rec_optimistic = make ~name:"CAS.RECOVER" [ (13, Ret (bool true)) ]
+
+(** CAS.RECOVER that re-executes: wrong whenever the first cas succeeded —
+    the re-execution then fails (the value already changed) and the caller
+    is told [false] although its CAS is visible to everyone.  This is
+    precisely the introduction's motivating scenario. *)
+let cas_rec_reexec = make ~name:"CAS.RECOVER" [ (13, Resume 2) ]
+
+let make_cas_ex ?(init = Nvm.Value.Null) ~strategy sim ~name =
+  let c = Nvm.Memory.alloc ~name (Machine.Sim.mem sim) init in
+  let recover =
+    match strategy with `Optimistic -> cas_rec_optimistic | `Reexecute -> cas_rec_reexec
+  in
+  let inst =
+    reg_op sim ~otype:"cas" ~name ~init_value:init
+      [ op ~name:"CAS" (cas_body c) recover; op ~name:"READ" (cas_read c) (cas_read_rec c) ]
+  in
+  (inst, c)
+
+let make_cas ?init ~strategy sim ~name = fst (make_cas_ex ?init ~strategy sim ~name)
+
+(* {2 Naive test-and-set} *)
+
+let tas_body t =
+  make ~name:"T&S" [ (2, Tas_prim ("ret", at t)); (3, Ret (local "ret")) ]
+
+(** T&S.RECOVER that re-executes the primitive: a winner that crashes
+    before persisting its response re-executes, reads 1, and no process
+    ever learns it won — every completed T&S returns 1, which no
+    sequential TAS history allows. *)
+let tas_rec_reexec = make ~name:"T&S.RECOVER" [ (13, Resume 2) ]
+
+let make_tas ~strategy sim ~name =
+  let t = Nvm.Memory.alloc ~name (Machine.Sim.mem sim) (Nvm.Value.Int 0) in
+  let recover = match strategy with `Reexecute -> tas_rec_reexec in
+  reg_op sim ~otype:"tas" ~name [ op ~name:"T&S" (tas_body t) recover ]

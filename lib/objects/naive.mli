@@ -1,0 +1,32 @@
+(** Naive baseline objects whose recovery strategies are {e not}
+    nesting-safe: linearizable without crashes, rejected by the NRL
+    checker under crash schedules.  Each failure mode is instructive —
+    lost writes (optimistic WRITE), fabricated successes (optimistic
+    CAS), contradicted visible effects (re-executed CAS — the paper's
+    introductory scenario), lost wins (re-executed TAS), and value
+    resurrection (re-executed WRITE observed between executions). *)
+
+val make_rw :
+  ?init:Nvm.Value.t ->
+  strategy:[ `Optimistic | `Reexecute ] ->
+  Machine.Sim.t ->
+  name:string ->
+  Machine.Objdef.instance
+
+val make_cas :
+  ?init:Nvm.Value.t ->
+  strategy:[ `Optimistic | `Reexecute ] ->
+  Machine.Sim.t ->
+  name:string ->
+  Machine.Objdef.instance
+
+val make_cas_ex :
+  ?init:Nvm.Value.t ->
+  strategy:[ `Optimistic | `Reexecute ] ->
+  Machine.Sim.t ->
+  name:string ->
+  Machine.Objdef.instance * Nvm.Memory.addr
+(** Also returns the CAS cell's address (for workload generators). *)
+
+val make_tas :
+  strategy:[ `Reexecute ] -> Machine.Sim.t -> name:string -> Machine.Objdef.instance

@@ -1,0 +1,69 @@
+(** Extension: a recoverable FIFO queue over the strict recoverable CAS
+    via the generic {!Retry_loop} recipe.
+
+    The queue contents live in the CAS object's abstract value as
+    [<stamp, list>] with the front of the queue at the head of the list;
+    [ENQ] appends at the tail (a pure value computation inside the
+    attempt), [DEQ] removes the head.  As with the stack, writer-unique
+    stamping provides the distinct-values assumption and ABA immunity.
+
+    Operations: strict [ENQ x] (returns [ack]), strict [DEQ] (returns the
+    front value or ["empty"]), [FRONT]. *)
+
+open Machine.Program
+
+let empty = Nvm.Value.Str "empty"
+
+let list_of e : expr = snd_of e
+let head_of e : expr = fst_of (snd_of e)
+let tail_of e : expr = snd_of (snd_of e)
+
+(* the list with x appended at the back *)
+let append (l : expr) (x : expr) : expr =
+ fun ctx env ->
+  let xv = x ctx env in
+  let rec app = function
+    | Nvm.Value.Null -> Nvm.Value.Pair (xv, Nvm.Value.Null)
+    | Nvm.Value.Pair (h, t) -> Nvm.Value.Pair (h, app t)
+    | v -> raise (Nvm.Value.Type_error ("list", v))
+  in
+  app (l ctx env)
+
+let front_view (cur : expr) : expr =
+ fun ctx env ->
+  match cur ctx env with
+  | Nvm.Value.Pair (_, Nvm.Value.Pair (h, _)) -> h
+  | _ -> empty
+
+(** Create a recoverable queue (initially empty) and its underlying
+    strict CAS instance. *)
+let make sim ~name =
+  let nprocs = Machine.Sim.nprocs sim in
+  let init = Nvm.Value.Pair (Nvm.Value.Null, Nvm.Value.Null) in
+  let c = Retry_loop.alloc sim ~name ~init in
+  let enq_body =
+    Retry_loop.body c ~name:"ENQ" ~resp:(const Nvm.Value.ack)
+      ~new_value:(Retry_loop.stamped (append (list_of (local "cur")) (arg 0)))
+      ()
+  in
+  let deq_body =
+    Retry_loop.body c ~name:"DEQ"
+      ~early:(is_null (list_of (local "cur")), const empty)
+      ~resp:(head_of (local "cur"))
+      ~new_value:(Retry_loop.stamped (tail_of (local "cur")))
+      ()
+  in
+  let front_body, front_recover = Retry_loop.reader c ~name:"FRONT" ~view:front_view in
+  let own = Retry_loop.own_cells c ~nprocs in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"queue" ~name
+    ~strict_cells:[ ("ENQ", own); ("DEQ", own) ]
+    ~subobjects:[ c.Retry_loop.scas ]
+    [
+      ( "ENQ",
+        { Machine.Objdef.op_name = "ENQ"; body = enq_body;
+          recover = Retry_loop.recover c ~name:"ENQ.RECOVER" } );
+      ( "DEQ",
+        { Machine.Objdef.op_name = "DEQ"; body = deq_body;
+          recover = Retry_loop.recover c ~name:"DEQ.RECOVER" } );
+      ("FRONT", { Machine.Objdef.op_name = "FRONT"; body = front_body; recover = front_recover });
+    ]

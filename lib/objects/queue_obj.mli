@@ -1,0 +1,11 @@
+(** Extension: a recoverable FIFO queue over the strict recoverable CAS
+    via the {!Retry_loop} recipe.  Operations: strict [ENQ x] (returns
+    [ack]), strict [DEQ] (returns the front value or ["empty"]),
+    [FRONT]. *)
+
+val empty : Nvm.Value.t
+(** The ["empty"] response of [DEQ]/[FRONT] on an empty queue. *)
+
+val make : Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Register a recoverable queue (object type ["queue"]) together with
+    its underlying strict CAS instance. *)

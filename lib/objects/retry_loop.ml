@@ -1,0 +1,131 @@
+(** The recoverable CAS retry loop — the generic recipe behind the
+    {!Faa_obj}, {!Stack_obj}, {!Queue_obj} and {!Max_register_obj}
+    extensions.
+
+    An operation over a strict-CAS-backed object runs {e attempts}.  Each
+    attempt:
+
+    + bumps and persists a per-process tag [Seq_p] ({e commit point} of
+      the attempt, line 12);
+    + reads the object's current value into the local ["cur"];
+    + either takes an {e early} path (the operation needs no update — a
+      POP of an empty stack, a WRITE_MAX dominated by the current
+      maximum) and is linearized at that read, or persists its would-be
+      response in [Att_p = <seq, resp>] and invokes the nested strict
+      [CAS (cur, new, seq)];
+    + on success persists [<seq, resp>] in [OwnRes_p] and returns; on
+      failure starts a new attempt.
+
+    The recovery function is the same for every such operation:
+
+    - [LI_p < 12]: nothing committed — re-execute;
+    - [OwnRes_p] carries the current tag: the operation already decided —
+      return that response;
+    - the CAS object's persisted response carries the current tag: the
+      attempt's CAS completed — on success, persist and return the
+      response saved in [Att_p]; on failure, retry;
+    - otherwise the attempt's CAS never ran (had it been pending, its own
+      recovery would have completed and persisted first) — retry.
+
+    Response expressions may refer to the locals ["cur"] (the value read
+    at line 13) and ["s"] (the attempt tag).  New values must embed a
+    writer-unique stamp — use {!stamped} — to satisfy Algorithm 2's
+    distinct-values assumption and to prevent ABA. *)
+
+open Machine.Program
+
+type t = {
+  scas : Machine.Objdef.instance;
+  scas_id : int;
+  scas_res : Nvm.Memory.addr;
+  seq : Nvm.Memory.addr;
+  att : Nvm.Memory.addr;
+  own : Nvm.Memory.addr;
+}
+
+(** Allocate the underlying strict CAS (holding [init]) and the loop's
+    per-process bookkeeping cells. *)
+let alloc sim ~name ~init =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let scas, scells = Scas_obj.make_ex ~init sim ~name:(name ^ ".C") in
+  {
+    scas;
+    scas_id = scas.Machine.Objdef.id;
+    scas_res = scells.Scas_obj.res;
+    seq = Nvm.Memory.alloc_array ~name:(name ^ ".Seq") mem nprocs (Nvm.Value.Int 0);
+    att =
+      Nvm.Memory.alloc_array ~name:(name ^ ".Att") mem nprocs
+        (Nvm.Value.Pair (Nvm.Value.Int (-1), Nvm.Value.Null));
+    own =
+      Nvm.Memory.alloc_array ~name:(name ^ ".OwnRes") mem nprocs
+        (Nvm.Value.Pair (Nvm.Value.Int (-1), Nvm.Value.Null));
+  }
+
+(** Per-process strict-response cells ([OwnRes_p]), for registration with
+    {!Machine.Objdef.register}'s [strict_cells]. *)
+let own_cells c ~nprocs = Array.init nprocs (fun i -> c.own + i)
+
+(** [<<pid, s>, e>]: a writer-unique stamped value for the nested CAS. *)
+let stamped (e : expr) : expr =
+ fun ctx env ->
+  Nvm.Value.Pair
+    (Nvm.Value.Pair (Nvm.Value.Pid ctx.pid, Machine.Env.get env "s"), e ctx env)
+
+(** The operation body.  [early] is an optional no-update path: when its
+    condition (on ["cur"]) holds, the operation persists and returns its
+    response without invoking the CAS.  [resp] is the response of an
+    updating attempt; [new_value] the value it CASes in. *)
+let body c ~name ?early ~resp ~new_value () =
+  let early_cond, early_resp =
+    match early with
+    | Some (cond, r) -> (cond, r)
+    | None -> ((fun _ _ -> false), const Nvm.Value.Null)
+  in
+  make ~name
+    [
+      (10, Read ("s", my_slot c.seq));
+      (11, Assign ("s", add (local "s") (int 1)));
+      (12, Write (my_slot c.seq, local "s"));
+      (13, Invoke ("cur", (fun _ _ -> c.scas_id), "READ", [||]));
+      (14, Branch_if (early_cond, 20));
+      (15, Write (my_slot c.att, pair (local "s") resp));
+      (16, Invoke ("ok", (fun _ _ -> c.scas_id), "CAS", [| local "cur"; new_value; local "s" |]));
+      (17, Branch_if (eq (local "ok") (bool false), 23));
+      (18, Write (my_slot c.own, pair (local "s") resp));
+      (19, Ret resp);
+      (20, Write (my_slot c.own, pair (local "s") early_resp));
+      (21, Ret early_resp);
+      (23, Jump 10);
+    ]
+
+(** The recovery function; identical for every retry-loop operation. *)
+let recover c ~name =
+  make ~name
+    [
+      (30, Branch_if ((fun ctx env -> ignore env; ctx.li_line < 12), 39));
+      (31, Read ("s", my_slot c.seq));
+      (32, Read ("own", my_slot c.own));
+      (3201, Branch_if (eq (fst_of (local "own")) (local "s"), 40));
+      (33, Read ("rv", (fun ctx env -> ignore env; c.scas_res + ctx.pid)));
+      (3301, Branch_if (neq (fst_of (local "rv")) (local "s"), 39));
+      (34, Branch_if (eq (snd_of (local "rv")) (bool false), 39));
+      (35, Read ("attv", my_slot c.att));
+      (36, Write (my_slot c.own, pair (local "s") (snd_of (local "attv"))));
+      (37, Ret (snd_of (local "attv")));
+      (39, Resume 10);
+      (40, Ret (snd_of (local "own")));
+    ]
+
+(** A plain reader of the backing CAS value, transformed by [view]
+    (linearized at the nested READ; recovery re-executes). *)
+let reader c ~name ~(view : expr -> expr) =
+  let b =
+    make ~name
+      [
+        (50, Invoke ("cur", (fun _ _ -> c.scas_id), "READ", [||]));
+        (51, Ret (view (local "cur")));
+      ]
+  in
+  let r = make ~name:(name ^ ".RECOVER") [ (53, Resume 50) ] in
+  (b, r)

@@ -1,0 +1,50 @@
+(** The recoverable CAS retry loop: the generic recipe by which
+    {!Faa_obj}, {!Stack_obj}, {!Queue_obj} and {!Max_register_obj} nest
+    update loops on the strict recoverable CAS.  Each attempt commits a
+    persisted per-process tag before invoking the nested strict CAS; the
+    shared recovery function decides the attempt's fate from the CAS's
+    persisted [<seq, ret>] response.  See the implementation header for
+    the full protocol. *)
+
+type t = {
+  scas : Machine.Objdef.instance;
+  scas_id : int;
+  scas_res : Nvm.Memory.addr;
+  seq : Nvm.Memory.addr;  (** per-process attempt tags *)
+  att : Nvm.Memory.addr;  (** per-process [<seq, would-be response>] *)
+  own : Nvm.Memory.addr;  (** per-process [<seq, response>] (strict cells) *)
+}
+
+val alloc : Machine.Sim.t -> name:string -> init:Nvm.Value.t -> t
+(** Allocate the underlying strict CAS (holding [init]) and the loop's
+    bookkeeping cells. *)
+
+val own_cells : t -> nprocs:int -> Nvm.Memory.addr array
+(** The per-process strict-response cells, for [strict_cells]
+    registration. *)
+
+val stamped : Machine.Program.expr -> Machine.Program.expr
+(** [<<pid, s>, e>]: writer-unique stamping for CASed values (satisfies
+    the distinct-values assumption, prevents ABA). *)
+
+val body :
+  t ->
+  name:string ->
+  ?early:(bool Machine.Program.exp * Machine.Program.expr) ->
+  resp:Machine.Program.expr ->
+  new_value:Machine.Program.expr ->
+  unit ->
+  Machine.Program.t
+(** The operation body.  Expressions may refer to the locals ["cur"] (the
+    value read this attempt) and ["s"] (the attempt tag).  [early] is an
+    optional no-update path (condition, response), linearized at the
+    attempt's read. *)
+
+val recover : t -> name:string -> Machine.Program.t
+(** The recovery function — identical for every retry-loop operation. *)
+
+val reader :
+  t -> name:string -> view:(Machine.Program.expr -> Machine.Program.expr) ->
+  Machine.Program.t * Machine.Program.t
+(** A plain reader of the backing value transformed by [view]; returns
+    (body, recovery). *)

@@ -1,0 +1,97 @@
+(** Algorithm 1: nesting-safe recoverable read/write object [R].
+
+    Shared variables: the register cell [R] itself and, per process [p], a
+    single-reader-single-writer pair [S_p], initially [<0, null>].  [S_p]
+    stores [R]'s previous value together with a flag from which the
+    recovery function infers where in WRITE the failure occurred:
+
+    - [flag = 0] while [p] is not inside a WRITE (or has already performed
+      line 5), and
+    - [flag = 1] between the writes of lines 3 and 5.
+
+    The algorithm assumes all values written to [R] are distinct; the
+    workload generators satisfy this by tagging each written value with the
+    writing process id and a per-process sequence number, as the paper
+    suggests.  Line numbers match the paper; lines such as 14 that perform
+    two shared accesses are split into consecutive instructions (1401,
+    ...) each performing at most one access.
+
+    {v
+    WRITE(val)                      WRITE.RECOVER(val)
+    2: temp <- R                    11: <flag,curr> <- S_p
+    3: S_p <- <1,temp>              12: if flag = 0 /\ curr <> val then
+    4: R <- val                     13:   proceed from line 2
+    5: S_p <- <0,val>               14: else if flag = 1 /\ curr = R then
+    6: return ack                   15:   proceed from line 2
+                                    16: S_p <- <0,val>
+    READ()                          17: return ack
+    8: temp <- R
+    9: return temp                  READ.RECOVER(): 19-20 as READ
+    v} *)
+
+open Machine.Program
+
+type cells = {
+  r : Nvm.Memory.addr;  (** the register cell *)
+  s : Nvm.Memory.addr;  (** base of the per-process [S_p] array *)
+}
+
+let alloc_cells mem ~nprocs ~name ~init =
+  let r = Nvm.Memory.alloc ~name mem init in
+  let s =
+    Nvm.Memory.alloc_array ~name:(name ^ ".S") mem nprocs
+      (Nvm.Value.Pair (Nvm.Value.Int 0, Nvm.Value.Null))
+  in
+  { r; s }
+
+let write_body c =
+  make ~name:"WRITE"
+    [
+      (2, Read ("temp", at c.r));
+      (3, Write (my_slot c.s, pair (int 1) (local "temp")));
+      (4, Write (at c.r, arg 0));
+      (5, Write (my_slot c.s, pair (int 0) (arg 0)));
+      (6, Ret (const Nvm.Value.ack));
+    ]
+
+let write_recover c =
+  make ~name:"WRITE.RECOVER"
+    [
+      (11, Read ("s", my_slot c.s));
+      (* line 12: flag = 0 /\ curr <> val: WRITE never started its updates *)
+      ( 12,
+        Branch_if
+          (band (eq (fst_of (local "s")) (int 0)) (neq (snd_of (local "s")) (arg 0)), 13)
+      );
+      (* line 14 reads R; the comparison uses the pair read at line 11 *)
+      (14, Read ("r14", at c.r));
+      ( 1401,
+        Branch_if
+          (band (eq (fst_of (local "s")) (int 1)) (eq (snd_of (local "s")) (local "r14")), 15)
+      );
+      (16, Write (my_slot c.s, pair (int 0) (arg 0)));
+      (17, Ret (const Nvm.Value.ack));
+      (13, Resume 2);
+      (15, Resume 2);
+    ]
+
+let read_body c =
+  make ~name:"READ" [ (8, Read ("temp", at c.r)); (9, Ret (local "temp")) ]
+
+let read_recover c =
+  make ~name:"READ.RECOVER" [ (19, Read ("temp", at c.r)); (20, Ret (local "temp")) ]
+
+(** Create a recoverable read/write object instance in [sim]'s memory,
+    also returning its cell layout. *)
+let make_ex ?(init = Nvm.Value.Null) sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let c = alloc_cells mem ~nprocs ~name ~init in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"rw" ~name ~init_value:init
+    [
+      ("WRITE", { Machine.Objdef.op_name = "WRITE"; body = write_body c; recover = write_recover c });
+      ("READ", { Machine.Objdef.op_name = "READ"; body = read_body c; recover = read_recover c });
+    ]
+  |> fun inst -> (inst, c)
+
+let make ?init sim ~name = fst (make_ex ?init sim ~name)

@@ -1,0 +1,118 @@
+(** Extension: a {e strict} recoverable CAS object.
+
+    Algorithm 2 is recoverable but not strict: its response lives only in
+    a volatile local when the operation returns, so a higher-level
+    operation that crashes {e after} a nested CAS completed (but before
+    consuming the response) cannot recover the outcome — the exact
+    completion-boundary hazard the paper's Section 2 discussion of
+    Definition 1 anticipates.
+
+    This object closes the gap: it is Algorithm 2 plus a designated
+    per-process persistent response cell [Res_p] written before every
+    return, in both the body and the recovery function.  Because a single
+    cell would be ambiguous across invocations ("whose response is
+    this?"), the caller passes an {e invocation tag} [seq] as a third
+    argument — any value distinct across the process's invocations (a
+    per-process counter) — and [Res_p] stores [<seq, ret>].  A caller's
+    recovery can then decide, from its own persistent state, whether its
+    pending nested CAS ever completed and with which response.
+
+    The extra writes touch only [Res_p], read and written by [p] alone,
+    so the linearization argument of Algorithm 2 is unaffected.  Paper
+    assumptions carry over: never [old = new], per-process distinct [new]
+    values, and now also per-process distinct non-negative [seq] tags
+    (the cell starts at [<-1, null>]).
+
+    Operations: [CAS (old, new, seq)], [READ ()]. *)
+
+open Machine.Program
+
+type cells = {
+  c : Nvm.Memory.addr;
+  r : Nvm.Memory.addr;  (** helping matrix, row-major *)
+  res : Nvm.Memory.addr;  (** per-process [<seq, ret>] *)
+  n : int;
+}
+
+let alloc_cells mem ~nprocs ~name ~init =
+  let c = Nvm.Memory.alloc ~name mem (Nvm.Value.Pair (Nvm.Value.Null, init)) in
+  let r = Nvm.Memory.alloc_array ~name:(name ^ ".R") mem (nprocs * nprocs) Nvm.Value.Null in
+  let res =
+    Nvm.Memory.alloc_array ~name:(name ^ ".Res") mem nprocs
+      (Nvm.Value.Pair (Nvm.Value.Int (-1), Nvm.Value.Null))
+  in
+  { c; r; res; n = nprocs }
+
+let help_slot cells row_local : int exp =
+ fun ctx env ->
+  let q = Nvm.Value.as_pid (Nvm.Value.fst (Machine.Env.get env row_local)) in
+  cells.r + (q * cells.n) + ctx.pid
+
+let row_scan_slot cells : int exp =
+ fun ctx env -> cells.r + (ctx.pid * cells.n) + Nvm.Value.as_int (Machine.Env.get env "j")
+
+(* body: Algorithm 2 with [Res_p <- <seq, ret>] before each return *)
+let cas_body cells =
+  make ~name:"CAS"
+    [
+      (2, Read ("cv", at cells.c));
+      (3, Branch_if (neq (snd_of (local "cv")) (arg 0), 4));
+      (5, Branch_if (is_null (fst_of (local "cv")), 7));
+      (6, Write (help_slot cells "cv", snd_of (local "cv")));
+      (7, Cas_prim ("ret", at cells.c, local "cv", pair self (arg 1)));
+      (701, Write (my_slot cells.res, pair (arg 2) (local "ret")));
+      (8, Ret (local "ret"));
+      (4, Write (my_slot cells.res, pair (arg 2) (bool false)));
+      (401, Ret (bool false));
+    ]
+
+(* recovery: first consult Res_p (covers crashes after the decision was
+   persisted), then Algorithm 2's evidence checks, persisting before
+   every return *)
+let cas_recover cells =
+  make ~name:"CAS.RECOVER"
+    [
+      (12, Read ("rv", my_slot cells.res));
+      (1201, Branch_if (eq (fst_of (local "rv")) (arg 2), 19));
+      (13, Read ("c13", at cells.c));
+      (1301, Branch_if (eq (local "c13") (pair self (arg 1)), 14));
+      (1302, Assign ("j", int 0));
+      ( 1303,
+        Branch_if ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "j") >= ctx.nprocs), 16) );
+      (1304, Read ("rv2", row_scan_slot cells));
+      (1305, Branch_if (eq (local "rv2") (arg 1), 14));
+      (1306, Assign ("j", add (local "j") (int 1)));
+      (1307, Jump 1303);
+      (14, Write (my_slot cells.res, pair (arg 2) (bool true)));
+      (1401, Ret (bool true));
+      (16, Resume 2);
+      (19, Ret (snd_of (local "rv")));
+    ]
+
+let read_body cells =
+  make ~name:"READ" [ (10, Read ("cv", at cells.c)); (11, Ret (snd_of (local "cv"))) ]
+
+let read_recover cells =
+  make ~name:"READ.RECOVER"
+    [ (18, Read ("cv", at cells.c)); (19, Ret (snd_of (local "cv"))) ]
+
+(** Create a strict recoverable CAS instance; [init] is the object's
+    initial abstract value. *)
+let make_ex ?(init = Nvm.Value.Null) sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let cells = alloc_cells mem ~nprocs ~name ~init in
+  let res_cells = Array.init nprocs (fun i -> cells.res + i) in
+  let inst =
+    Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"cas" ~name ~init_value:init
+      ~strict_cells:[ ("CAS", res_cells) ]
+      [
+        ( "CAS",
+          { Machine.Objdef.op_name = "CAS"; body = cas_body cells; recover = cas_recover cells } );
+        ( "READ",
+          { Machine.Objdef.op_name = "READ"; body = read_body cells; recover = read_recover cells } );
+      ]
+  in
+  (inst, cells)
+
+let make ?init sim ~name = fst (make_ex ?init sim ~name)

@@ -1,0 +1,20 @@
+(** Extension: a {e strict} recoverable CAS object — Algorithm 2 plus
+    per-invocation response persistence.
+
+    [CAS (old, new, seq)] behaves like Algorithm 2's CAS but persists
+    [<seq, ret>] in the caller's designated response cell before every
+    return (body and recovery), where [seq] is a caller-supplied
+    invocation tag, distinct and non-negative across the process's
+    invocations.  This is what lets higher-level operations (see
+    {!Faa_obj}) recover across the completion boundary of a nested CAS. *)
+
+type cells = {
+  c : Nvm.Memory.addr;
+  r : Nvm.Memory.addr;  (** helping matrix, row-major *)
+  res : Nvm.Memory.addr;  (** per-process [<seq, ret>] response cells *)
+  n : int;
+}
+
+val make : ?init:Nvm.Value.t -> Machine.Sim.t -> name:string -> Machine.Objdef.instance
+val make_ex :
+  ?init:Nvm.Value.t -> Machine.Sim.t -> name:string -> Machine.Objdef.instance * cells

@@ -1,0 +1,62 @@
+(** Extension: a recoverable stack — the Treiber construction over the
+    strict recoverable CAS, via the generic {!Retry_loop} recipe.
+
+    The entire stack contents live in the CAS object's abstract value as
+    [<stamp, list>], where [list] is a nested-pair list of the pushed
+    values and [stamp = <pid, seq>] is writer-unique.  Stamping satisfies
+    Algorithm 2's distinct-values assumption and rules out ABA (equal
+    contents reached by different histories never compare equal).
+
+    POP's empty case is the retry loop's {e early} path (no CAS, the
+    operation is linearized at its read of the backing object).
+
+    Operations: strict [PUSH x] (returns [ack]), strict [POP] (returns
+    the popped value or ["empty"]), [PEEK]. *)
+
+open Machine.Program
+
+let empty = Nvm.Value.Str "empty"
+
+(* list access inside the <stamp, list> value *)
+let list_of e : expr = snd_of e
+let head_of e : expr = fst_of (snd_of e)
+let tail_of e : expr = snd_of (snd_of e)
+
+let top_view (cur : expr) : expr =
+ fun ctx env ->
+  match cur ctx env with
+  | Nvm.Value.Pair (_, Nvm.Value.Pair (h, _)) -> h
+  | _ -> empty
+
+(** Create a recoverable stack (initially empty) and its underlying
+    strict CAS instance. *)
+let make sim ~name =
+  let nprocs = Machine.Sim.nprocs sim in
+  let init = Nvm.Value.Pair (Nvm.Value.Null, Nvm.Value.Null) in
+  let c = Retry_loop.alloc sim ~name ~init in
+  let push_body =
+    Retry_loop.body c ~name:"PUSH" ~resp:(const Nvm.Value.ack)
+      ~new_value:(Retry_loop.stamped (pair (arg 0) (list_of (local "cur"))))
+      ()
+  in
+  let pop_body =
+    Retry_loop.body c ~name:"POP"
+      ~early:(is_null (list_of (local "cur")), const empty)
+      ~resp:(head_of (local "cur"))
+      ~new_value:(Retry_loop.stamped (tail_of (local "cur")))
+      ()
+  in
+  let peek_body, peek_recover = Retry_loop.reader c ~name:"PEEK" ~view:top_view in
+  let own = Retry_loop.own_cells c ~nprocs in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"stack" ~name
+    ~strict_cells:[ ("PUSH", own); ("POP", own) ]
+    ~subobjects:[ c.Retry_loop.scas ]
+    [
+      ( "PUSH",
+        { Machine.Objdef.op_name = "PUSH"; body = push_body;
+          recover = Retry_loop.recover c ~name:"PUSH.RECOVER" } );
+      ( "POP",
+        { Machine.Objdef.op_name = "POP"; body = pop_body;
+          recover = Retry_loop.recover c ~name:"POP.RECOVER" } );
+      ("PEEK", { Machine.Objdef.op_name = "PEEK"; body = peek_body; recover = peek_recover });
+    ]

@@ -1,0 +1,15 @@
+(** Extension: a recoverable stack nested on the strict recoverable CAS —
+    the Treiber construction made crash-recoverable via the persisted
+    per-attempt tag recipe (see {!Faa_obj}).  The stack contents live in
+    the CAS object's abstract value, stamped with writer-unique ids to
+    satisfy Algorithm 2's distinct-values assumption and to rule out ABA.
+
+    Operations: strict [PUSH x] (returns [ack]), strict [POP] (returns
+    the popped value or ["empty"]), [PEEK]. *)
+
+val empty : Nvm.Value.t
+(** The ["empty"] response of [POP]/[PEEK] on an empty stack. *)
+
+val make : Machine.Sim.t -> name:string -> Machine.Objdef.instance
+(** Register a recoverable stack (object type ["stack"]) together with
+    its underlying strict CAS instance. *)

@@ -1,0 +1,148 @@
+(** Algorithm 3: nesting-safe recoverable test-and-set object [T].
+
+    Uses a base atomic non-readable, non-resettable [t&s] primitive, a
+    per-process state array [R] (values 0..4), a [Winner] register, a
+    [Doorway] register, and per-process persistent response variables
+    [Res_p] — the [T&S] operation is {e strict} (Definition 1): its
+    response is persisted in [Res_p] before it returns.
+
+    The [T&S] operation is wait-free, but [T&S.RECOVER] contains two
+    busy-waiting loops (lines 25-28) and is therefore {e blocking} — which
+    Theorem 4 proves is inevitable for this set of base objects.
+
+    Per-process state in [R\[p\]]:
+    - 0: no operation started
+    - 1: trying to enter the doorway
+    - 2: inside the doorway, competing
+    - 3: operation complete, response persisted in [Res_p]
+    - 4: recovering and competing again
+
+    The paper assumes each process invokes [T&S] at most once (further
+    invocations of a non-resettable TAS are bound to return 1); the
+    workload generators respect this.  Line numbers match the paper;
+    multi-access lines are split into single-access instructions. *)
+
+open Machine.Program
+
+type cells = {
+  r : Nvm.Memory.addr;  (** base of the state array [R\[N\]], initially 0 *)
+  winner : Nvm.Memory.addr;  (** initially null *)
+  doorway : Nvm.Memory.addr;  (** initially true (open) *)
+  t : Nvm.Memory.addr;  (** the base atomic t&s object *)
+  res : Nvm.Memory.addr;  (** base of the per-process [Res_p] array *)
+}
+
+let alloc_cells mem ~nprocs ~name =
+  let r = Nvm.Memory.alloc_array ~name:(name ^ ".R") mem nprocs (Nvm.Value.Int 0) in
+  let winner = Nvm.Memory.alloc ~name:(name ^ ".Winner") mem Nvm.Value.Null in
+  let doorway = Nvm.Memory.alloc ~name:(name ^ ".Doorway") mem (Nvm.Value.Bool true) in
+  let t = Nvm.Memory.alloc ~name:(name ^ ".t") mem (Nvm.Value.Int 0) in
+  let res = Nvm.Memory.alloc_array ~name:(name ^ ".Res") mem nprocs Nvm.Value.Null in
+  { r; winner; doorway; t; res }
+
+(* ret <- 0 if Winner = p else 1 (line 31's comparison, on the value just
+   read into [w]) *)
+let winner_test w : expr =
+ fun ctx env ->
+  if Nvm.Value.equal (Machine.Env.get env w) (Nvm.Value.Pid ctx.pid) then Nvm.Value.Int 0
+  else Nvm.Value.Int 1
+
+let tas_body c =
+  make ~name:"T&S"
+    [
+      (2, Write (my_slot c.r, int 1));
+      (3, Read ("dw", at c.doorway));
+      (301, Branch_if (eq (local "dw") (bool true), 6));
+      (4, Assign ("ret", int 1));
+      (5, Jump 11);
+      (6, Write (my_slot c.r, int 2));
+      (7, Write (at c.doorway, bool false));
+      (8, Tas_prim ("ret", at c.t));
+      (9, Branch_if (neq (local "ret") (int 0), 11));
+      (10, Write (at c.winner, self));
+      (11, Write (my_slot c.res, local "ret"));
+      (12, Write (my_slot c.r, int 3));
+      (13, Ret (local "ret"));
+    ]
+
+(* Footnote 3 of the paper: with a *readable* base TAS, the doorway
+   register is unnecessary — "the doorway is closed" is simply "T is
+   already set".  Same line structure, with line 3 reading T and line 7
+   gone. *)
+let tas_body_readable c =
+  make ~name:"T&S"
+    [
+      (2, Write (my_slot c.r, int 1));
+      (3, Read ("dw", at c.t));
+      (301, Branch_if (eq (local "dw") (int 0), 6));
+      (4, Assign ("ret", int 1));
+      (5, Jump 11);
+      (6, Write (my_slot c.r, int 2));
+      (8, Tas_prim ("ret", at c.t));
+      (9, Branch_if (neq (local "ret") (int 0), 11));
+      (10, Write (at c.winner, self));
+      (11, Write (my_slot c.res, local "ret"));
+      (12, Write (my_slot c.r, int 3));
+      (13, Ret (local "ret"));
+    ]
+
+let tas_recover ?(readable_base = false) c =
+  make ~name:"T&S.RECOVER"
+    ([
+      (15, Read ("r15", my_slot c.r));
+      (1501, Branch_if (lt (local "r15") (int 2), 16));
+      (17, Read ("r17", my_slot c.r));
+      (1701, Branch_if (neq (local "r17") (int 3), 20));
+      (18, Read ("ret", my_slot c.res));
+      (19, Ret (local "ret"));
+      (20, Read ("w20", at c.winner));
+      (2001, Branch_if (not_null (local "w20"), 31));
+    ]
+    @ (if readable_base then [] else [ (22, Write (at c.doorway, bool false)) ])
+    @ [
+      (23, Write (my_slot c.r, int 4));
+      (24, Tas_prim ("ignored", at c.t));
+      (* lines 25-26: await, for each i < p, R[i] = 0 \/ R[i] = 3 *)
+      (25, Assign ("i", int 0));
+      (2501, Branch_if ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "i") >= ctx.pid), 27));
+      (26, Read ("rd", slot c.r (idx "i")));
+      (2601, Branch_if (bnot (bor (eq (local "rd") (int 0)) (eq (local "rd") (int 3))), 26));
+      (2602, Assign ("i", add (local "i") (int 1)));
+      (2603, Jump 2501);
+      (* lines 27-28: await, for each i > p, R[i] = 0 \/ R[i] > 2 *)
+      (27, Assign ("i", (fun ctx env -> ignore env; Nvm.Value.Int (ctx.pid + 1))));
+      (2701, Branch_if ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "i") >= ctx.nprocs), 29));
+      (28, Read ("rd", slot c.r (idx "i")));
+      (2801, Branch_if (bnot (bor (eq (local "rd") (int 0)) (gt (local "rd") (int 2))), 28));
+      (2802, Assign ("i", add (local "i") (int 1)));
+      (2803, Jump 2701);
+      (29, Read ("w29", at c.winner));
+      (2901, Branch_if (not_null (local "w29"), 31));
+      (30, Write (at c.winner, self));
+      (31, Read ("w31", at c.winner));
+      (3101, Assign ("ret", winner_test "w31"));
+      (32, Write (my_slot c.res, local "ret"));
+      (33, Write (my_slot c.r, int 3));
+      (34, Ret (local "ret"));
+      (16, Resume 2);
+    ])
+
+(** Create a recoverable test-and-set object instance in [sim]'s memory.
+    The [T&S] operation is registered as strict, with [Res_p] as the
+    designated persistent response variable of process [p].
+
+    With [readable_base:true], the footnote-3 variant is built instead:
+    the base TAS is readable and replaces the doorway register (one fewer
+    shared variable, one fewer write on the winning path). *)
+let make ?(readable_base = false) sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let c = alloc_cells mem ~nprocs ~name in
+  let res_cells = Array.init nprocs (fun i -> c.res + i) in
+  let body = if readable_base then tas_body_readable c else tas_body c in
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"tas" ~name
+    ~strict_cells:[ ("T&S", res_cells) ]
+    [
+      ( "T&S",
+        { Machine.Objdef.op_name = "T&S"; body; recover = tas_recover ~readable_base c } );
+    ]

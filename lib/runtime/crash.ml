@@ -1,0 +1,42 @@
+(** Crash-point injection for the real-multicore implementations.
+
+    The paper's crash model kills a process at an arbitrary point and
+    discards its volatile state.  For native OCaml code we emulate this by
+    aborting an operation with an exception at a chosen {e crash point} —
+    each shared-memory access inside an operation is preceded by a
+    [point] call with an increasing index.  Aborting the OCaml function
+    discards its local variables exactly as a crash discards volatile
+    registers; the "NVRAM" ([Atomic] cells) keeps its contents.  The
+    harness then invokes the recovery function, as the system would.
+
+    A [t] with [armed = None] never fires, so production use costs one
+    branch per access. *)
+
+exception Crashed
+
+type t = { mutable armed : int option; mutable next : int }
+
+let none = { armed = None; next = 0 }
+
+let create () = { armed = None; next = 0 }
+
+(** Arm: crash when crash point [k] (0-based) is reached. *)
+let arm t k =
+  t.armed <- Some k;
+  t.next <- 0
+
+let disarm t =
+  t.armed <- None;
+  t.next <- 0
+
+(** Mark a crash point; raises {!Crashed} if armed for this index. *)
+let point t =
+  match t.armed with
+  | None -> ()
+  | Some k ->
+    let i = t.next in
+    t.next <- i + 1;
+    if i = k then raise Crashed
+
+(** Number of crash points traversed since the last [arm]/[disarm]. *)
+let traversed t = t.next

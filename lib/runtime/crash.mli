@@ -1,0 +1,29 @@
+(** Crash-point injection for the real-multicore implementations.
+
+    Aborting an OCaml function with {!Crashed} discards its local
+    variables exactly as a crash discards volatile registers, while the
+    "NVRAM" ([Atomic] cells) keeps its contents; the harness then invokes
+    the algorithm's recovery function, as the system would.  Each shared
+    access in an operation is preceded by a {!point} with an increasing
+    index.  An unarmed [t] costs one branch per access. *)
+
+exception Crashed
+
+type t
+
+val none : t
+(** A shared never-firing instance (the default of the [?cp] arguments). *)
+
+val create : unit -> t
+
+val arm : t -> int -> unit
+(** Crash when crash point [k] (0-based since arming) is reached. *)
+
+val disarm : t -> unit
+
+val point : t -> unit
+(** Mark a crash point.
+    @raise Crashed if armed for this index. *)
+
+val traversed : t -> int
+(** Crash points passed since the last {!arm}/{!disarm}. *)

@@ -1,0 +1,41 @@
+(** Multi-domain throughput harness.
+
+    Spawns [domains] OCaml domains, synchronises them on a start barrier,
+    runs [iters] iterations of [body ~pid ~i] in each, and reports elapsed
+    wall-clock time and aggregate throughput. *)
+
+type result = {
+  domains : int;
+  iters_per_domain : int;
+  seconds : float;
+  ops_per_sec : float;
+}
+
+let run ~domains ~iters body =
+  let barrier = Atomic.make 0 in
+  let work pid () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < domains do
+      Domain.cpu_relax ()
+    done;
+    for i = 0 to iters - 1 do
+      body ~pid ~i
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let ds = List.init domains (fun pid -> Domain.spawn (work pid)) in
+  List.iter Domain.join ds;
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    domains;
+    iters_per_domain = iters;
+    seconds = dt;
+    ops_per_sec = float_of_int (domains * iters) /. dt;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "%d domains x %d iters: %.3fs, %.0f ops/s" r.domains r.iters_per_domain
+    r.seconds r.ops_per_sec
+
+(** Available hardware parallelism, capped for benchmark sweeps. *)
+let max_domains ?(cap = 8) () = min cap (Domain.recommended_domain_count ())

@@ -1,0 +1,16 @@
+(** Multi-domain throughput harness: spawn domains, synchronise on a
+    start barrier, run a per-domain iteration body, report wall-clock
+    time and aggregate throughput. *)
+
+type result = {
+  domains : int;
+  iters_per_domain : int;
+  seconds : float;
+  ops_per_sec : float;
+}
+
+val run : domains:int -> iters:int -> (pid:int -> i:int -> unit) -> result
+val pp_result : result Fmt.t
+
+val max_domains : ?cap:int -> unit -> int
+(** Available hardware parallelism, capped (default 8). *)

@@ -1,0 +1,67 @@
+(** Algorithm 2 on real multicore: recoverable CAS object over OCaml 5
+    [Atomic] cells.
+
+    [C] holds [<id, val>] where [id = -1] encodes the paper's [null]; the
+    [N x N] helping matrix [R] holds value options.  Assumptions as in the
+    paper: never [old = new], per-process distinct new values. *)
+
+type 'a t = {
+  c : (int * 'a) Atomic.t;  (** <last successful writer (-1 = null), value> *)
+  r : 'a option Atomic.t array array;  (** helping matrix *)
+  nprocs : int;
+}
+
+let null_id = -1
+
+let create ~nprocs init =
+  {
+    c = Atomic.make (null_id, init);
+    r = Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Atomic.make None));
+    nprocs;
+  }
+
+let read ?(cp = Crash.none) t =
+  Crash.point cp;
+  snd (Atomic.get t.c)  (* line 10 *)
+
+let read_recover ?cp t = read ?cp t
+
+let rec cas ?(cp = Crash.none) t ~pid ~old ~new_ =
+  Crash.point cp;
+  let (id, v) as content = Atomic.get t.c in  (* line 2 *)
+  if v <> old then false  (* lines 3-4 *)
+  else begin
+    if id <> null_id then begin
+      Crash.point cp;
+      t.r.(id).(pid) |> fun cell -> Atomic.set cell (Some v)  (* lines 5-6 *)
+    end;
+    Crash.point cp;
+    Atomic.compare_and_set t.c content (pid, new_)  (* lines 7-8 *)
+  end
+
+and cas_recover ?(cp = Crash.none) t ~pid ~old ~new_ =
+  Crash.point cp;
+  (* line 13, left term first *)
+  if Atomic.get t.c = (pid, new_) then true
+  else begin
+    let found = ref false in
+    let j = ref 0 in
+    while (not !found) && !j < t.nprocs do
+      Crash.point cp;
+      (match Atomic.get t.r.(pid).(!j) with
+      | Some v when v = new_ -> found := true
+      | _ -> ());
+      incr j
+    done;
+    if !found then true  (* line 14 *)
+    else cas ~cp t ~pid ~old ~new_  (* line 16: proceed from line 2 *)
+  end
+
+(** Baseline: plain (non-recoverable) CAS object with the same interface. *)
+module Plain = struct
+  type 'a t = 'a Atomic.t
+
+  let create init = Atomic.make init
+  let read t = Atomic.get t
+  let cas t ~old ~new_ = Atomic.compare_and_set t old new_
+end

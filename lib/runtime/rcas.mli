@@ -1,0 +1,31 @@
+(** Algorithm 2 on real multicore: recoverable CAS object over OCaml 5
+    [Atomic] cells.  Assumptions as in the paper: never [old = new],
+    per-process distinct new values. *)
+
+type 'a t = {
+  c : (int * 'a) Atomic.t;  (** <last successful writer (-1 = null), value> *)
+  r : 'a option Atomic.t array array;  (** helping matrix *)
+  nprocs : int;
+}
+
+val null_id : int
+
+val create : nprocs:int -> 'a -> 'a t
+val read : ?cp:Crash.t -> 'a t -> 'a
+val read_recover : ?cp:Crash.t -> 'a t -> 'a
+val cas : ?cp:Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> bool
+
+val cas_recover : ?cp:Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> bool
+(** [CAS.RECOVER]: reports success iff [C] still holds this process's
+    pair or the helping matrix row carries the evidence; otherwise
+    re-executes (line 13-16 of the paper). *)
+
+(** Plain (non-recoverable) CAS baseline.  [old] must be physically the
+    value previously read (integers are safest). *)
+module Plain : sig
+  type 'a t
+
+  val create : 'a -> 'a t
+  val read : 'a t -> 'a
+  val cas : 'a t -> old:'a -> new_:'a -> bool
+end

@@ -1,0 +1,71 @@
+(** Algorithm 4 on real multicore: recoverable counter nested on
+    {!Rrw} recoverable registers.
+
+    INC reads and rewrites the caller's own register through the
+    recoverable operations; READ sums all registers and persists its
+    response in [Res_p] before returning (strict).  The recovery drill
+    interface mirrors the paper: [inc_recover] takes the [li] progress
+    marker ("had the WRITE of line 4 started?") which a real system would
+    keep in the per-process non-volatile [LI_p] slot — here the harness
+    supplies it, as the machine's scheduler does in simulation. *)
+
+type t = {
+  regs : int Rrw.t array;  (** R[p], single-writer recoverable registers *)
+  res : int Atomic.t array;  (** Res_p for strict READ; -1 = none *)
+  nprocs : int;
+}
+
+let create ~nprocs =
+  {
+    regs = Array.init nprocs (fun _ -> Rrw.create ~nprocs 0);
+    res = Array.init nprocs (fun _ -> Atomic.make (-1));
+    nprocs;
+  }
+
+let inc ?(cp = Crash.none) t ~pid =
+  let temp = Rrw.read ~cp t.regs.(pid) in  (* line 2 *)
+  Rrw.write ~cp t.regs.(pid) ~pid (temp + 1)  (* lines 3-4 *)
+
+(** [li_before_write] says whether the crash occurred before the nested
+    WRITE of line 4 started (the machine's [LI_p < 4] test).  If the crash
+    hit {e inside} the WRITE, call [Rrw.write_recover] on the register
+    first, then [inc_recover ~li_before_write:false]. *)
+let inc_recover ?(cp = Crash.none) t ~pid ~li_before_write =
+  if li_before_write then inc ~cp t ~pid  (* lines 7-8 *)
+  else ()  (* line 10 *)
+
+let read ?(cp = Crash.none) t ~pid =
+  let val_ = ref 0 in
+  for i = 0 to t.nprocs - 1 do
+    val_ := !val_ + Rrw.read ~cp t.regs.(i)  (* lines 12-14 *)
+  done;
+  Crash.point cp;
+  Atomic.set t.res.(pid) !val_;  (* line 15 *)
+  !val_
+
+let read_recover ?cp t ~pid = read ?cp t ~pid  (* line 18: proceed from line 12 *)
+
+(** Baseline: plain array counter with the same structure (per-process
+    slot, sum on read) but no recovery machinery — isolates the cost of
+    recoverability rather than of the data layout. *)
+module Plain = struct
+  type t = int Atomic.t array
+
+  let create ~nprocs = Array.init nprocs (fun _ -> Atomic.make 0)
+  let inc t ~pid = Atomic.set t.(pid) (Atomic.get t.(pid) + 1)
+
+  let read t =
+    let v = ref 0 in
+    Array.iter (fun c -> v := !v + Atomic.get c) t;
+    !v
+end
+
+(** Second baseline: a fetch-and-add counter (the conventional
+    non-recoverable multicore counter). *)
+module Faa = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let inc t = ignore (Atomic.fetch_and_add t 1)
+  let read t = Atomic.get t
+end

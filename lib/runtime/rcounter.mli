@@ -1,0 +1,39 @@
+(** Algorithm 4 on real multicore: recoverable counter nested on {!Rrw}
+    recoverable registers.  [read] is strict (persists its response in
+    [res] before returning). *)
+
+type t = {
+  regs : int Rrw.t array;  (** per-process single-writer recoverable registers *)
+  res : int Atomic.t array;  (** [Res_p] for strict READ; -1 = none *)
+  nprocs : int;
+}
+
+val create : nprocs:int -> t
+val inc : ?cp:Crash.t -> t -> pid:int -> unit
+
+val inc_recover : ?cp:Crash.t -> t -> pid:int -> li_before_write:bool -> unit
+(** [INC.RECOVER].  [li_before_write] is the harness-supplied [LI_p < 4]
+    bit: whether the crash occurred before the nested WRITE started.  If
+    the crash hit {e inside} the WRITE, first run [Rrw.write_recover] on
+    the register, then call this with [li_before_write:false]. *)
+
+val read : ?cp:Crash.t -> t -> pid:int -> int
+val read_recover : ?cp:Crash.t -> t -> pid:int -> int
+
+(** Plain array counter with the same layout but no recovery machinery. *)
+module Plain : sig
+  type t
+
+  val create : nprocs:int -> t
+  val inc : t -> pid:int -> unit
+  val read : t -> int
+end
+
+(** Conventional fetch-and-add counter baseline. *)
+module Faa : sig
+  type t
+
+  val create : unit -> t
+  val inc : t -> unit
+  val read : t -> int
+end

@@ -1,0 +1,83 @@
+(** Recoverable fetch-and-add on real multicore, nested on the strict CAS
+    ({!Rscas}) — the native counterpart of the simulator's
+    {!Objects.Faa_obj}, using the same persisted per-attempt tag
+    protocol.
+
+    The [committed] flag plays the role the machine's [LI_p] plays in
+    simulation: the caller's wrapper (the "system") keeps it across the
+    crash and passes it to {!recover} — it is set exactly when the
+    attempt's tag has been persisted (the commit point). *)
+
+type t = {
+  c : int Rscas.t;
+  seq : int Atomic.t array;  (** per-process attempt tags *)
+  att : (int * int) Atomic.t array;  (** per-process <seq, value read> *)
+  own : (int * int) Atomic.t array;  (** per-process <seq, response> *)
+  nprocs : int;
+}
+
+let create ~nprocs ?(init = 0) () =
+  {
+    c = Rscas.create ~nprocs init;
+    seq = Array.init nprocs (fun _ -> Atomic.make 0);
+    att = Array.init nprocs (fun _ -> Atomic.make (-1, 0));
+    own = Array.init nprocs (fun _ -> Atomic.make (-1, 0));
+    nprocs;
+  }
+
+let read ?cp t = Rscas.read ?cp t.c
+
+(* one attempt: returns (Some prev) on success, None on CAS failure *)
+let attempt ?(cp = Crash.none) t ~pid ~delta ~committed =
+  Crash.point cp;
+  let s = Atomic.get t.seq.(pid) + 1 in
+  Crash.point cp;
+  Atomic.set t.seq.(pid) s;
+  (match committed with Some r -> r := true | None -> ());
+  let (_, v) as content = Rscas.read_content ~cp t.c in
+  Crash.point cp;
+  Atomic.set t.att.(pid) (s, v);
+  if Rscas.cas_content ~cp t.c ~pid ~content ~new_:(v + delta) ~seq:s then begin
+    Crash.point cp;
+    Atomic.set t.own.(pid) (s, v);
+    Some v
+  end
+  else None
+
+let rec faa ?(cp = Crash.none) ?committed t ~pid delta =
+  (match committed with Some r -> r := false | None -> ());
+  match attempt ~cp t ~pid ~delta ~committed with
+  | Some v -> v
+  | None -> faa ~cp ?committed t ~pid delta
+
+(** [FAA.RECOVER].  [committed] is the wrapper-preserved commit flag of
+    the {e latest} attempt (false if the crash predates the tag
+    persistence, in which case the whole operation re-executes — safe,
+    since an uncommitted attempt invoked no CAS and a preceding committed
+    attempt only retries after a persisted failure). *)
+let recover ?(cp = Crash.none) ?(committed = true) t ~pid delta =
+  if not committed then faa ~cp t ~pid delta
+  else begin
+    Crash.point cp;
+    let s = Atomic.get t.seq.(pid) in
+    Crash.point cp;
+    let os, ov = Atomic.get t.own.(pid) in
+    if os = s then ov
+    else begin
+      Crash.point cp;
+      let ats, atv = Atomic.get t.att.(pid) in
+      if ats <> s then
+        (* the attempt never reached its CAS (the att write precedes it) *)
+        faa ~cp t ~pid delta
+      else begin
+        (* the CAS may have been invoked and even have taken effect with
+           its response lost mid-persist: ask the CAS level for evidence *)
+        match Rscas.outcome ~cp t.c ~pid ~new_:(atv + delta) ~seq:s with
+        | Some true ->
+          Crash.point cp;
+          Atomic.set t.own.(pid) (s, atv);
+          atv
+        | Some false | None -> faa ~cp t ~pid delta
+      end
+    end
+  end

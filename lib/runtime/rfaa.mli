@@ -1,0 +1,22 @@
+(** Recoverable fetch-and-add on real multicore, nested on {!Rscas} with
+    the persisted per-attempt tag protocol.  The [committed] flag is
+    wrapper-preserved system metadata: set exactly when the current
+    attempt's tag has been persisted. *)
+
+type t = {
+  c : int Rscas.t;
+  seq : int Atomic.t array;
+  att : (int * int) Atomic.t array;  (** <seq, value read by the attempt> *)
+  own : (int * int) Atomic.t array;  (** <seq, response> *)
+  nprocs : int;
+}
+
+val create : nprocs:int -> ?init:int -> unit -> t
+val read : ?cp:Crash.t -> t -> int
+
+val faa : ?cp:Crash.t -> ?committed:bool ref -> t -> pid:int -> int -> int
+(** Add a positive delta; returns the previous value. *)
+
+val recover : ?cp:Crash.t -> ?committed:bool -> t -> pid:int -> int -> int
+(** [FAA.RECOVER] with the wrapper-preserved commit flag of the latest
+    attempt. *)

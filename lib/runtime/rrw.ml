@@ -1,0 +1,54 @@
+(** Algorithm 1 on real multicore: recoverable read/write register over
+    OCaml 5 [Atomic] cells.
+
+    Values are polymorphic and compared structurally; as in the paper, all
+    values written must be distinct (tag them with writer id and sequence
+    number — see {!Rvalue}).  Each shared access is preceded by a crash
+    point so single-process recovery drills can abort the operation at any
+    position and then run [write_recover]/[read_recover]. *)
+
+type 'a t = {
+  r : 'a Atomic.t;
+  s : (int * 'a) Atomic.t array;  (** [S_p]: <flag, previous value> *)
+}
+
+let create ~nprocs init =
+  { r = Atomic.make init; s = Array.init nprocs (fun _ -> Atomic.make (0, init)) }
+
+let read ?(cp = Crash.none) t =
+  Crash.point cp;
+  Atomic.get t.r  (* line 8 *)
+
+let read_recover ?cp t = read ?cp t
+
+let rec write ?(cp = Crash.none) t ~pid v =
+  Crash.point cp;
+  let temp = Atomic.get t.r in  (* line 2 *)
+  Crash.point cp;
+  Atomic.set t.s.(pid) (1, temp);  (* line 3 *)
+  Crash.point cp;
+  Atomic.set t.r v;  (* line 4 *)
+  Crash.point cp;
+  Atomic.set t.s.(pid) (0, v)  (* line 5 *)
+
+and write_recover ?(cp = Crash.none) t ~pid v =
+  Crash.point cp;
+  let flag, curr = Atomic.get t.s.(pid) in  (* line 11 *)
+  if flag = 0 && curr <> v then write ~cp t ~pid v  (* lines 12-13 *)
+  else begin
+    Crash.point cp;
+    if flag = 1 && curr = Atomic.get t.r then write ~cp t ~pid v  (* lines 14-15 *)
+    else begin
+      Crash.point cp;
+      Atomic.set t.s.(pid) (0, v)  (* line 16 *)
+    end
+  end
+
+(** Baseline: plain (non-recoverable) register with the same interface. *)
+module Plain = struct
+  type 'a t = 'a Atomic.t
+
+  let create init = Atomic.make init
+  let read t = Atomic.get t
+  let write t v = Atomic.set t v
+end

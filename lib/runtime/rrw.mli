@@ -1,0 +1,29 @@
+(** Algorithm 1 on real multicore: recoverable read/write register over
+    OCaml 5 [Atomic] cells.
+
+    Values are compared structurally; all written values must be distinct
+    (tag them with writer id and sequence number).  The [?cp] arguments
+    are crash points for single-process recovery drills. *)
+
+type 'a t = {
+  r : 'a Atomic.t;
+  s : (int * 'a) Atomic.t array;  (** [S_p]: <flag, previous value> *)
+}
+
+val create : nprocs:int -> 'a -> 'a t
+val read : ?cp:Crash.t -> 'a t -> 'a
+val read_recover : ?cp:Crash.t -> 'a t -> 'a
+val write : ?cp:Crash.t -> 'a t -> pid:int -> 'a -> unit
+
+val write_recover : ?cp:Crash.t -> 'a t -> pid:int -> 'a -> unit
+(** [WRITE.RECOVER]: re-executes exactly when the interrupted write could
+    not have been linearized (lines 11-17 of the paper). *)
+
+(** Plain (non-recoverable) register baseline. *)
+module Plain : sig
+  type 'a t
+
+  val create : 'a -> 'a t
+  val read : 'a t -> 'a
+  val write : 'a t -> 'a -> unit
+end

@@ -1,0 +1,98 @@
+(** The strict recoverable CAS on real multicore: {!Rcas} plus
+    per-invocation tagged response persistence ([res] holds
+    [<seq, ret>]), mirroring the simulator's {!Objects.Scas_obj}.
+
+    The caller supplies a [seq] tag, distinct and non-negative across its
+    invocations; a recovering caller can then decide from [res.(pid)]
+    whether its pending CAS completed and with which response. *)
+
+type 'a t = {
+  c : (int * 'a) Atomic.t;  (** <last successful writer (-1 = null), value> *)
+  r : 'a option Atomic.t array array;
+  res : (int * bool) Atomic.t array;  (** per-process <seq, ret>; seq -1 = none *)
+  nprocs : int;
+}
+
+let null_id = -1
+
+let create ~nprocs init =
+  {
+    c = Atomic.make (null_id, init);
+    r = Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Atomic.make None));
+    res = Array.init nprocs (fun _ -> Atomic.make (-1, false));
+    nprocs;
+  }
+
+let read ?(cp = Crash.none) t =
+  Crash.point cp;
+  snd (Atomic.get t.c)
+
+(* read the full <id, value> content (needed by retry loops that CAS on
+   the physical content) *)
+let read_content ?(cp = Crash.none) t =
+  Crash.point cp;
+  Atomic.get t.c
+
+let persist ?(cp = Crash.none) t ~pid ~seq ret =
+  Crash.point cp;
+  Atomic.set t.res.(pid) (seq, ret);
+  ret
+
+let cas ?(cp = Crash.none) t ~pid ~old ~new_ ~seq =
+  Crash.point cp;
+  let (id, v) as content = Atomic.get t.c in
+  if v <> old then persist ~cp t ~pid ~seq false
+  else begin
+    if id <> null_id then begin
+      Crash.point cp;
+      Atomic.set t.r.(id).(pid) (Some v)
+    end;
+    Crash.point cp;
+    let ok = Atomic.compare_and_set t.c content (pid, new_) in
+    persist ~cp t ~pid ~seq ok
+  end
+
+(** Like {!cas} but comparing against (and swapping from) the exact
+    content previously obtained with {!read_content} — what retry loops
+    need, since OCaml's [Atomic.compare_and_set] is physical. *)
+let cas_content ?(cp = Crash.none) t ~pid ~content ~new_ ~seq =
+  let id, _v = content in
+  if id <> null_id then begin
+    Crash.point cp;
+    Atomic.set t.r.(id).(pid) (Some (snd content))
+  end;
+  Crash.point cp;
+  let ok = Atomic.compare_and_set t.c content (pid, new_) in
+  persist ~cp t ~pid ~seq ok
+
+(** Evidence-only verdict for the CAS invocation tagged [seq] with value
+    [new_]: [Some r] if the persisted response, [C]'s contents or the
+    helping matrix row decide it (persisting the verdict on the way out);
+    [None] if there is no evidence — by the paper's Lemma 3 argument the
+    cas then never took effect and the caller may safely re-execute at
+    its own level.  This is what a {e nesting} caller's recovery needs
+    (the machine gets it for free from the recovery cascade; native code
+    must ask explicitly). *)
+let outcome ?(cp = Crash.none) t ~pid ~new_ ~seq =
+  Crash.point cp;
+  let s, r = Atomic.get t.res.(pid) in
+  if s = seq then Some r
+  else begin
+    Crash.point cp;
+    if Atomic.get t.c = (pid, new_) then Some (persist ~cp t ~pid ~seq true)
+    else begin
+      let found = ref false in
+      for j = 0 to t.nprocs - 1 do
+        Crash.point cp;
+        match Atomic.get t.r.(pid).(j) with
+        | Some v when v = new_ -> found := true
+        | _ -> ()
+      done;
+      if !found then Some (persist ~cp t ~pid ~seq true) else None
+    end
+  end
+
+let cas_recover ?(cp = Crash.none) t ~pid ~old ~new_ ~seq =
+  match outcome ~cp t ~pid ~new_ ~seq with
+  | Some r -> r
+  | None -> cas ~cp t ~pid ~old ~new_ ~seq

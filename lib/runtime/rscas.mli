@@ -1,0 +1,39 @@
+(** Strict recoverable CAS on real multicore: {!Rcas} plus per-invocation
+    tagged response persistence, mirroring the simulator's
+    {!Objects.Scas_obj}.  The caller supplies a [seq] tag, distinct and
+    non-negative across its invocations. *)
+
+type 'a t = {
+  c : (int * 'a) Atomic.t;  (** <last successful writer (-1 = null), value> *)
+  r : 'a option Atomic.t array array;  (** helping matrix *)
+  res : (int * bool) Atomic.t array;  (** per-process <seq, ret> *)
+  nprocs : int;
+}
+
+val null_id : int
+val create : nprocs:int -> 'a -> 'a t
+val read : ?cp:Crash.t -> 'a t -> 'a
+
+val read_content : ?cp:Crash.t -> 'a t -> int * 'a
+(** The full <id, value> content, for retry loops that CAS on the
+    physical content. *)
+
+val cas : ?cp:Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> seq:int -> bool
+(** Algorithm 2's CAS, persisting [<seq, ret>] before returning. *)
+
+val cas_content :
+  ?cp:Crash.t -> 'a t -> pid:int -> content:int * 'a -> new_:'a -> seq:int -> bool
+(** Like {!cas} but from a content previously obtained with
+    {!read_content} (OCaml's [Atomic.compare_and_set] is physical). *)
+
+val cas_recover : ?cp:Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> seq:int -> bool
+(** [CAS.RECOVER]: answer from the persisted verdict or the evidence, or
+    re-execute. *)
+
+val outcome : ?cp:Crash.t -> 'a t -> pid:int -> new_:'a -> seq:int -> bool option
+(** Evidence-only verdict for the invocation tagged [seq]: [Some r] if
+    the persisted response, [C]'s contents or the helping row decide it
+    (persisting on the way out); [None] when there is no evidence — by
+    Lemma 3's argument the cas then never took effect.  Nesting callers'
+    recoveries need this (the machine gets it from the recovery cascade;
+    native code must ask). *)

@@ -1,0 +1,99 @@
+(** Recoverable Treiber stack on real multicore, nested on the strict CAS
+    ({!Rscas}) — the native counterpart of the simulator's
+    {!Objects.Stack_obj}.
+
+    The whole stack lives in the CAS cell as a stamped immutable list;
+    the stamp [(pid, seq)] makes contents writer-unique (distinct-values
+    assumption, ABA immunity).  Responses are encoded as ['a option]
+    ([None] = empty).  The [committed] flag is the wrapper-preserved
+    commit marker, as in {!Rfaa}. *)
+
+type 'a response = Pushed | Popped of 'a | Empty
+
+type 'a t = {
+  c : ((int * int) * 'a list) Rscas.t;
+  seq : int Atomic.t array;
+  att : (int * ('a response * ((int * int) * 'a list))) Atomic.t array;
+      (** <seq, (would-be response, value the attempt CASes in)> — the new
+          value is needed by the recovery's CAS-level evidence check *)
+  own : (int * 'a response) Atomic.t array;  (** <seq, response> *)
+  nprocs : int;
+}
+
+let create ~nprocs () =
+  {
+    c = Rscas.create ~nprocs ((Rscas.null_id, 0), []);
+    seq = Array.init nprocs (fun _ -> Atomic.make 0);
+    att = Array.init nprocs (fun _ -> Atomic.make (-1, (Empty, ((Rscas.null_id, 0), []))));
+    own = Array.init nprocs (fun _ -> Atomic.make (-1, Empty));
+    nprocs;
+  }
+
+let peek ?cp t = match snd (Rscas.read ?cp t.c) with x :: _ -> Some x | [] -> None
+
+let commit_tag ?(cp = Crash.none) t ~pid ~committed =
+  Crash.point cp;
+  let s = Atomic.get t.seq.(pid) + 1 in
+  Crash.point cp;
+  Atomic.set t.seq.(pid) s;
+  (match committed with Some r -> r := true | None -> ());
+  s
+
+let finish ?(cp = Crash.none) t ~pid ~s resp =
+  Crash.point cp;
+  Atomic.set t.own.(pid) (s, resp);
+  resp
+
+let rec push ?(cp = Crash.none) ?committed t ~pid x =
+  (match committed with Some r -> r := false | None -> ());
+  let s = commit_tag ~cp t ~pid ~committed in
+  let ((_, (_, l)) as content) = Rscas.read_content ~cp t.c in
+  let new_ = ((pid, s), x :: l) in
+  Crash.point cp;
+  Atomic.set t.att.(pid) (s, (Pushed, new_));
+  if Rscas.cas_content ~cp t.c ~pid ~content ~new_ ~seq:s then finish ~cp t ~pid ~s Pushed
+  else push ~cp ?committed t ~pid x
+
+let rec pop ?(cp = Crash.none) ?committed t ~pid =
+  (match committed with Some r -> r := false | None -> ());
+  let s = commit_tag ~cp t ~pid ~committed in
+  let ((_, (_, l)) as content) = Rscas.read_content ~cp t.c in
+  match l with
+  | [] -> finish ~cp t ~pid ~s Empty
+  | x :: tl ->
+    let new_ = ((pid, s), tl) in
+    Crash.point cp;
+    Atomic.set t.att.(pid) (s, (Popped x, new_));
+    if Rscas.cas_content ~cp t.c ~pid ~content ~new_ ~seq:s then
+      finish ~cp t ~pid ~s (Popped x)
+    else pop ~cp ?committed t ~pid
+
+(* the shared recovery: decide the latest attempt's fate from the
+   persisted tags, asking the CAS level for evidence when the crash may
+   have hit between the physical cas and the response persistence;
+   otherwise re-execute *)
+let recover_with ?(cp = Crash.none) ~committed ~redo t ~pid =
+  if not committed then redo ()
+  else begin
+    Crash.point cp;
+    let s = Atomic.get t.seq.(pid) in
+    Crash.point cp;
+    let os, ov = Atomic.get t.own.(pid) in
+    if os = s then ov
+    else begin
+      Crash.point cp;
+      let ats, (aresp, anew) = Atomic.get t.att.(pid) in
+      if ats <> s then redo ()
+      else begin
+        match Rscas.outcome ~cp t.c ~pid ~new_:anew ~seq:s with
+        | Some true -> finish ~cp t ~pid ~s aresp
+        | Some false | None -> redo ()
+      end
+    end
+  end
+
+let push_recover ?(cp = Crash.none) ?(committed = true) t ~pid x =
+  recover_with ~cp ~committed ~redo:(fun () -> push ~cp t ~pid x) t ~pid
+
+let pop_recover ?(cp = Crash.none) ?(committed = true) t ~pid =
+  recover_with ~cp ~committed ~redo:(fun () -> pop ~cp t ~pid) t ~pid

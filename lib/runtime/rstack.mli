@@ -1,0 +1,23 @@
+(** Recoverable Treiber stack on real multicore, nested on {!Rscas}; the
+    whole stack lives in the CAS cell as a writer-stamped immutable
+    list. *)
+
+type 'a response = Pushed | Popped of 'a | Empty
+
+type 'a t = {
+  c : ((int * int) * 'a list) Rscas.t;
+  seq : int Atomic.t array;
+  att : (int * ('a response * ((int * int) * 'a list))) Atomic.t array;
+  own : (int * 'a response) Atomic.t array;
+  nprocs : int;
+}
+
+val create : nprocs:int -> unit -> 'a t
+val peek : ?cp:Crash.t -> 'a t -> 'a option
+val push : ?cp:Crash.t -> ?committed:bool ref -> 'a t -> pid:int -> 'a -> 'a response
+val pop : ?cp:Crash.t -> ?committed:bool ref -> 'a t -> pid:int -> 'a response
+
+val push_recover :
+  ?cp:Crash.t -> ?committed:bool -> 'a t -> pid:int -> 'a -> 'a response
+
+val pop_recover : ?cp:Crash.t -> ?committed:bool -> 'a t -> pid:int -> 'a response

@@ -1,0 +1,122 @@
+(** Algorithm 3 on real multicore: recoverable test-and-set over OCaml 5
+    [Atomic] cells.  [T&S] is wait-free and strict (its response is
+    persisted in [Res_p] before returning); [T&S.RECOVER] busy-waits on
+    other processes' state as the paper prescribes (and Theorem 4 proves
+    necessary). *)
+
+type t = {
+  r : int Atomic.t array;  (** per-process state, 0..4 *)
+  winner : int Atomic.t;  (** -1 = null *)
+  doorway : bool Atomic.t;  (** true = open *)
+  t : bool Atomic.t;  (** the base t&s bit *)
+  res : int Atomic.t array;  (** persisted responses; -1 = none *)
+  nprocs : int;
+}
+
+let null_id = -1
+
+let create ~nprocs =
+  {
+    r = Array.init nprocs (fun _ -> Atomic.make 0);
+    winner = Atomic.make null_id;
+    doorway = Atomic.make true;
+    t = Atomic.make false;
+    res = Array.init nprocs (fun _ -> Atomic.make (-1));
+    nprocs;
+  }
+
+(* the base primitive: atomically set, return previous *)
+let base_tas t = if Atomic.exchange t.t true then 1 else 0
+
+let finish ?(cp = Crash.none) t ~pid ret =
+  Crash.point cp;
+  Atomic.set t.res.(pid) ret;  (* line 11/32 *)
+  Crash.point cp;
+  Atomic.set t.r.(pid) 3;  (* line 12/33 *)
+  ret
+
+let test_and_set ?(cp = Crash.none) t ~pid =
+  Crash.point cp;
+  Atomic.set t.r.(pid) 1;  (* line 2 *)
+  Crash.point cp;
+  if not (Atomic.get t.doorway) then finish ~cp t ~pid 1  (* lines 3-5 *)
+  else begin
+    Crash.point cp;
+    Atomic.set t.r.(pid) 2;  (* line 6 *)
+    Crash.point cp;
+    Atomic.set t.doorway false;  (* line 7 *)
+    Crash.point cp;
+    let ret = base_tas t in  (* line 8 *)
+    if ret = 0 then begin
+      Crash.point cp;
+      Atomic.set t.winner pid  (* lines 9-10 *)
+    end;
+    finish ~cp t ~pid ret
+  end
+
+let rec recover ?(cp = Crash.none) t ~pid =
+  Crash.point cp;
+  if Atomic.get t.r.(pid) < 2 then test_and_set ~cp t ~pid  (* lines 15-16 *)
+  else begin
+    Crash.point cp;
+    if Atomic.get t.r.(pid) = 3 then begin
+      Crash.point cp;
+      Atomic.get t.res.(pid)  (* lines 17-19 *)
+    end
+    else begin
+      Crash.point cp;
+      if Atomic.get t.winner <> null_id then conclude ~cp t ~pid  (* lines 20-21 *)
+      else begin
+        Crash.point cp;
+        Atomic.set t.doorway false;  (* line 22 *)
+        Crash.point cp;
+        Atomic.set t.r.(pid) 4;  (* line 23 *)
+        Crash.point cp;
+        ignore (base_tas t);  (* line 24 *)
+        for i = 0 to pid - 1 do
+          (* line 26: await(R[i] = 0 \/ R[i] = 3) *)
+          let rec await () =
+            Crash.point cp;
+            let v = Atomic.get t.r.(i) in
+            if not (v = 0 || v = 3) then begin
+              Domain.cpu_relax ();
+              await ()
+            end
+          in
+          await ()
+        done;
+        for i = pid + 1 to t.nprocs - 1 do
+          (* line 28: await(R[i] = 0 \/ R[i] > 2) *)
+          let rec await () =
+            Crash.point cp;
+            let v = Atomic.get t.r.(i) in
+            if not (v = 0 || v > 2) then begin
+              Domain.cpu_relax ();
+              await ()
+            end
+          in
+          await ()
+        done;
+        Crash.point cp;
+        if Atomic.get t.winner = null_id then begin
+          Crash.point cp;
+          Atomic.set t.winner pid  (* lines 29-30 *)
+        end;
+        conclude ~cp t ~pid
+      end
+    end
+  end
+
+(* lines 31-34 *)
+and conclude ?(cp = Crash.none) t ~pid =
+  Crash.point cp;
+  let ret = if Atomic.get t.winner = pid then 0 else 1 in
+  finish ~cp t ~pid ret
+
+(** Baseline: plain (non-recoverable) test-and-set. *)
+module Plain = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let test_and_set t = if Atomic.exchange t true then 1 else 0
+end

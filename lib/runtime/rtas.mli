@@ -1,0 +1,32 @@
+(** Algorithm 3 on real multicore: recoverable test-and-set over OCaml 5
+    [Atomic] cells.  [test_and_set] is wait-free and strict (the response
+    is persisted in [res] before returning); [recover] busy-waits on
+    other processes' state, as Theorem 4 proves necessary. *)
+
+type t = {
+  r : int Atomic.t array;  (** per-process state, 0..4 *)
+  winner : int Atomic.t;  (** -1 = null *)
+  doorway : bool Atomic.t;
+  t : bool Atomic.t;  (** the base t&s bit *)
+  res : int Atomic.t array;  (** persisted responses; -1 = none *)
+  nprocs : int;
+}
+
+val null_id : int
+val create : nprocs:int -> t
+
+val test_and_set : ?cp:Crash.t -> t -> pid:int -> int
+(** Returns 0 to the unique winner, 1 to everyone else.  At most one
+    invocation per process. *)
+
+val recover : ?cp:Crash.t -> t -> pid:int -> int
+(** [T&S.RECOVER]; may spin until concurrent in-doorway processes
+    finish. *)
+
+(** Plain (non-recoverable) test-and-set baseline. *)
+module Plain : sig
+  type t
+
+  val create : unit -> t
+  val test_and_set : t -> int
+end

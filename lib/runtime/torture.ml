@@ -1,0 +1,120 @@
+(** Real-multicore crash torture.
+
+    Wraps each recoverable operation the way the paper's {e system} does:
+    the wrapper (not the operation) holds the operation's arguments —
+    they are "system metadata" that survives the crash — and, when an
+    armed crash point fires, consults how far the operation got
+    ({!Crash.traversed}) to invoke the right recovery function, exactly
+    as the model's [LI_p] does.  Crashes can hit the recovery functions
+    too (repeated failures), and recovery is retried until it completes.
+
+    This gives genuinely parallel executions (OCaml domains) in which
+    operations abort at random shared-access boundaries and recover,
+    letting the tests check algorithm postconditions (conservation,
+    unique winner) under real interleavings — complementing the
+    simulator, which checks full NRL on serialised interleavings. *)
+
+(* deterministic per-domain PRNG; Random's global state would serialise
+   domains *)
+type rng = { mutable s : int }
+
+let rng_create seed = { s = (if seed = 0 then 0x9e3779b9 else seed land max_int) }
+
+let rng_bits r =
+  let s = r.s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  r.s <- s land max_int;
+  r.s
+
+let rng_int r n = if n <= 0 then 0 else rng_bits r mod n
+
+type stats = { mutable crashes : int; mutable ops : int }
+
+(** Run [op] with a crash armed at a random position with probability
+    [crash_prob]; on a crash, call [recover ~traversed] (which may itself
+    crash again at a random position) until the operation completes.
+    Returns the operation's (or final recovery's) result. *)
+let with_crashes ~rng ~crash_prob ~stats ~op ~recover =
+  let cp = Crash.create () in
+  let arm () =
+    if rng_int rng 1000 < int_of_float (crash_prob *. 1000.) then
+      Crash.arm cp (rng_int rng 12)
+    else Crash.disarm cp
+  in
+  arm ();
+  stats.ops <- stats.ops + 1;
+  match op ~cp with
+  | v ->
+    Crash.disarm cp;
+    v
+  | exception Crash.Crashed ->
+    stats.crashes <- stats.crashes + 1;
+    let rec retry () =
+      let traversed = Crash.traversed cp in
+      arm ();
+      match recover ~cp ~traversed with
+      | v ->
+        Crash.disarm cp;
+        v
+      | exception Crash.Crashed ->
+        stats.crashes <- stats.crashes + 1;
+        retry ()
+    in
+    retry ()
+
+(** A recoverable-register WRITE under random crashes.  The wrapper holds
+    the argument (system metadata); any crash position is recovered by
+    [Rrw.write_recover], which decides re-execution itself. *)
+let rrw_write ~rng ~crash_prob ~stats reg ~pid v =
+  with_crashes ~rng ~crash_prob ~stats
+    ~op:(fun ~cp -> Rrw.write ~cp reg ~pid v)
+    ~recover:(fun ~cp ~traversed ->
+      ignore traversed;
+      Rrw.write_recover ~cp reg ~pid v)
+
+(** A recoverable-counter INC under random crashes.  The wrapper
+    remembers the value the nested WRITE was invoked with (the system
+    preserves nested-operation arguments), so a crash inside the WRITE
+    first runs the register's recovery and then INC's, mirroring the
+    cascade. *)
+let rcounter_inc ~rng ~crash_prob ~stats (c : Rcounter.t) ~pid =
+  let pending_write = ref None in
+  let body ~cp =
+    Crash.point cp;
+    let temp = Rrw.read c.Rcounter.regs.(pid) in
+    (* line 2 *)
+    let v = temp + 1 in
+    pending_write := Some v;
+    (* the write of line 4: its argument is now system metadata *)
+    Rrw.write ~cp c.Rcounter.regs.(pid) ~pid v
+  in
+  let recover ~cp ~traversed =
+    match !pending_write with
+    | None ->
+      ignore traversed;
+      body ~cp (* crashed before the write started: re-execute *)
+    | Some v ->
+      (* crash at or after the nested write's invocation: the register's
+         recovery linearizes it exactly once; INC then just returns *)
+      Rrw.write_recover ~cp c.Rcounter.regs.(pid) ~pid v
+  in
+  with_crashes ~rng ~crash_prob ~stats ~op:body ~recover
+
+(** A recoverable T&S under random crashes. *)
+let rtas ~rng ~crash_prob ~stats t ~pid =
+  with_crashes ~rng ~crash_prob ~stats
+    ~op:(fun ~cp -> Rtas.test_and_set ~cp t ~pid)
+    ~recover:(fun ~cp ~traversed ->
+      ignore traversed;
+      Rtas.recover ~cp t ~pid)
+
+(** A recoverable CAS under random crashes; the wrapper holds [old] and
+    [new_]. *)
+let rcas ~rng ~crash_prob ~stats c ~pid ~old ~new_ =
+  with_crashes ~rng ~crash_prob ~stats
+    ~op:(fun ~cp -> Rcas.cas ~cp c ~pid ~old ~new_)
+    ~recover:(fun ~cp ~traversed ->
+      ignore traversed;
+      Rcas.cas_recover ~cp c ~pid ~old ~new_)

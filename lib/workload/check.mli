@@ -1,0 +1,16 @@
+(** Glue between the machine and the checkers. *)
+
+val spec_for : Machine.Sim.t -> int -> Linearize.Spec.t option
+(** The sequential specification for an object instance, selected by its
+    type tag and instantiated with its initial value (and size, for
+    parameterised objects). *)
+
+val nrl : Machine.Sim.t -> Linearize.Nrl.result
+(** Check the full NRL condition (Definition 4) on the machine's
+    history. *)
+
+val nrl_violation : Machine.Sim.t -> string option
+(** [None] if the history satisfies NRL, [Some reason] otherwise. *)
+
+val strictness_violations : Machine.Sim.t -> History.Step.t list
+(** Strictness violations (Definition 1) recorded in the history. *)

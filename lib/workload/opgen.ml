@@ -1,0 +1,52 @@
+(** Workload generators: per-process operation scripts that respect the
+    assumptions the paper's algorithms state.
+
+    - Register workloads tag every written value with the writing process
+      id and a per-process sequence number, satisfying Algorithm 1's
+      distinct-values assumption exactly as the paper suggests.
+    - CAS workloads never use [old = new] and give each process distinct
+      new values; the [old] argument is computed at invocation time from
+      the object's current contents, modelling a client that CASes from
+      the value it last observed (this exercises both successful and
+      failing CAS paths).
+    - TAS workloads invoke [T&S] at most once per process. *)
+
+module Prng = Machine.Schedule.Prng
+
+(** A distinct tagged value: [<pid, seq>]. *)
+let tagged pid seq = Nvm.Value.Pair (Nvm.Value.Pid pid, Nvm.Value.Int seq)
+
+(** Script of [count] READ/WRITE operations on register [inst] for process
+    [pid]; writes carry distinct tagged values. *)
+let register_ops ~rng ~pid ~count ~write_ratio inst =
+  List.init count (fun k ->
+      if Prng.float rng < write_ratio then
+        (inst, "WRITE", Machine.Sim.Args [| tagged pid (k + 1) |])
+      else (inst, "READ", Machine.Sim.Args [||]))
+
+(** Script of [count] CAS/READ operations on CAS object [inst].  A CAS uses
+    the object's current value as [old] (computed at invocation) and a
+    fresh tagged value as [new]. *)
+let cas_ops ~rng ~pid ~count ~cas_ratio inst ~cell =
+  List.init count (fun k ->
+      if Prng.float rng < cas_ratio then
+        ( inst,
+          "CAS",
+          Machine.Sim.Compute
+            (fun mem ->
+              let current = Nvm.Value.snd (Nvm.Memory.peek mem cell) in
+              [| current; tagged pid (k + 1) |]) )
+      else (inst, "READ", Machine.Sim.Args [||]))
+
+(** CAS operations with a {e fixed} old value (for schedules that need
+    deterministic argument values, e.g. exhaustive exploration). *)
+let cas_fixed ~pid inst ~old ~seq = (inst, "CAS", Machine.Sim.Args [| old; tagged pid seq |])
+
+(** One [T&S] per process. *)
+let tas_ops inst = [ (inst, "T&S", Machine.Sim.Args [||]) ]
+
+(** Script of [count] INC/READ operations on counter [inst]. *)
+let counter_ops ~rng ~count ~inc_ratio inst =
+  List.init count (fun _ ->
+      if Prng.float rng < inc_ratio then (inst, "INC", Machine.Sim.Args [||])
+      else (inst, "READ", Machine.Sim.Args [||]))

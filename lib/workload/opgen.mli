@@ -1,0 +1,48 @@
+(** Workload generators: per-process operation scripts that respect the
+    assumptions the paper's algorithms state (distinct written values,
+    never [old = new], one T&S per process). *)
+
+val tagged : int -> int -> Nvm.Value.t
+(** [tagged pid seq] — a distinct value [<pid, seq>], the paper's
+    suggested tagging discipline. *)
+
+val register_ops :
+  rng:Machine.Schedule.Prng.t ->
+  pid:int ->
+  count:int ->
+  write_ratio:float ->
+  Machine.Objdef.instance ->
+  (Machine.Objdef.instance * string * Machine.Sim.arg_spec) list
+(** READ/WRITE mix; writes carry distinct tagged values. *)
+
+val cas_ops :
+  rng:Machine.Schedule.Prng.t ->
+  pid:int ->
+  count:int ->
+  cas_ratio:float ->
+  Machine.Objdef.instance ->
+  cell:Nvm.Memory.addr ->
+  (Machine.Objdef.instance * string * Machine.Sim.arg_spec) list
+(** CAS/READ mix; each CAS uses the object's current value as [old]
+    (computed at invocation) and a fresh tagged value as [new]. *)
+
+val cas_fixed :
+  pid:int ->
+  Machine.Objdef.instance ->
+  old:Nvm.Value.t ->
+  seq:int ->
+  Machine.Objdef.instance * string * Machine.Sim.arg_spec
+(** One CAS with fixed arguments (for exhaustive exploration). *)
+
+val tas_ops :
+  Machine.Objdef.instance ->
+  (Machine.Objdef.instance * string * Machine.Sim.arg_spec) list
+(** A single [T&S]. *)
+
+val counter_ops :
+  rng:Machine.Schedule.Prng.t ->
+  count:int ->
+  inc_ratio:float ->
+  Machine.Objdef.instance ->
+  (Machine.Objdef.instance * string * Machine.Sim.arg_spec) list
+(** INC/READ mix. *)

@@ -1,0 +1,215 @@
+(** Ready-made scenarios: one per algorithm of the paper and per naive
+    baseline, parameterised by process count and per-process operation
+    count.  Used by tests, experiments and the CLI. *)
+
+module Prng = Machine.Schedule.Prng
+
+let register ?(nprocs = 3) ?(ops = 6) ?(write_ratio = 0.6) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "register/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Rw_obj.make sim ~name:"R" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (Opgen.register_ops ~rng ~pid:p ~count:ops ~write_ratio inst)
+        done);
+  }
+
+let cas ?(nprocs = 3) ?(ops = 6) ?(cas_ratio = 0.7) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "cas/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst, cells = Objects.Cas_obj.make_ex sim ~name:"C" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (Opgen.cas_ops ~rng ~pid:p ~count:ops ~cas_ratio inst ~cell:cells.Objects.Cas_obj.c)
+        done);
+  }
+
+let tas ?(nprocs = 3) () =
+  {
+    Trial.scen_name = Printf.sprintf "tas/n%d" nprocs;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Tas_obj.make sim ~name:"T" in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p (Opgen.tas_ops inst)
+        done);
+  }
+
+let counter ?(nprocs = 3) ?(ops = 5) ?(inc_ratio = 0.7) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "counter/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Counter_obj.make sim ~name:"CTR" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p (Opgen.counter_ops ~rng ~count:ops ~inc_ratio inst)
+        done);
+  }
+
+let elect ?(nprocs = 3) ?k () =
+  {
+    Trial.scen_name = Printf.sprintf "elect/n%d" nprocs;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Elect_obj.make ?k sim ~name:"E" in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p [ (inst, "ELECT", Machine.Sim.Args [||]) ]
+        done);
+  }
+
+let faa ?(nprocs = 3) ?(ops = 4) ?(faa_ratio = 0.75) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "faa/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Faa_obj.make sim ~name:"F" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (List.init ops (fun _ ->
+                 if Prng.float rng < faa_ratio then
+                   (inst, "FAA", Machine.Sim.Args [| Nvm.Value.Int (1 + Prng.int rng 3) |])
+                 else (inst, "READ", Machine.Sim.Args [||])))
+        done);
+  }
+
+let histogram ?(nprocs = 3) ?(ops = 4) ?(k = 3) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "histogram/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Histogram_obj.make ~k sim ~name:"H" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (List.init ops (fun _ ->
+                 match Prng.int rng 4 with
+                 | 0 -> (inst, "TOTAL", Machine.Sim.Args [||])
+                 | 1 -> (inst, "BUCKET", Machine.Sim.Args [| Nvm.Value.Int (Prng.int rng k) |])
+                 | _ -> (inst, "RECORD", Machine.Sim.Args [| Nvm.Value.Int (Prng.int rng k) |])))
+        done);
+  }
+
+let stack ?(nprocs = 3) ?(ops = 4) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "stack/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Stack_obj.make sim ~name:"S" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (List.init ops (fun k ->
+                 match Prng.int rng 5 with
+                 | 0 | 1 -> (inst, "PUSH", Machine.Sim.Args [| Opgen.tagged p (k + 1) |])
+                 | 2 | 3 -> (inst, "POP", Machine.Sim.Args [||])
+                 | _ -> (inst, "PEEK", Machine.Sim.Args [||])))
+        done);
+  }
+
+let queue ?(nprocs = 3) ?(ops = 4) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "queue/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Queue_obj.make sim ~name:"Q" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (List.init ops (fun k ->
+                 match Prng.int rng 5 with
+                 | 0 | 1 -> (inst, "ENQ", Machine.Sim.Args [| Opgen.tagged p (k + 1) |])
+                 | 2 | 3 -> (inst, "DEQ", Machine.Sim.Args [||])
+                 | _ -> (inst, "FRONT", Machine.Sim.Args [||])))
+        done);
+  }
+
+let max_register ?(nprocs = 3) ?(ops = 4) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name = Printf.sprintf "max-register/n%d/ops%d" nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Max_register_obj.make sim ~name:"M" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (List.init ops (fun _ ->
+                 if Prng.int rng 3 < 2 then
+                   (inst, "WRITE_MAX", Machine.Sim.Args [| Nvm.Value.Int (1 + Prng.int rng 50) |])
+                 else (inst, "READ", Machine.Sim.Args [||])))
+        done);
+  }
+
+(* Naive baselines: same workloads, unsound recovery. *)
+
+let naive_rw ~strategy ?(nprocs = 3) ?(ops = 6) ?(write_ratio = 0.6) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name =
+      Printf.sprintf "naive-rw-%s/n%d/ops%d"
+        (match strategy with `Optimistic -> "optimistic" | `Reexecute -> "reexec")
+        nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Naive.make_rw ~strategy sim ~name:"R" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (Opgen.register_ops ~rng ~pid:p ~count:ops ~write_ratio inst)
+        done);
+  }
+
+let naive_cas ~strategy ?(nprocs = 3) ?(ops = 6) ?(cas_ratio = 0.7) ?(rng_seed = 42) () =
+  {
+    Trial.scen_name =
+      Printf.sprintf "naive-cas-%s/n%d/ops%d"
+        (match strategy with `Optimistic -> "optimistic" | `Reexecute -> "reexec")
+        nprocs ops;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst, cell = Objects.Naive.make_cas_ex ~strategy sim ~name:"C" in
+        let rng = Prng.create rng_seed in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p
+            (List.init ops (fun k ->
+                 if Prng.float rng < cas_ratio then
+                   ( inst,
+                     "CAS",
+                     Machine.Sim.Compute
+                       (fun mem -> [| Nvm.Memory.peek mem cell; Opgen.tagged p (k + 1) |]) )
+                 else (inst, "READ", Machine.Sim.Args [||])))
+        done);
+  }
+
+let naive_tas ?(nprocs = 3) () =
+  {
+    Trial.scen_name = Printf.sprintf "naive-tas-reexec/n%d" nprocs;
+    nprocs;
+    build =
+      (fun sim ->
+        let inst = Objects.Naive.make_tas ~strategy:`Reexecute sim ~name:"T" in
+        for p = 0 to nprocs - 1 do
+          Machine.Sim.set_script sim p (Opgen.tas_ops inst)
+        done);
+  }
+
+let all_paper ?(nprocs = 3) () =
+  [ register ~nprocs (); cas ~nprocs (); tas ~nprocs (); counter ~nprocs () ]

@@ -1,0 +1,57 @@
+(** Ready-made scenarios: one per algorithm of the paper, one per
+    extension, and one per naive baseline; parameterised by process and
+    operation counts.  Used by tests, experiments, examples and the
+    CLI. *)
+
+module Prng = Machine.Schedule.Prng
+
+val register :
+  ?nprocs:int -> ?ops:int -> ?write_ratio:float -> ?rng_seed:int -> unit -> Trial.scenario
+(** Algorithm 1 under a READ/WRITE mix. *)
+
+val cas :
+  ?nprocs:int -> ?ops:int -> ?cas_ratio:float -> ?rng_seed:int -> unit -> Trial.scenario
+(** Algorithm 2 under a CAS/READ mix. *)
+
+val tas : ?nprocs:int -> unit -> Trial.scenario
+(** Algorithm 3: one T&S per process. *)
+
+val counter :
+  ?nprocs:int -> ?ops:int -> ?inc_ratio:float -> ?rng_seed:int -> unit -> Trial.scenario
+(** Algorithm 4 under an INC/READ mix. *)
+
+val elect : ?nprocs:int -> ?k:int -> unit -> Trial.scenario
+(** The Elect extension: one ELECT per process. *)
+
+val faa :
+  ?nprocs:int -> ?ops:int -> ?faa_ratio:float -> ?rng_seed:int -> unit -> Trial.scenario
+(** The nested-FAA extension under an FAA/READ mix (deltas in 1..3). *)
+
+val histogram :
+  ?nprocs:int -> ?ops:int -> ?k:int -> ?rng_seed:int -> unit -> Trial.scenario
+(** The three-level histogram under a RECORD/BUCKET/TOTAL mix. *)
+
+val stack :
+  ?nprocs:int -> ?ops:int -> ?rng_seed:int -> unit -> Trial.scenario
+(** The recoverable-stack extension under a PUSH/POP/PEEK mix. *)
+
+val queue :
+  ?nprocs:int -> ?ops:int -> ?rng_seed:int -> unit -> Trial.scenario
+(** The recoverable-queue extension under an ENQ/DEQ/FRONT mix. *)
+
+val max_register :
+  ?nprocs:int -> ?ops:int -> ?rng_seed:int -> unit -> Trial.scenario
+(** The recoverable max-register under a WRITE_MAX/READ mix. *)
+
+val naive_rw :
+  strategy:[ `Optimistic | `Reexecute ] ->
+  ?nprocs:int -> ?ops:int -> ?write_ratio:float -> ?rng_seed:int -> unit -> Trial.scenario
+
+val naive_cas :
+  strategy:[ `Optimistic | `Reexecute ] ->
+  ?nprocs:int -> ?ops:int -> ?cas_ratio:float -> ?rng_seed:int -> unit -> Trial.scenario
+
+val naive_tas : ?nprocs:int -> unit -> Trial.scenario
+
+val all_paper : ?nprocs:int -> unit -> Trial.scenario list
+(** The four scenarios covering the paper's Algorithms 1-4. *)

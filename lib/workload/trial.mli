@@ -1,0 +1,55 @@
+(** Randomized crash-torture trials: build a scenario, run it under a
+    seeded random schedule with crash injection, and check NRL. *)
+
+type scenario = {
+  scen_name : string;
+  nprocs : int;
+  build : Machine.Sim.t -> unit;
+      (** allocate the scenario's objects and install per-process scripts *)
+}
+
+type result = {
+  outcome : Machine.Schedule.outcome;
+  steps : int;
+  crashes : int;
+  nrl_ok : bool;
+  nrl_reason : string option;
+  strict_violations : int;
+  history_len : int;
+}
+
+val run :
+  ?max_steps:int ->
+  ?crash_prob:float ->
+  ?recover_prob:float ->
+  ?max_crashes:int ->
+  ?system_crash_prob:float ->
+  seed:int ->
+  scenario ->
+  Machine.Sim.t * result
+(** One seeded trial; returns the machine (with its history) and the
+    verdict. *)
+
+type summary = {
+  trials : int;
+  completed : int;
+  passed : int;
+  failed : int;
+  total_crashes : int;
+  total_ops : int;
+  first_failure : (int * string) option;  (** seed and reason *)
+}
+
+val batch :
+  ?max_steps:int ->
+  ?crash_prob:float ->
+  ?recover_prob:float ->
+  ?max_crashes:int ->
+  ?system_crash_prob:float ->
+  ?base_seed:int ->
+  trials:int ->
+  scenario ->
+  summary
+(** Independent trials with seeds [base_seed .. base_seed + trials - 1]. *)
+
+val pp_summary : summary Fmt.t

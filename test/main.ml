@@ -1,0 +1,23 @@
+(* Test entry point: one alcotest run aggregating every suite. *)
+
+let () =
+  Alcotest.run "nrl"
+    [
+      ("nvm", Test_nvm.suite);
+      ("machine", Test_machine.suite);
+      ("history", Test_history.suite);
+      ("linearize", Test_linearize.suite);
+      ("objects", Test_objects.suite);
+      ("naive", Test_naive.suite);
+      ("elect", Test_elect.suite);
+      ("faa", Test_faa.suite);
+      ("histogram", Test_histogram.suite);
+      ("stack", Test_stack.suite);
+      ("workload", Test_workload.suite);
+      ("queue-max", Test_queue_max.suite);
+      ("system-crash", Test_system_crash.suite);
+      ("explore", Test_explore.suite);
+      ("impossibility", Test_impossibility.suite);
+      ("runtime", Test_runtime.suite);
+      ("runtime-ext", Test_runtime_extensions.suite);
+    ]

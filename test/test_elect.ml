@@ -1,0 +1,107 @@
+(* Tests for the Elect extension: a recoverable slot allocator nested on
+   recoverable (strict) TAS objects. *)
+
+open Machine
+
+let nrl_ok sim =
+  match Workload.Check.nrl_violation sim with
+  | None -> ()
+  | Some reason ->
+    Fmt.epr "history:@.%a@." History.pp (Sim.history sim);
+    Alcotest.failf "NRL violation: %s" reason
+
+let run_rr sim =
+  match Schedule.run sim (Schedule.round_robin ()) with
+  | Schedule.Completed -> ()
+  | _ -> Alcotest.fail "execution did not complete"
+
+let slots_of sim nprocs =
+  List.filter_map
+    (fun p ->
+      match List.assoc_opt "ELECT" (Sim.results sim p) with
+      | Some (Nvm.Value.Int i) -> Some i
+      | _ -> None)
+    (List.init nprocs Fun.id)
+
+let test_elect_crash_free_distinct () =
+  let nprocs = 4 in
+  let sim = Sim.create ~nprocs () in
+  let inst = Objects.Elect_obj.make sim ~name:"E" in
+  for p = 0 to nprocs - 1 do
+    Sim.set_script sim p [ (inst, "ELECT", Sim.Args [||]) ]
+  done;
+  run_rr sim;
+  nrl_ok sim;
+  let slots = slots_of sim nprocs in
+  Alcotest.(check int) "everyone elected" nprocs (List.length slots);
+  Alcotest.(check int) "all slots distinct" nprocs
+    (List.length (List.sort_uniq compare slots));
+  List.iter (fun s -> Alcotest.(check bool) "slot in range" true (s >= 0 && s < nprocs)) slots
+
+(* crash after the nested T&S completed but before ELECT consumed its
+   (volatile) response: the strictness of T&S saves the day *)
+let test_elect_crash_at_completion_boundary () =
+  let sim = Sim.create ~seed:61 ~nprocs:2 () in
+  let inst = Objects.Elect_obj.make sim ~name:"E" in
+  for p = 0 to 1 do
+    Sim.set_script sim p [ (inst, "ELECT", Sim.Args [||]) ]
+  done;
+  (* p0: run until its nested T&S has just completed (stack grew to 2 and
+     shrank back to 1) — the response now lives only in a volatile local *)
+  let seen_nested = ref false in
+  let depth () = List.length (Sim.proc sim 0).Sim.stack in
+  while not (!seen_nested && depth () = 1) do
+    Sim.step sim 0;
+    if depth () = 2 then seen_nested := true
+  done;
+  Alcotest.(check int) "nested T&S completed" 1 (depth ());
+  Sim.crash sim 0;
+  Sim.recover sim 0;
+  run_rr sim;
+  nrl_ok sim;
+  let slots = slots_of sim 2 in
+  Alcotest.(check int) "both elected" 2 (List.length slots);
+  Alcotest.(check int) "distinct slots" 2 (List.length (List.sort_uniq compare slots))
+
+let test_elect_torture () =
+  let scen = Workload.Scenarios.elect ~nprocs:3 () in
+  let s = Workload.Trial.batch ~crash_prob:0.08 ~max_crashes:5 ~trials:150 scen in
+  Alcotest.(check int) "all trials pass NRL" s.Workload.Trial.trials s.Workload.Trial.passed;
+  Alcotest.(check bool) "crashes exercised" true (s.Workload.Trial.total_crashes > 30)
+
+let test_elect_strict () =
+  let sim = Sim.create ~nprocs:3 () in
+  let inst = Objects.Elect_obj.make sim ~name:"E" in
+  for p = 0 to 2 do
+    Sim.set_script sim p [ (inst, "ELECT", Sim.Args [||]) ]
+  done;
+  run_rr sim;
+  Alcotest.(check int) "ELECT responses persisted before return" 0
+    (List.length (Workload.Check.strictness_violations sim))
+
+(* distinctness under randomized crashes, as a property *)
+let prop_elect_distinct_slots =
+  QCheck2.Test.make ~name:"elect: slots distinct under crashes" ~count:60
+    (QCheck2.Gen.int_range 1 1_000_000) (fun seed ->
+      let nprocs = 3 in
+      let sim = Sim.create ~seed ~nprocs () in
+      let inst = Objects.Elect_obj.make sim ~name:"E" in
+      for p = 0 to nprocs - 1 do
+        Sim.set_script sim p [ (inst, "ELECT", Sim.Args [||]) ]
+      done;
+      let policy = Schedule.random ~crash_prob:0.1 ~max_crashes:4 ~seed:(seed * 17 + 3) () in
+      match Schedule.run ~max_steps:100_000 sim policy with
+      | Schedule.Completed ->
+        let slots = slots_of sim nprocs in
+        List.length slots = nprocs
+        && List.length (List.sort_uniq compare slots) = nprocs
+      | _ -> QCheck2.assume_fail ())
+
+let suite =
+  [
+    Alcotest.test_case "elect: distinct slots crash-free" `Quick test_elect_crash_free_distinct;
+    Alcotest.test_case "elect: crash at completion boundary" `Quick test_elect_crash_at_completion_boundary;
+    Alcotest.test_case "elect: randomized torture" `Slow test_elect_torture;
+    Alcotest.test_case "elect: strict responses" `Quick test_elect_strict;
+    QCheck_alcotest.to_alcotest prop_elect_distinct_slots;
+  ]

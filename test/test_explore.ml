@@ -1,0 +1,148 @@
+(* Tests for the exhaustive scheduler: enumeration counts on hand-sized
+   instances, the partial-order reduction's consistency with the
+   unreduced search, and crashed-forever terminals. *)
+
+open Machine
+
+let toy sim obj_name =
+  let open Program in
+  let cell = Nvm.Memory.alloc ~name:obj_name (Sim.mem sim) (Nvm.Value.Int 0) in
+  let body =
+    make ~name:"BUMP"
+      [
+        (2, Read ("v", at cell));
+        (3, Write (at cell, add (local "v") (int 1)));
+        (4, Ret (local "v"));
+      ]
+  in
+  let recover = make ~name:"BUMP.RECOVER" [ (10, Resume 2) ] in
+  Objdef.register (Sim.registry sim) ~otype:"toy" ~name:obj_name
+    [ ("BUMP", { Objdef.op_name = "BUMP"; body; recover }) ]
+
+let build_two () =
+  let sim = Sim.create ~nprocs:2 () in
+  let inst = toy sim "X" in
+  for p = 0 to 1 do
+    Sim.set_script sim p [ (inst, "BUMP", Sim.Args [||]) ]
+  done;
+  sim
+
+let test_crash_free_enumeration_count () =
+  (* with reduction, only the 2 shared accesses per process interleave:
+     C(4,2) = 6 distinct complete schedules *)
+  let cfg =
+    { Explore.default_config with max_steps = 40; max_crashes = 0; crash_procs = [] }
+  in
+  let stats = Explore.dfs ~cfg ~on_terminal:(fun _ -> ()) (build_two ()) in
+  Alcotest.(check int) "terminals" 6 stats.Explore.terminals;
+  Alcotest.(check int) "no truncation" 0 stats.Explore.truncated
+
+let test_unreduced_enumeration_larger () =
+  let cfg =
+    {
+      Explore.default_config with
+      max_steps = 40;
+      max_crashes = 0;
+      crash_procs = [];
+      reduce_local = false;
+    }
+  in
+  let stats = Explore.dfs ~cfg ~on_terminal:(fun _ -> ()) (build_two ()) in
+  (* every interleaving of 4 steps per process (INV, read, write, ret):
+     C(8,4) = 70 *)
+  Alcotest.(check int) "unreduced terminals" 70 stats.Explore.terminals
+
+let test_reduction_preserves_outcomes () =
+  (* the set of (final cell value, per-process results) outcomes must be
+     identical with and without reduction *)
+  let outcomes cfg =
+    let acc = ref [] in
+    let _ =
+      Explore.dfs ~cfg
+        ~on_terminal:(fun sim ->
+          let v = Nvm.Value.to_string (Nvm.Memory.peek (Sim.mem sim) 0) in
+          let res =
+            List.map (fun p -> List.map snd (Sim.results sim p)) [ 0; 1 ]
+            |> List.map (List.map Nvm.Value.to_string)
+          in
+          acc := (v, res) :: !acc)
+        (build_two ())
+    in
+    List.sort_uniq compare !acc
+  in
+  let reduced =
+    outcomes { Explore.default_config with max_steps = 40; max_crashes = 0; crash_procs = [] }
+  in
+  let unreduced =
+    outcomes
+      {
+        Explore.default_config with
+        max_steps = 40;
+        max_crashes = 0;
+        crash_procs = [];
+        reduce_local = false;
+      }
+  in
+  Alcotest.(check (list (pair string (list (list string))))) "same outcome sets" unreduced reduced
+
+let test_crash_branches_reachable () =
+  (* with a crash budget, some terminal must contain a crash step *)
+  let cfg =
+    { Explore.default_config with max_steps = 60; max_crashes = 1; crash_procs = [ 0 ] }
+  in
+  let saw_crash = ref false in
+  let stats =
+    Explore.dfs ~cfg
+      ~on_terminal:(fun sim ->
+        if
+          List.exists
+            (function History.Step.Crash _ -> true | _ -> false)
+            (History.to_list (Sim.history sim))
+        then saw_crash := true)
+      (build_two ())
+  in
+  Alcotest.(check bool) "crashes explored" true !saw_crash;
+  Alcotest.(check bool) "more terminals than crash-free" true (stats.Explore.terminals > 6)
+
+let test_crashed_forever_terminal () =
+  (* a process that crashes and never recovers: the execution where the
+     other finishes must still be counted as terminal *)
+  let sim = build_two () in
+  Sim.step sim 0 (* INV *);
+  Sim.step sim 0 (* read *);
+  Sim.crash sim 0;
+  let cfg =
+    { Explore.default_config with max_steps = 40; max_crashes = 0; crash_procs = [] }
+  in
+  let down_terminals = ref 0 in
+  let _ =
+    Explore.dfs ~cfg
+      ~on_terminal:(fun s -> if Sim.status s 0 = Sim.Crashed then incr down_terminals)
+      sim
+  in
+  Alcotest.(check bool) "crashed-forever terminals seen" true (!down_terminals > 0)
+
+let test_find_violation_reports_toy () =
+  (* the toy BUMP object is not linearizable as a counter under crashes
+     (re-execution duplicates the increment), so with a "faa_register"-like
+     spec a violation must be found; here we just check the plumbing by
+     requiring that a violation-free predicate returns None *)
+  let cfg =
+    { Explore.default_config with max_steps = 40; max_crashes = 0; crash_procs = [] }
+  in
+  let v, _ = Explore.find_violation ~cfg ~check:(fun _ -> None) (build_two ()) in
+  Alcotest.(check bool) "no violation when predicate never fires" true (v = None);
+  let v, _ =
+    Explore.find_violation ~cfg ~check:(fun _ -> Some "always") (build_two ())
+  in
+  Alcotest.(check bool) "first terminal reported" true (v <> None)
+
+let suite =
+  [
+    Alcotest.test_case "reduced enumeration count" `Quick test_crash_free_enumeration_count;
+    Alcotest.test_case "unreduced enumeration count" `Quick test_unreduced_enumeration_larger;
+    Alcotest.test_case "reduction preserves outcomes" `Quick test_reduction_preserves_outcomes;
+    Alcotest.test_case "crash branches reachable" `Quick test_crash_branches_reachable;
+    Alcotest.test_case "crashed-forever terminals" `Quick test_crashed_forever_terminal;
+    Alcotest.test_case "find_violation plumbing" `Quick test_find_violation_reports_toy;
+  ]

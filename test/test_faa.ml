@@ -1,0 +1,240 @@
+(* Tests for the strict-CAS and nested-FAA extensions: strictness of the
+   CAS, crash drills at the completion boundary the plain Algorithm 2
+   cannot survive in a nesting, conservation of FAA effects under
+   crashes, and exhaustive small-instance verification. *)
+
+open Machine
+
+let value = Alcotest.testable Nvm.Value.pp Nvm.Value.equal
+
+let nrl_ok sim =
+  match Workload.Check.nrl_violation sim with
+  | None -> ()
+  | Some reason ->
+    Fmt.epr "history:@.%a@." History.pp (Sim.history sim);
+    Alcotest.failf "NRL violation: %s" reason
+
+let run_rr sim =
+  match Schedule.run sim (Schedule.round_robin ()) with
+  | Schedule.Completed -> ()
+  | _ -> Alcotest.fail "execution did not complete"
+
+let steps sim p n =
+  for _ = 1 to n do
+    Sim.step sim p
+  done
+
+(* {2 Strict CAS} *)
+
+let test_scas_crash_free () =
+  let sim = Sim.create ~nprocs:2 () in
+  let inst = Objects.Scas_obj.make sim ~name:"C" in
+  Sim.set_script sim 0
+    [ (inst, "CAS", Sim.Args [| Nvm.Value.Null; Workload.Opgen.tagged 0 1; Nvm.Value.Int 1 |]) ];
+  Sim.set_script sim 1
+    [ (inst, "CAS", Sim.Args [| Nvm.Value.Null; Workload.Opgen.tagged 1 1; Nvm.Value.Int 1 |]) ];
+  run_rr sim;
+  nrl_ok sim;
+  Alcotest.(check int) "strict: all responses persisted" 0
+    (List.length (Workload.Check.strictness_violations sim));
+  let wins =
+    List.length
+      (List.filter
+         (fun p ->
+           List.exists (fun (_, v) -> Nvm.Value.equal v (Bool true)) (Sim.results sim p))
+         [ 0; 1 ])
+  in
+  Alcotest.(check int) "one winner" 1 wins
+
+let test_scas_response_survives_crash () =
+  (* crash after the response was persisted but before the return: the
+     recovery answers from Res_p without touching C *)
+  let sim = Sim.create ~seed:71 ~nprocs:2 () in
+  let inst, cells = Objects.Scas_obj.make_ex sim ~name:"C" in
+  Sim.set_script sim 0
+    [ (inst, "CAS", Sim.Args [| Nvm.Value.Null; Workload.Opgen.tagged 0 1; Nvm.Value.Int 5 |]) ];
+  (* INV, line 2 read, line 3 branch, line 5 branch, line 7 cas, line 701
+     persist *)
+  steps sim 0 6;
+  Alcotest.check value "response persisted"
+    (Nvm.Value.Pair (Int 5, Bool true))
+    (Nvm.Memory.peek (Sim.mem sim) (cells.Objects.Scas_obj.res + 0));
+  Sim.crash sim 0;
+  Sim.recover sim 0;
+  run_rr sim;
+  nrl_ok sim;
+  Alcotest.check value "recovered response" (Bool true)
+    (List.assoc "CAS" (Sim.results sim 0))
+
+let test_scas_torture () =
+  let scen_build sim =
+    let inst, cells = Objects.Scas_obj.make_ex sim ~name:"C" in
+    let rng = Schedule.Prng.create 42 in
+    for p = 0 to Sim.nprocs sim - 1 do
+      Sim.set_script sim p
+        (List.init 5 (fun k ->
+             if Schedule.Prng.float rng < 0.7 then
+               ( inst,
+                 "CAS",
+                 Sim.Compute
+                   (fun mem ->
+                     [|
+                       Nvm.Value.snd (Nvm.Memory.peek mem cells.Objects.Scas_obj.c);
+                       Workload.Opgen.tagged p (k + 1);
+                       Nvm.Value.Int (k + 1);
+                     |]) )
+             else (inst, "READ", Sim.Args [||])))
+    done
+  in
+  let scen = { Workload.Trial.scen_name = "scas"; nprocs = 3; build = scen_build } in
+  let s = Workload.Trial.batch ~crash_prob:0.08 ~max_crashes:6 ~trials:120 scen in
+  Alcotest.(check int) "all pass NRL" s.Workload.Trial.trials s.Workload.Trial.passed
+
+(* {2 FAA nested on strict CAS} *)
+
+let test_faa_crash_free () =
+  let sim = Sim.create ~nprocs:3 () in
+  let inst = Objects.Faa_obj.make sim ~name:"F" in
+  for p = 0 to 2 do
+    Sim.set_script sim p
+      [ (inst, "FAA", Sim.Args [| Nvm.Value.Int (p + 1) |]); (inst, "READ", Sim.Args [||]) ]
+  done;
+  run_rr sim;
+  nrl_ok sim;
+  (* total added: 1 + 2 + 3 = 6; a final read must see it *)
+  Sim.append_script sim 0 [ (inst, "READ", Sim.Args [||]) ];
+  run_rr sim;
+  match Sim.results sim 0 with
+  | results -> (
+    match List.rev results with
+    | (_, v) :: _ -> Alcotest.check value "sum of deltas" (Int 6) v
+    | [] -> Alcotest.fail "no results")
+
+(* the completion-boundary drill: crash exactly after the nested CAS
+   completed, before FAA consumed the (volatile) response — the case that
+   motivates strictness *)
+let test_faa_completion_boundary () =
+  let sim = Sim.create ~seed:72 ~nprocs:1 () in
+  let inst = Objects.Faa_obj.make sim ~name:"F" in
+  Sim.set_script sim 0
+    [ (inst, "FAA", Sim.Args [| Nvm.Value.Int 7 |]); (inst, "READ", Sim.Args [||]) ];
+  (* run until the nested CAS has completed (stack grew to 2 twice: READ
+     then CAS; wait for the second shrink) *)
+  let depth () = List.length (Sim.proc sim 0).Sim.stack in
+  let nested_completions = ref 0 in
+  let prev = ref 1 in
+  while !nested_completions < 2 do
+    Sim.step sim 0;
+    if depth () = 1 && !prev = 2 then incr nested_completions;
+    prev := depth ()
+  done;
+  (* the CAS response now lives only in FAA's volatile local *)
+  Sim.crash sim 0;
+  Sim.recover sim 0;
+  run_rr sim;
+  nrl_ok sim;
+  (match List.assoc_opt "READ" (Sim.results sim 0) with
+  | Some v -> Alcotest.check value "exactly one application of the delta" (Int 7) v
+  | None -> Alcotest.fail "READ did not complete");
+  Alcotest.(check int) "no strictness violations" 0
+    (List.length (Workload.Check.strictness_violations sim))
+
+(* crash at *every* prefix of a solo FAA; the delta must apply exactly
+   once in all cases *)
+let test_faa_crash_every_position () =
+  let bound = 40 in
+  for k = 1 to bound do
+    let sim = Sim.create ~seed:(500 + k) ~nprocs:1 () in
+    let inst = Objects.Faa_obj.make sim ~name:"F" in
+    Sim.set_script sim 0
+      [ (inst, "FAA", Sim.Args [| Nvm.Value.Int 3 |]); (inst, "READ", Sim.Args [||]) ];
+    let crashed = ref false in
+    (try
+       steps sim 0 k;
+       if (Sim.proc sim 0).Sim.stack <> [] then begin
+         Sim.crash sim 0;
+         Sim.recover sim 0;
+         crashed := true
+       end
+     with Invalid_argument _ -> ());
+    ignore !crashed;
+    run_rr sim;
+    nrl_ok sim;
+    match List.assoc_opt "READ" (Sim.results sim 0) with
+    | Some v -> Alcotest.check value (Printf.sprintf "value after crash at %d" k) (Int 3) v
+    | None -> Alcotest.fail "READ did not complete"
+  done
+
+let test_faa_torture () =
+  let scen = Workload.Scenarios.faa ~nprocs:3 ~ops:4 () in
+  let s = Workload.Trial.batch ~crash_prob:0.06 ~max_crashes:6 ~trials:120 scen in
+  Alcotest.(check int) "all pass NRL" s.Workload.Trial.trials s.Workload.Trial.passed;
+  Alcotest.(check bool) "crashes exercised" true (s.Workload.Trial.total_crashes > 50)
+
+(* conservation property: final value = sum of completed FAA deltas *)
+let prop_faa_conservation =
+  QCheck2.Test.make ~name:"faa: final value = sum of deltas" ~count:40
+    (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let nprocs = 2 in
+      let sim = Sim.create ~seed ~nprocs () in
+      let inst = Objects.Faa_obj.make sim ~name:"F" in
+      for p = 0 to nprocs - 1 do
+        Sim.set_script sim p
+          (List.init 3 (fun k -> (inst, "FAA", Sim.Args [| Nvm.Value.Int (k + 1) |])))
+      done;
+      let policy = Schedule.random ~crash_prob:0.08 ~max_crashes:5 ~seed:(seed * 13 + 1) () in
+      match Schedule.run ~max_steps:200_000 sim policy with
+      | Schedule.Completed -> (
+        Sim.append_script sim 0 [ (inst, "READ", Sim.Args [||]) ];
+        match Schedule.run sim (Schedule.round_robin ()) with
+        | Schedule.Completed -> (
+          match List.rev (Sim.results sim 0) with
+          | (_, Nvm.Value.Int v) :: _ -> v = nprocs * 6
+          | _ -> false)
+        | _ -> false)
+      | _ -> QCheck2.assume_fail ())
+
+(* exhaustive verification, kept tractable: (a) two processes crash-free
+   — all interleavings of the nested operations; (b) one process with one
+   adversarially placed crash — all crash positions and recovery
+   behaviours.  (The 2-proc-with-crash space is ~10^8 terminal executions
+   because each FAA nests a READ and a CAS; the randomized torture plus
+   these two exhaustive slices cover the same behaviours.) *)
+let test_faa_exhaustive () =
+  let build ~crash () =
+    let sim = Sim.create ~nprocs:(if crash then 1 else 2) () in
+    let inst = Objects.Faa_obj.make sim ~name:"F" in
+    Sim.set_script sim 0
+      [ (inst, "FAA", Sim.Args [| Nvm.Value.Int 1 |]); (inst, "READ", Sim.Args [||]) ];
+    if not crash then
+      Sim.set_script sim 1 [ (inst, "FAA", Sim.Args [| Nvm.Value.Int 2 |]) ];
+    sim
+  in
+  let check_run ~crash cfg =
+    let viol, stats =
+      Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ~crash ())
+    in
+    (match viol with
+    | Some (sim, reason) ->
+      Fmt.epr "violating history:@.%a@." History.pp (Sim.history sim);
+      Alcotest.failf "FAA violated NRL: %s" reason
+    | None -> ());
+    Alcotest.(check int) "nothing truncated" 0 stats.Explore.truncated
+  in
+  check_run ~crash:false
+    { Explore.default_config with max_steps = 140; max_crashes = 0; crash_procs = [] };
+  check_run ~crash:true
+    { Explore.default_config with max_steps = 140; max_crashes = 2; crash_procs = [ 0 ] }
+
+let suite =
+  [
+    Alcotest.test_case "scas: crash-free, strict" `Quick test_scas_crash_free;
+    Alcotest.test_case "scas: persisted response survives crash" `Quick test_scas_response_survives_crash;
+    Alcotest.test_case "scas: randomized torture" `Slow test_scas_torture;
+    Alcotest.test_case "faa: crash-free sum" `Quick test_faa_crash_free;
+    Alcotest.test_case "faa: completion boundary" `Quick test_faa_completion_boundary;
+    Alcotest.test_case "faa: crash at every position" `Quick test_faa_crash_every_position;
+    Alcotest.test_case "faa: randomized torture" `Slow test_faa_torture;
+    Alcotest.test_case "faa: exhaustive (2 procs, 1 crash)" `Slow test_faa_exhaustive;
+    QCheck_alcotest.to_alcotest prop_faa_conservation;
+  ]

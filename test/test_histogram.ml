@@ -1,0 +1,129 @@
+(* Tests for the three-level nested histogram (histogram -> counter ->
+   register): recovery cascades through all three levels. *)
+
+open Machine
+
+let value = Alcotest.testable Nvm.Value.pp Nvm.Value.equal
+
+let nrl_ok sim =
+  match Workload.Check.nrl_violation sim with
+  | None -> ()
+  | Some reason ->
+    Fmt.epr "history:@.%a@." History.pp (Sim.history sim);
+    Alcotest.failf "NRL violation: %s" reason
+
+let run_rr sim =
+  match Schedule.run sim (Schedule.round_robin ()) with
+  | Schedule.Completed -> ()
+  | _ -> Alcotest.fail "execution did not complete"
+
+let test_crash_free () =
+  let sim = Sim.create ~nprocs:2 () in
+  let inst = Objects.Histogram_obj.make ~k:3 sim ~name:"H" in
+  Sim.set_script sim 0
+    [
+      (inst, "RECORD", Sim.Args [| Nvm.Value.Int 0 |]);
+      (inst, "RECORD", Sim.Args [| Nvm.Value.Int 1 |]);
+      (inst, "TOTAL", Sim.Args [||]);
+    ];
+  Sim.set_script sim 1
+    [
+      (inst, "RECORD", Sim.Args [| Nvm.Value.Int 1 |]);
+      (inst, "BUCKET", Sim.Args [| Nvm.Value.Int 1 |]);
+    ];
+  run_rr sim;
+  nrl_ok sim;
+  (match List.assoc_opt "TOTAL" (Sim.results sim 0) with
+  | Some v -> Alcotest.check value "total" (Int 3) v
+  | None -> Alcotest.fail "TOTAL missing");
+  Alcotest.(check int) "strict responses persisted" 0
+    (List.length (Workload.Check.strictness_violations sim))
+
+(* crash at every prefix of a three-level RECORD; the count must end up
+   exactly 1 *)
+let test_record_crash_every_position () =
+  for k = 1 to 14 do
+    let sim = Sim.create ~seed:(800 + k) ~nprocs:1 () in
+    let inst = Objects.Histogram_obj.make ~k:2 sim ~name:"H" in
+    Sim.set_script sim 0
+      [
+        (inst, "RECORD", Sim.Args [| Nvm.Value.Int 1 |]);
+        (inst, "BUCKET", Sim.Args [| Nvm.Value.Int 1 |]);
+      ];
+    (try
+       for _ = 1 to k do
+         Sim.step sim 0
+       done;
+       if (Sim.proc sim 0).Sim.stack <> [] then begin
+         Sim.crash sim 0;
+         Sim.recover sim 0
+       end
+     with Invalid_argument _ -> ());
+    run_rr sim;
+    nrl_ok sim;
+    match List.assoc_opt "BUCKET" (Sim.results sim 0) with
+    | Some v -> Alcotest.check value (Printf.sprintf "count after crash at %d" k) (Int 1) v
+    | None -> Alcotest.fail "BUCKET missing"
+  done
+
+(* deep-stack crash: force the crash while the *register* level is
+   pending (stack depth 3), so all three recovery functions run *)
+let test_deep_cascade () =
+  let sim = Sim.create ~seed:91 ~nprocs:1 () in
+  let inst = Objects.Histogram_obj.make ~k:2 sim ~name:"H" in
+  Sim.set_script sim 0
+    [
+      (inst, "RECORD", Sim.Args [| Nvm.Value.Int 0 |]);
+      (inst, "BUCKET", Sim.Args [| Nvm.Value.Int 0 |]);
+    ];
+  let depth () = List.length (Sim.proc sim 0).Sim.stack in
+  (* run until stack depth 3 (histogram -> INC -> register op) *)
+  while depth () < 3 do
+    Sim.step sim 0
+  done;
+  Sim.crash sim 0;
+  Sim.recover sim 0;
+  run_rr sim;
+  nrl_ok sim;
+  match List.assoc_opt "BUCKET" (Sim.results sim 0) with
+  | Some v -> Alcotest.check value "count exactly 1 after deep crash" (Int 1) v
+  | None -> Alcotest.fail "BUCKET missing"
+
+let test_torture () =
+  let scen = Workload.Scenarios.histogram ~nprocs:3 ~ops:4 () in
+  let s = Workload.Trial.batch ~crash_prob:0.05 ~max_crashes:6 ~trials:100 scen in
+  Alcotest.(check int) "all pass NRL" s.Workload.Trial.trials s.Workload.Trial.passed;
+  Alcotest.(check bool) "crashes exercised" true (s.Workload.Trial.total_crashes > 40)
+
+(* conservation across random crashes *)
+let prop_conservation =
+  QCheck2.Test.make ~name:"histogram: total = completed RECORDs" ~count:30
+    (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let nprocs = 2 in
+      let records = 3 in
+      let sim = Sim.create ~seed ~nprocs () in
+      let inst = Objects.Histogram_obj.make ~k:2 sim ~name:"H" in
+      for p = 0 to nprocs - 1 do
+        Sim.set_script sim p
+          (List.init records (fun i ->
+               (inst, "RECORD", Sim.Args [| Nvm.Value.Int (i mod 2) |])))
+      done;
+      let policy = Schedule.random ~crash_prob:0.08 ~max_crashes:5 ~seed:(seed * 11 + 7) () in
+      match Schedule.run ~max_steps:200_000 sim policy with
+      | Schedule.Completed -> (
+        Sim.append_script sim 0 [ (inst, "TOTAL", Sim.Args [||]) ];
+        match Schedule.run sim (Schedule.round_robin ()) with
+        | Schedule.Completed ->
+          List.assoc_opt "TOTAL" (Sim.results sim 0)
+          = Some (Nvm.Value.Int (nprocs * records))
+        | _ -> false)
+      | _ -> QCheck2.assume_fail ())
+
+let suite =
+  [
+    Alcotest.test_case "histogram: crash-free" `Quick test_crash_free;
+    Alcotest.test_case "histogram: crash at every position" `Quick test_record_crash_every_position;
+    Alcotest.test_case "histogram: deep three-level cascade" `Quick test_deep_cascade;
+    Alcotest.test_case "histogram: randomized torture" `Slow test_torture;
+    QCheck_alcotest.to_alcotest prop_conservation;
+  ]

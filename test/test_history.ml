@@ -1,0 +1,148 @@
+(* Tests for histories, subhistories and (recoverable) well-formedness,
+   built from hand-crafted step sequences. *)
+
+open History
+
+let opref obj op : Step.opref = { Step.obj; obj_name = Printf.sprintf "o%d" obj; op }
+
+let inv ?(pid = 0) ?(obj = 0) ?(op = "OP") id =
+  Step.Inv { pid; opref = opref obj op; args = [||]; call_id = id }
+
+let res ?(pid = 0) ?(obj = 0) ?(op = "OP") ?(ret = Nvm.Value.ack) ?persisted id =
+  Step.Res { pid; opref = opref obj op; ret; call_id = id; persisted }
+
+let crash ?(pid = 0) ?crashed () =
+  Step.Crash { pid; crashed = Option.map (fun (obj, id) -> (opref obj "OP", id)) crashed }
+
+let rec_ ?(pid = 0) () = Step.Rec { pid }
+
+let wf_ok r = Alcotest.(check bool) "well-formed" true (Wellformed.is_ok r)
+let wf_bad r = Alcotest.(check bool) "violation detected" false (Wellformed.is_ok r)
+
+let test_n_of_removes_crashes () =
+  let h = of_list [ inv 1; crash ~crashed:(0, 1) (); rec_ (); res 1 ] in
+  Alcotest.(check int) "N(H) length" 2 (length (n_of h));
+  Alcotest.(check bool) "crash-free" true (is_crash_free (n_of h));
+  Alcotest.(check bool) "original not crash-free" false (is_crash_free h)
+
+let test_by_proc () =
+  let h = of_list [ inv ~pid:0 1; inv ~pid:1 2; res ~pid:1 2; res ~pid:0 1 ] in
+  Alcotest.(check int) "p0 steps" 2 (length (by_proc h 0));
+  Alcotest.(check int) "p1 steps" 2 (length (by_proc h 1))
+
+let test_by_object_includes_matching_crash () =
+  (* crash of p0 inside an operation on object 0; its matching recovery
+     must be included in H|0 but not in H|1 *)
+  let h =
+    of_list
+      [
+        inv ~obj:0 1;
+        inv ~pid:1 ~obj:1 2;
+        crash ~crashed:(0, 1) ();
+        res ~pid:1 ~obj:1 2;
+        rec_ ();
+        res ~obj:0 1;
+      ]
+  in
+  Alcotest.(check int) "H|0 has inv,crash,rec,res" 4 (length (by_object h 0));
+  Alcotest.(check int) "H|1 has inv,res" 2 (length (by_object h 1))
+
+let test_ops_of () =
+  let h = of_list [ inv 1; inv ~pid:1 2; res ~pid:1 2; ] in
+  let ops = ops_of h in
+  Alcotest.(check int) "two ops" 2 (List.length ops);
+  let pending = List.filter (fun o -> o.ret = None) ops in
+  Alcotest.(check int) "one pending" 1 (List.length pending)
+
+let test_happens_before () =
+  let h = of_list [ inv 1; res 1; inv ~pid:1 2; res ~pid:1 2 ] in
+  match ops_of h with
+  | [ a; b ] ->
+    Alcotest.(check bool) "a < b" true (happens_before a b);
+    Alcotest.(check bool) "not b < a" false (happens_before b a);
+    Alcotest.(check bool) "not concurrent" false (concurrent a b)
+  | _ -> Alcotest.fail "expected two ops"
+
+let test_concurrent () =
+  let h = of_list [ inv 1; inv ~pid:1 2; res 1; res ~pid:1 2 ] in
+  match ops_of h with
+  | [ a; b ] -> Alcotest.(check bool) "concurrent" true (concurrent a b)
+  | _ -> Alcotest.fail "expected two ops"
+
+let test_wf_accepts_good () =
+  wf_ok (Wellformed.check_well_formed (of_list [ inv 1; res 1; inv 2; res 2 ]));
+  (* proper nesting on distinct objects *)
+  wf_ok
+    (Wellformed.check_well_formed
+       (of_list [ inv ~obj:0 1; inv ~obj:1 2; res ~obj:1 2; res ~obj:0 1 ]))
+
+let test_wf_rejects_double_invocation () =
+  wf_bad (Wellformed.check_well_formed (of_list [ inv ~obj:0 1; inv ~obj:0 2 ]))
+
+let test_wf_rejects_response_without_invocation () =
+  wf_bad (Wellformed.check_well_formed (of_list [ res 1 ]))
+
+let test_wf_rejects_bad_nesting () =
+  (* op2 invoked inside op1 but responds after op1: violates requirement 2 *)
+  wf_bad
+    (Wellformed.check_well_formed
+       (of_list [ inv ~obj:0 1; inv ~obj:1 2; res ~obj:0 1; res ~obj:1 2 ]))
+
+let test_wf_rejects_crashy_history () =
+  wf_bad (Wellformed.check_well_formed (of_list [ inv 1; crash ~crashed:(0, 1) () ]))
+
+let test_rwf_accepts_crash_as_last_step () =
+  wf_ok
+    (Wellformed.check_recoverable_well_formed (of_list [ inv 1; crash ~crashed:(0, 1) () ]))
+
+let test_rwf_accepts_crash_rec_pairs () =
+  wf_ok
+    (Wellformed.check_recoverable_well_formed
+       (of_list [ inv 1; crash ~crashed:(0, 1) (); rec_ (); crash ~crashed:(0, 1) (); rec_ (); res 1 ]))
+
+let test_rwf_rejects_unmatched_crash () =
+  (* p0 takes another step after a crash without a recovery step *)
+  wf_bad
+    (Wellformed.check_recoverable_well_formed
+       (of_list [ inv 1; crash ~crashed:(0, 1) (); res 1 ]))
+
+let test_rwf_rejects_rec_without_crash () =
+  wf_bad (Wellformed.check_recoverable_well_formed (of_list [ inv 1; rec_ (); res 1 ]))
+
+(* Lemma 1: every history the machine produces is recoverable well-formed.
+   Property-tested over random seeds and scenarios. *)
+let prop_lemma1 =
+  QCheck2.Test.make ~name:"Lemma 1: machine histories are recoverable well-formed"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 3))
+    (fun (seed, which) ->
+      let scen =
+        match which with
+        | 0 -> Workload.Scenarios.register ~nprocs:2 ~ops:4 ()
+        | 1 -> Workload.Scenarios.cas ~nprocs:2 ~ops:4 ()
+        | 2 -> Workload.Scenarios.tas ~nprocs:3 ()
+        | _ -> Workload.Scenarios.counter ~nprocs:2 ~ops:3 ()
+      in
+      let sim, _ = Workload.Trial.run ~seed ~crash_prob:0.1 ~max_crashes:4 scen in
+      Wellformed.is_ok
+        (Wellformed.check_recoverable_well_formed (Machine.Sim.history sim)))
+
+let suite =
+  [
+    Alcotest.test_case "N(H) removes crash/rec" `Quick test_n_of_removes_crashes;
+    Alcotest.test_case "H|p" `Quick test_by_proc;
+    Alcotest.test_case "H|O includes matching crash+rec" `Quick test_by_object_includes_matching_crash;
+    Alcotest.test_case "ops_of" `Quick test_ops_of;
+    Alcotest.test_case "happens-before" `Quick test_happens_before;
+    Alcotest.test_case "concurrency" `Quick test_concurrent;
+    Alcotest.test_case "well-formed accepted" `Quick test_wf_accepts_good;
+    Alcotest.test_case "double invocation rejected" `Quick test_wf_rejects_double_invocation;
+    Alcotest.test_case "response w/o invocation rejected" `Quick test_wf_rejects_response_without_invocation;
+    Alcotest.test_case "bad nesting rejected" `Quick test_wf_rejects_bad_nesting;
+    Alcotest.test_case "crashes rejected by crash-free wf" `Quick test_wf_rejects_crashy_history;
+    Alcotest.test_case "crash as last step ok (Def 3)" `Quick test_rwf_accepts_crash_as_last_step;
+    Alcotest.test_case "repeated crash/rec ok (Def 3)" `Quick test_rwf_accepts_crash_rec_pairs;
+    Alcotest.test_case "unmatched crash rejected" `Quick test_rwf_rejects_unmatched_crash;
+    Alcotest.test_case "rec without crash rejected" `Quick test_rwf_rejects_rec_without_crash;
+    QCheck_alcotest.to_alcotest prop_lemma1;
+  ]

@@ -1,0 +1,97 @@
+(* Tests for the Theorem 4 machinery: valency analysis, critical
+   configurations, the crash-extension experiment and candidate
+   refutation. *)
+
+open Impossibility
+
+let test_initial_bivalent_paper () =
+  let r = Theorem.analyze_paper_algorithm () in
+  Alcotest.(check bool) "bivalent initial" true r.Theorem.initial_bivalent
+
+let test_critical_config_paper () =
+  let r = Theorem.analyze_paper_algorithm () in
+  Alcotest.(check bool) "critical configuration exists" true (r.Theorem.critical_depth <> None);
+  Alcotest.(check (option bool))
+    "critical steps are t&s on the same base object" (Some true)
+    r.Theorem.critical_steps_are_tas_on_same_object
+
+let test_paper_recovery_blocks () =
+  let r = Theorem.analyze_paper_algorithm () in
+  match r.Theorem.crash_extension with
+  | Some e ->
+    Alcotest.(check bool) "recovery blocks after the crash extension" true
+      e.Theorem.solo_blocked
+  | None -> Alcotest.fail "no crash extension performed"
+
+let test_candidates_refuted () =
+  List.iter
+    (fun c ->
+      let r = Theorem.analyze_candidate c in
+      Alcotest.(check bool)
+        (c.Candidates.cand_name ^ ": initial bivalent")
+        true r.Theorem.initial_bivalent;
+      (match r.Theorem.crash_extension with
+      | Some e ->
+        Alcotest.(check bool)
+          (c.Candidates.cand_name ^ ": recovery did not block (wait-free)")
+          false e.Theorem.solo_blocked;
+        Alcotest.(check bool)
+          (c.Candidates.cand_name ^ ": crash extensions indistinguishable")
+          true e.Theorem.indistinguishable
+      | None -> Alcotest.fail "no crash extension");
+      Alcotest.(check bool)
+        (c.Candidates.cand_name ^ ": concrete NRL violation found")
+        true
+        (r.Theorem.violation <> None))
+    Candidates.all
+
+let test_valency_zero_mask_solo () =
+  (* a single process doing T&S on the paper's algorithm: only it can
+     return 0 *)
+  let sim = Machine.Sim.create ~nprocs:1 () in
+  let inst = Objects.Tas_obj.make sim ~name:"T" in
+  Machine.Sim.set_script sim 0 [ (inst, "T&S", Machine.Sim.Args [||]) ];
+  let v = Valency.create () in
+  (match Valency.classify v sim with
+  | Valency.Univalent 0 -> ()
+  | other -> Alcotest.failf "expected p0-valent, got %a" Valency.pp_verdict other);
+  Alcotest.(check bool) "explored some configs" true (v.Valency.configs > 0)
+
+let test_statekey_distinguishes () =
+  let mk () =
+    let sim = Machine.Sim.create ~nprocs:2 () in
+    let inst = Objects.Tas_obj.make sim ~name:"T" in
+    for p = 0 to 1 do
+      Machine.Sim.set_script sim p [ (inst, "T&S", Machine.Sim.Args [||]) ]
+    done;
+    sim
+  in
+  let a = mk () in
+  let b = mk () in
+  Alcotest.(check string) "identical configs, identical keys" (Statekey.of_sim a)
+    (Statekey.of_sim b);
+  Machine.Sim.step b 0;
+  Alcotest.(check bool) "different configs, different keys" true
+    (Statekey.of_sim a <> Statekey.of_sim b)
+
+let test_pending_step_detects_tas () =
+  let sim = Machine.Sim.create ~nprocs:1 () in
+  let inst = Objects.Naive.make_tas ~strategy:`Reexecute sim ~name:"T" in
+  Machine.Sim.set_script sim 0 [ (inst, "T&S", Machine.Sim.Args [||]) ];
+  Machine.Sim.step sim 0 (* INV; next = Tas_prim *);
+  match Valency.pending_step sim 0 with
+  | Some s ->
+    Alcotest.(check string) "kind" "t&s" s.Valency.ps_kind;
+    Alcotest.(check bool) "address known" true (s.Valency.ps_addr <> None)
+  | None -> Alcotest.fail "expected a pending step"
+
+let suite =
+  [
+    Alcotest.test_case "paper alg: initial bivalent" `Slow test_initial_bivalent_paper;
+    Alcotest.test_case "paper alg: critical config, t&s steps" `Slow test_critical_config_paper;
+    Alcotest.test_case "paper alg: recovery blocks" `Slow test_paper_recovery_blocks;
+    Alcotest.test_case "wait-free candidates all refuted" `Slow test_candidates_refuted;
+    Alcotest.test_case "solo valency" `Quick test_valency_zero_mask_solo;
+    Alcotest.test_case "state keys" `Quick test_statekey_distinguishes;
+    Alcotest.test_case "pending step detection" `Quick test_pending_step_detects_tas;
+  ]

@@ -1,0 +1,207 @@
+(* The naive baselines must (a) be perfectly linearizable without crashes,
+   and (b) exhibit NRL violations under crashes — with targeted schedules
+   reproducing the paper's motivating scenarios, and under randomized
+   torture with detection by the checker. *)
+
+open Machine
+
+let value = Alcotest.testable Nvm.Value.pp Nvm.Value.equal
+
+let run_rr sim = ignore (Schedule.run sim (Schedule.round_robin ()))
+
+let steps sim p n =
+  for _ = 1 to n do
+    Sim.step sim p
+  done
+
+let drain sim p =
+  while Sim.enabled sim p do
+    Sim.step sim p
+  done
+
+let test_naive_crash_free_all_pass () =
+  List.iter
+    (fun scen ->
+      let s = Workload.Trial.batch ~crash_prob:0.0 ~trials:25 scen in
+      Alcotest.(check int)
+        (scen.Workload.Trial.scen_name ^ " passes without crashes")
+        s.Workload.Trial.trials s.Workload.Trial.passed)
+    [
+      Workload.Scenarios.naive_rw ~strategy:`Optimistic ();
+      Workload.Scenarios.naive_rw ~strategy:`Reexecute ();
+      Workload.Scenarios.naive_cas ~strategy:`Optimistic ();
+      Workload.Scenarios.naive_cas ~strategy:`Reexecute ();
+      Workload.Scenarios.naive_tas ();
+    ]
+
+(* Targeted: optimistic WRITE recovery loses a write that never happened *)
+let test_naive_rw_optimistic_loses_write () =
+  let sim = Sim.create ~seed:51 ~nprocs:1 () in
+  let inst = Objects.Naive.make_rw ~strategy:`Optimistic sim ~name:"R" in
+  Sim.set_script sim 0
+    [ (inst, "WRITE", Sim.Args [| Nvm.Value.Int 1 |]); (inst, "READ", Sim.Args [||]) ];
+  Sim.step sim 0 (* INV only; the write of line 2 never executes *);
+  Sim.crash sim 0;
+  Sim.recover sim 0 (* recovery claims ack *);
+  run_rr sim;
+  (match List.assoc_opt "READ" (Sim.results sim 0) with
+  | Some v -> Alcotest.check value "read misses the acknowledged write" Null v
+  | None -> Alcotest.fail "READ did not complete");
+  match Workload.Check.nrl_violation sim with
+  | Some _ -> ()
+  | None -> Alcotest.fail "checker should reject the lost write"
+
+(* Targeted: the paper's introduction — CAS succeeded, crash, re-execution
+   reports false although the effect is visible *)
+let test_naive_cas_reexec_intro_scenario () =
+  let sim = Sim.create ~seed:52 ~nprocs:2 () in
+  let inst, _cell = Objects.Naive.make_cas_ex ~strategy:`Reexecute sim ~name:"C" in
+  Sim.set_script sim 0
+    [ (inst, "CAS", Sim.Args [| Nvm.Value.Null; Workload.Opgen.tagged 0 1 |]) ];
+  Sim.set_script sim 1 [ (inst, "READ", Sim.Args [||]) ];
+  steps sim 0 2 (* INV + line 2: the primitive cas succeeds *);
+  Sim.crash sim 0 (* the true response is lost in a volatile register *);
+  drain sim 1 (* q reads the visibly-CASed value *);
+  Sim.recover sim 0 (* re-execution: cas now fails, p is told false *);
+  run_rr sim;
+  (match List.assoc_opt "CAS" (Sim.results sim 0) with
+  | Some v -> Alcotest.check value "p wrongly told its CAS failed" (Bool false) v
+  | None -> Alcotest.fail "CAS did not complete");
+  (match List.assoc_opt "READ" (Sim.results sim 1) with
+  | Some v -> Alcotest.check value "q observed p's value" (Workload.Opgen.tagged 0 1) v
+  | None -> Alcotest.fail "READ did not complete");
+  match Workload.Check.nrl_violation sim with
+  | Some _ -> ()
+  | None -> Alcotest.fail "checker should reject the lost CAS response"
+
+(* Targeted: optimistic CAS recovery fabricates a success *)
+let test_naive_cas_optimistic_fabricates_success () =
+  let sim = Sim.create ~seed:53 ~nprocs:2 () in
+  let inst, _ = Objects.Naive.make_cas_ex ~strategy:`Optimistic sim ~name:"C" in
+  Sim.set_script sim 0
+    [ (inst, "CAS", Sim.Args [| Nvm.Value.Null; Workload.Opgen.tagged 0 1 |]) ];
+  Sim.set_script sim 1 [ (inst, "READ", Sim.Args [||]) ];
+  Sim.step sim 0 (* INV; the primitive cas never executes *);
+  Sim.crash sim 0;
+  Sim.recover sim 0 (* recovery claims true *);
+  run_rr sim;
+  (match List.assoc_opt "CAS" (Sim.results sim 0) with
+  | Some v -> Alcotest.check value "fabricated success" (Bool true) v
+  | None -> Alcotest.fail "CAS did not complete");
+  match Workload.Check.nrl_violation sim with
+  | Some _ -> ()
+  | None -> Alcotest.fail "checker should reject the fabricated CAS success"
+
+(* Targeted: TAS re-execution loses the win; both processes return 1 *)
+let test_naive_tas_lost_win () =
+  let sim = Sim.create ~seed:54 ~nprocs:2 () in
+  let inst = Objects.Naive.make_tas ~strategy:`Reexecute sim ~name:"T" in
+  for p = 0 to 1 do
+    Sim.set_script sim p [ (inst, "T&S", Sim.Args [||]) ]
+  done;
+  steps sim 0 2 (* INV + primitive t&s: p0 wins *);
+  Sim.crash sim 0;
+  drain sim 1 (* p1 completes: returns 1 *);
+  Sim.recover sim 0 (* p0 re-executes: also told 1 *);
+  run_rr sim;
+  let v0 = List.assoc "T&S" (Sim.results sim 0) in
+  let v1 = List.assoc "T&S" (Sim.results sim 1) in
+  Alcotest.check value "p0 told it lost" (Int 1) v0;
+  Alcotest.check value "p1 lost" (Int 1) v1;
+  match Workload.Check.nrl_violation sim with
+  | Some _ -> ()
+  | None -> Alcotest.fail "a TAS history with no winner must be rejected"
+
+(* Randomized: the checker finds violations for every unsound baseline *)
+let test_naive_torture_detects_violations () =
+  let expect_failures scen =
+    let s = Workload.Trial.batch ~crash_prob:0.15 ~max_crashes:6 ~trials:150 scen in
+    Alcotest.(check bool)
+      (scen.Workload.Trial.scen_name ^ ": some violation detected")
+      true
+      (s.Workload.Trial.failed > 0)
+  in
+  expect_failures (Workload.Scenarios.naive_rw ~strategy:`Optimistic ());
+  expect_failures (Workload.Scenarios.naive_cas ~strategy:`Optimistic ());
+  expect_failures (Workload.Scenarios.naive_cas ~strategy:`Reexecute ());
+  expect_failures (Workload.Scenarios.naive_tas ~nprocs:3 ())
+
+(* Re-executing a register write is safe in the restricted two-process
+   write+read setting: verified exhaustively. *)
+let test_naive_rw_reexec_safe_two_procs () =
+  let build () =
+    let sim = Sim.create ~nprocs:2 () in
+    let inst = Objects.Naive.make_rw ~strategy:`Reexecute sim ~name:"R" in
+    Sim.set_script sim 0
+      [ (inst, "WRITE", Sim.Args [| Nvm.Value.Int 10 |]); (inst, "READ", Sim.Args [||]) ];
+    Sim.set_script sim 1
+      [ (inst, "WRITE", Sim.Args [| Nvm.Value.Int 20 |]); (inst, "READ", Sim.Args [||]) ];
+    sim
+  in
+  let cfg =
+    { Explore.default_config with max_steps = 80; max_crashes = 1; crash_procs = [ 0 ] }
+  in
+  let viol, stats =
+    Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ())
+  in
+  Alcotest.(check bool) "no violation exists" true (viol = None);
+  Alcotest.(check bool) "nothing truncated" true (stats.Explore.truncated = 0)
+
+(* ... but with a third process observing, a single crash suffices to
+   expose *value resurrection*: reads observe [a; b; a] although WRITE(a)
+   is a single operation.  The exhaustive search produces the minimal
+   counterexample; Algorithm 1 passes the identical workload (checked in
+   the experiment suite — its exhaustive run takes ~45s, so here we rely
+   on the torture tests). *)
+let test_naive_rw_reexec_value_resurrection () =
+  let build () =
+    let sim = Sim.create ~nprocs:3 () in
+    let inst = Objects.Naive.make_rw ~strategy:`Reexecute sim ~name:"R" in
+    Sim.set_script sim 0 [ (inst, "WRITE", Sim.Args [| Nvm.Value.Int 10 |]) ];
+    Sim.set_script sim 1 [ (inst, "WRITE", Sim.Args [| Nvm.Value.Int 20 |]) ];
+    Sim.set_script sim 2 (List.init 3 (fun _ -> (inst, "READ", Sim.Args [||])));
+    sim
+  in
+  let cfg =
+    { Explore.default_config with max_steps = 80; max_crashes = 1; crash_procs = [ 0 ] }
+  in
+  let viol, _ = Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ()) in
+  match viol with
+  | None -> Alcotest.fail "expected a value-resurrection violation"
+  | Some (sim, _) ->
+    (* the witness must contain a read of 10 after a read of 20 after a
+       read of 10 *)
+    let reads =
+      List.filter_map
+        (function
+          | History.Step.Res { opref = { History.Step.op = "READ"; _ }; ret; _ } ->
+            Some ret
+          | _ -> None)
+        (History.to_list (Sim.history sim))
+    in
+    let rec has_aba = function
+      | Nvm.Value.Int 10 :: tl ->
+        let rec after_b = function
+          | Nvm.Value.Int 20 :: tl2 -> List.exists (Nvm.Value.equal (Nvm.Value.Int 10)) tl2
+          | _ :: tl2 -> after_b tl2
+          | [] -> false
+        in
+        after_b tl || has_aba tl
+      | _ :: tl -> has_aba tl
+      | [] -> false
+    in
+    Alcotest.(check bool) "reads observe 10,20,10" true (has_aba reads)
+
+let suite =
+  [
+    Alcotest.test_case "naive objects linearizable without crashes" `Slow test_naive_crash_free_all_pass;
+    Alcotest.test_case "naive rw optimistic: lost write" `Quick test_naive_rw_optimistic_loses_write;
+    Alcotest.test_case "naive cas reexec: intro scenario" `Quick test_naive_cas_reexec_intro_scenario;
+    Alcotest.test_case "naive cas optimistic: fabricated success" `Quick test_naive_cas_optimistic_fabricates_success;
+    Alcotest.test_case "naive tas reexec: lost win" `Quick test_naive_tas_lost_win;
+    Alcotest.test_case "naive torture: violations detected" `Slow test_naive_torture_detects_violations;
+    Alcotest.test_case "naive rw reexec safe with 2 procs (exhaustive)" `Slow
+      test_naive_rw_reexec_safe_two_procs;
+    Alcotest.test_case "naive rw reexec: value resurrection (3 procs)" `Quick
+      test_naive_rw_reexec_value_resurrection;
+  ]

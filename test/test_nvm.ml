@@ -1,0 +1,195 @@
+(* Unit and property tests for the NVRAM substrate: values and memory. *)
+
+open Nvm
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_value_equal () =
+  Alcotest.(check bool) "null = null" true (Value.equal Null Null);
+  Alcotest.(check bool) "int 3 = int 3" true (Value.equal (Int 3) (Int 3));
+  Alcotest.(check bool) "int <> pid" false (Value.equal (Int 3) (Pid 3));
+  Alcotest.(check bool)
+    "pairs compare structurally" true
+    (Value.equal (Value.pair (Int 1) (Bool true)) (Value.pair (Int 1) (Bool true)));
+  Alcotest.(check bool)
+    "pairs differ in snd" false
+    (Value.equal (Value.pair (Int 1) (Bool true)) (Value.pair (Int 1) (Bool false)))
+
+let test_value_accessors () =
+  Alcotest.(check int) "as_int" 7 (Value.as_int (Int 7));
+  Alcotest.(check bool) "as_bool" true (Value.as_bool (Bool true));
+  Alcotest.(check int) "as_pid" 2 (Value.as_pid (Pid 2));
+  Alcotest.check value "fst" (Int 1) (Value.fst (Value.pair (Int 1) (Int 2)));
+  Alcotest.check value "snd" (Int 2) (Value.snd (Value.pair (Int 1) (Int 2)));
+  Alcotest.check_raises "as_int on bool" (Value.Type_error ("int", Bool true)) (fun () ->
+      ignore (Value.as_int (Bool true)))
+
+let test_value_compare_consistent () =
+  let vs =
+    [ Value.Null; Bool false; Bool true; Int (-1); Int 5; Pid 0; Pid 3; Str "x";
+      Value.pair (Int 1) Null; Value.pair Null (Pid 2) ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Fmt.str "compare/equal agree on %a %a" Value.pp a Value.pp b)
+            (Value.equal a b)
+            (Value.compare a b = 0);
+          if Value.equal a b then
+            Alcotest.(check int)
+              (Fmt.str "hash agrees on %a" Value.pp a)
+              (Value.hash a) (Value.hash b))
+        vs)
+    vs
+
+let test_alloc_read_write () =
+  let m = Memory.create () in
+  let a = Memory.alloc ~name:"x" m (Value.Int 0) in
+  let b = Memory.alloc m Value.Null in
+  Alcotest.check value "initial" (Int 0) (Memory.read m a);
+  Memory.write m a (Int 42);
+  Alcotest.check value "after write" (Int 42) (Memory.read m a);
+  Alcotest.check value "other cell untouched" Null (Memory.read m b);
+  Alcotest.(check string) "named" "x" (Memory.name m a);
+  Alcotest.(check int) "size" 2 (Memory.size m)
+
+let test_alloc_array () =
+  let m = Memory.create () in
+  let base = Memory.alloc_array ~name:"A" m 4 (Value.Int 7) in
+  for i = 0 to 3 do
+    Alcotest.check value (Printf.sprintf "A[%d]" i) (Int 7) (Memory.read m (base + i))
+  done;
+  Memory.write m (base + 2) (Int 9);
+  Alcotest.check value "A[2] updated" (Int 9) (Memory.read m (base + 2));
+  Alcotest.check value "A[1] untouched" (Int 7) (Memory.read m (base + 1));
+  Alcotest.(check string) "array cell name" "A[3]" (Memory.name m (base + 3))
+
+let test_cas_prim () =
+  let m = Memory.create () in
+  let a = Memory.alloc m (Value.Int 1) in
+  Alcotest.(check bool) "cas succeeds" true (Memory.cas m a ~expected:(Int 1) ~desired:(Int 2));
+  Alcotest.check value "cas wrote" (Int 2) (Memory.read m a);
+  Alcotest.(check bool) "cas fails" false (Memory.cas m a ~expected:(Int 1) ~desired:(Int 3));
+  Alcotest.check value "failed cas left value" (Int 2) (Memory.read m a)
+
+let test_tas_prim () =
+  let m = Memory.create () in
+  let a = Memory.alloc m (Value.Int 0) in
+  Alcotest.check value "first tas returns 0" (Int 0) (Memory.tas m a);
+  Alcotest.check value "cell now 1" (Int 1) (Memory.read m a);
+  Alcotest.check value "second tas returns 1" (Int 1) (Memory.tas m a)
+
+let test_faa_prim () =
+  let m = Memory.create () in
+  let a = Memory.alloc m (Value.Int 10) in
+  Alcotest.check value "faa returns prev" (Int 10) (Memory.fetch_and_add m a 5);
+  Alcotest.check value "cell updated" (Int 15) (Memory.read m a)
+
+let test_stats () =
+  let m = Memory.create () in
+  let a = Memory.alloc m (Value.Int 0) in
+  ignore (Memory.read m a);
+  ignore (Memory.read m a);
+  Memory.write m a (Int 1);
+  ignore (Memory.cas m a ~expected:(Int 1) ~desired:(Int 2));
+  ignore (Memory.tas m a);
+  let s = Memory.stats m in
+  Alcotest.(check int) "reads" 2 s.Memory.reads;
+  Alcotest.(check int) "writes" 1 s.Memory.writes;
+  Alcotest.(check int) "rmws" 2 s.Memory.rmws;
+  Memory.reset_stats m;
+  Alcotest.(check int) "reads reset" 0 (Memory.stats m).Memory.reads
+
+let test_peek_not_counted () =
+  let m = Memory.create () in
+  let a = Memory.alloc m (Value.Int 0) in
+  ignore (Memory.peek m a);
+  Alcotest.(check int) "peek doesn't count" 0 (Memory.stats m).Memory.reads
+
+let test_snapshot_restore () =
+  let m = Memory.create () in
+  let a = Memory.alloc m (Value.Int 1) in
+  let b = Memory.alloc m (Value.Str "s") in
+  let snap = Memory.snapshot m in
+  Memory.write m a (Int 99);
+  Memory.write m b Null;
+  Memory.restore m snap;
+  Alcotest.check value "a restored" (Int 1) (Memory.read m a);
+  Alcotest.check value "b restored" (Str "s") (Memory.read m b)
+
+let test_copy_independent () =
+  let m = Memory.create () in
+  let a = Memory.alloc ~name:"a" m (Value.Int 1) in
+  let m2 = Memory.copy m in
+  Memory.write m a (Int 2);
+  Alcotest.check value "copy unaffected" (Int 1) (Memory.read m2 a);
+  Alcotest.(check string) "copy keeps names" "a" (Memory.name m2 a)
+
+let test_out_of_bounds () =
+  let m = Memory.create () in
+  let _ = Memory.alloc m Value.Null in
+  Alcotest.check_raises "read oob"
+    (Invalid_argument "Memory: address 5 out of bounds (size 1)") (fun () ->
+      ignore (Memory.read m 5))
+
+let test_growth () =
+  let m = Memory.create () in
+  (* force several internal growths *)
+  let addrs = List.init 500 (fun i -> Memory.alloc m (Value.Int i)) in
+  List.iteri
+    (fun i a -> Alcotest.check value (Printf.sprintf "cell %d" i) (Int i) (Memory.read m a))
+    addrs
+
+let test_junk_stream_deterministic () =
+  let j1 = Value.junk_stream 7 in
+  let j2 = Value.junk_stream 7 in
+  for i = 0 to 99 do
+    Alcotest.check value (Printf.sprintf "junk %d" i) (j1 ()) (j2 ())
+  done
+
+(* property: value compare is a total order (antisymmetric, transitive on a sample) *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ return Value.Null;
+            map (fun b -> Value.Bool b) bool;
+            map (fun i -> Value.Int i) (int_range (-100) 100);
+            map (fun i -> Value.Pid i) (int_range 0 7) ]
+      else
+        frequency
+          [ (3, self 0); (1, map2 Value.pair (self (n / 2)) (self (n / 2))) ])
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"Value.compare antisymmetric" ~count:500
+    (QCheck2.Gen.pair value_gen value_gen) (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0))
+
+let prop_equal_hash =
+  QCheck2.Test.make ~name:"Value.equal implies equal hash" ~count:500 value_gen (fun v ->
+      Value.hash v = Value.hash v && Value.equal v v)
+
+let suite =
+  [
+    Alcotest.test_case "value equality" `Quick test_value_equal;
+    Alcotest.test_case "value accessors" `Quick test_value_accessors;
+    Alcotest.test_case "compare/equal/hash consistent" `Quick test_value_compare_consistent;
+    Alcotest.test_case "alloc/read/write" `Quick test_alloc_read_write;
+    Alcotest.test_case "array allocation" `Quick test_alloc_array;
+    Alcotest.test_case "cas primitive" `Quick test_cas_prim;
+    Alcotest.test_case "tas primitive" `Quick test_tas_prim;
+    Alcotest.test_case "faa primitive" `Quick test_faa_prim;
+    Alcotest.test_case "access statistics" `Quick test_stats;
+    Alcotest.test_case "peek not counted" `Quick test_peek_not_counted;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+    Alcotest.test_case "heap growth" `Quick test_growth;
+    Alcotest.test_case "junk stream deterministic" `Quick test_junk_stream_deterministic;
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_equal_hash;
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the queue and max-register extensions built on the generic
+   retry loop. *)
+
+open Machine
+
+let value = Alcotest.testable Nvm.Value.pp Nvm.Value.equal
+
+let nrl_ok sim =
+  match Workload.Check.nrl_violation sim with
+  | None -> ()
+  | Some reason ->
+    Fmt.epr "history:@.%a@." History.pp (Sim.history sim);
+    Alcotest.failf "NRL violation: %s" reason
+
+let run_rr sim =
+  match Schedule.run sim (Schedule.round_robin ()) with
+  | Schedule.Completed -> ()
+  | _ -> Alcotest.fail "execution did not complete"
+
+(* {2 Queue} *)
+
+let test_fifo () =
+  let sim = Sim.create ~nprocs:1 () in
+  let inst = Objects.Queue_obj.make sim ~name:"Q" in
+  Sim.set_script sim 0
+    [
+      (inst, "DEQ", Sim.Args [||]);
+      (inst, "ENQ", Sim.Args [| Nvm.Value.Int 1 |]);
+      (inst, "ENQ", Sim.Args [| Nvm.Value.Int 2 |]);
+      (inst, "FRONT", Sim.Args [||]);
+      (inst, "DEQ", Sim.Args [||]);
+      (inst, "DEQ", Sim.Args [||]);
+      (inst, "DEQ", Sim.Args [||]);
+    ];
+  run_rr sim;
+  nrl_ok sim;
+  Alcotest.(check (list value)) "FIFO order"
+    [ Objects.Queue_obj.empty; Nvm.Value.ack; Nvm.Value.ack; Int 1; Int 1; Int 2;
+      Objects.Queue_obj.empty ]
+    (List.map snd (Sim.results sim 0))
+
+let test_queue_crash_every_position () =
+  for k = 1 to 50 do
+    let sim = Sim.create ~seed:(1100 + k) ~nprocs:1 () in
+    let inst = Objects.Queue_obj.make sim ~name:"Q" in
+    Sim.set_script sim 0
+      [
+        (inst, "ENQ", Sim.Args [| Nvm.Value.Int 7 |]);
+        (inst, "ENQ", Sim.Args [| Nvm.Value.Int 8 |]);
+        (inst, "DEQ", Sim.Args [||]);
+        (inst, "DEQ", Sim.Args [||]);
+      ];
+    (try
+       for _ = 1 to k do
+         Sim.step sim 0
+       done;
+       if (Sim.proc sim 0).Sim.stack <> [] then begin
+         Sim.crash sim 0;
+         Sim.recover sim 0
+       end
+     with Invalid_argument _ -> ());
+    run_rr sim;
+    nrl_ok sim;
+    match List.map snd (Sim.results sim 0) with
+    | [ _; _; d1; d2 ] ->
+      Alcotest.check value (Printf.sprintf "first deq (crash@%d)" k) (Int 7) d1;
+      Alcotest.check value (Printf.sprintf "second deq (crash@%d)" k) (Int 8) d2
+    | _ -> Alcotest.fail "unexpected results"
+  done
+
+let test_queue_torture () =
+  let scen = Workload.Scenarios.queue ~nprocs:3 ~ops:5 () in
+  let s = Workload.Trial.batch ~crash_prob:0.06 ~max_crashes:6 ~trials:100 scen in
+  Alcotest.(check int) "all pass NRL" s.Workload.Trial.trials s.Workload.Trial.passed
+
+(* {2 Max register} *)
+
+let test_max_monotone () =
+  let sim = Sim.create ~nprocs:1 () in
+  let inst = Objects.Max_register_obj.make sim ~name:"M" in
+  Sim.set_script sim 0
+    [
+      (inst, "WRITE_MAX", Sim.Args [| Nvm.Value.Int 5 |]);
+      (inst, "WRITE_MAX", Sim.Args [| Nvm.Value.Int 3 |]);
+      (inst, "READ", Sim.Args [||]);
+      (inst, "WRITE_MAX", Sim.Args [| Nvm.Value.Int 9 |]);
+      (inst, "READ", Sim.Args [||]);
+    ];
+  run_rr sim;
+  nrl_ok sim;
+  match List.filter_map (fun (op, v) -> if op = "READ" then Some v else None)
+          (Sim.results sim 0)
+  with
+  | [ r1; r2 ] ->
+    Alcotest.check value "dominated write ignored" (Int 5) r1;
+    Alcotest.check value "larger write applied" (Int 9) r2
+  | _ -> Alcotest.fail "unexpected results"
+
+let test_max_crash_every_position () =
+  for k = 1 to 40 do
+    let sim = Sim.create ~seed:(1200 + k) ~nprocs:1 () in
+    let inst = Objects.Max_register_obj.make sim ~name:"M" in
+    Sim.set_script sim 0
+      [
+        (inst, "WRITE_MAX", Sim.Args [| Nvm.Value.Int 5 |]);
+        (inst, "WRITE_MAX", Sim.Args [| Nvm.Value.Int 3 |]);
+        (inst, "READ", Sim.Args [||]);
+      ];
+    (try
+       for _ = 1 to k do
+         Sim.step sim 0
+       done;
+       if (Sim.proc sim 0).Sim.stack <> [] then begin
+         Sim.crash sim 0;
+         Sim.recover sim 0
+       end
+     with Invalid_argument _ -> ());
+    run_rr sim;
+    nrl_ok sim;
+    match List.assoc_opt "READ" (Sim.results sim 0) with
+    | Some v -> Alcotest.check value (Printf.sprintf "max after crash at %d" k) (Int 5) v
+    | None -> Alcotest.fail "READ missing"
+  done
+
+let test_max_torture () =
+  let scen = Workload.Scenarios.max_register ~nprocs:3 ~ops:5 () in
+  let s = Workload.Trial.batch ~crash_prob:0.06 ~max_crashes:6 ~trials:100 scen in
+  Alcotest.(check int) "all pass NRL" s.Workload.Trial.trials s.Workload.Trial.passed
+
+(* property: the final max equals the maximum of completed WRITE_MAX args *)
+let prop_max_is_max =
+  QCheck2.Test.make ~name:"max-register: final value = max of writes" ~count:30
+    (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let nprocs = 2 in
+      let sim = Sim.create ~seed ~nprocs () in
+      let inst = Objects.Max_register_obj.make sim ~name:"M" in
+      let expected = ref 0 in
+      for p = 0 to nprocs - 1 do
+        Sim.set_script sim p
+          (List.init 3 (fun k ->
+               let v = 1 + ((seed + (p * 37) + (k * 11)) mod 90) in
+               expected := max !expected v;
+               (inst, "WRITE_MAX", Sim.Args [| Nvm.Value.Int v |])))
+      done;
+      let policy = Schedule.random ~crash_prob:0.08 ~max_crashes:5 ~seed:(seed + 77) () in
+      match Schedule.run ~max_steps:200_000 sim policy with
+      | Schedule.Completed -> (
+        Sim.append_script sim 0 [ (inst, "READ", Sim.Args [||]) ];
+        match Schedule.run sim (Schedule.round_robin ()) with
+        | Schedule.Completed ->
+          List.assoc_opt "READ" (Sim.results sim 0) = Some (Nvm.Value.Int !expected)
+        | _ -> false)
+      | _ -> QCheck2.assume_fail ())
+
+let suite =
+  [
+    Alcotest.test_case "queue: FIFO" `Quick test_fifo;
+    Alcotest.test_case "queue: crash at every position" `Quick test_queue_crash_every_position;
+    Alcotest.test_case "queue: randomized torture" `Slow test_queue_torture;
+    Alcotest.test_case "max: monotone semantics" `Quick test_max_monotone;
+    Alcotest.test_case "max: crash at every position" `Quick test_max_crash_every_position;
+    Alcotest.test_case "max: randomized torture" `Slow test_max_torture;
+    QCheck_alcotest.to_alcotest prop_max_is_max;
+  ]

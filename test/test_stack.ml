@@ -1,0 +1,161 @@
+(* Tests for the recoverable stack (Treiber over strict CAS): LIFO
+   behaviour, crash drills at every position of PUSH and POP (including
+   the empty-POP path and the completion boundary), torture, and
+   conservation of elements. *)
+
+open Machine
+
+let value = Alcotest.testable Nvm.Value.pp Nvm.Value.equal
+
+let nrl_ok sim =
+  match Workload.Check.nrl_violation sim with
+  | None -> ()
+  | Some reason ->
+    Fmt.epr "history:@.%a@." History.pp (Sim.history sim);
+    Alcotest.failf "NRL violation: %s" reason
+
+let run_rr sim =
+  match Schedule.run sim (Schedule.round_robin ()) with
+  | Schedule.Completed -> ()
+  | _ -> Alcotest.fail "execution did not complete"
+
+let test_lifo () =
+  let sim = Sim.create ~nprocs:1 () in
+  let inst = Objects.Stack_obj.make sim ~name:"S" in
+  Sim.set_script sim 0
+    [
+      (inst, "POP", Sim.Args [||]);
+      (inst, "PUSH", Sim.Args [| Nvm.Value.Int 1 |]);
+      (inst, "PUSH", Sim.Args [| Nvm.Value.Int 2 |]);
+      (inst, "PEEK", Sim.Args [||]);
+      (inst, "POP", Sim.Args [||]);
+      (inst, "POP", Sim.Args [||]);
+      (inst, "POP", Sim.Args [||]);
+    ];
+  run_rr sim;
+  nrl_ok sim;
+  let rets = List.map snd (Sim.results sim 0) in
+  Alcotest.(check (list value)) "LIFO order"
+    [ Objects.Stack_obj.empty; Nvm.Value.ack; Nvm.Value.ack; Int 2; Int 2; Int 1;
+      Objects.Stack_obj.empty ]
+    rets
+
+let test_crash_every_position () =
+  (* a PUSH and a POP, crash after k steps for all k; the sequence of
+     responses must stay legal (checked by NRL) and POP must return the
+     pushed value *)
+  for k = 1 to 50 do
+    let sim = Sim.create ~seed:(900 + k) ~nprocs:1 () in
+    let inst = Objects.Stack_obj.make sim ~name:"S" in
+    Sim.set_script sim 0
+      [
+        (inst, "PUSH", Sim.Args [| Nvm.Value.Int 7 |]);
+        (inst, "POP", Sim.Args [||]);
+        (inst, "POP", Sim.Args [||]);
+      ];
+    (try
+       for _ = 1 to k do
+         Sim.step sim 0
+       done;
+       if (Sim.proc sim 0).Sim.stack <> [] then begin
+         Sim.crash sim 0;
+         Sim.recover sim 0
+       end
+     with Invalid_argument _ -> ());
+    run_rr sim;
+    nrl_ok sim;
+    match List.map snd (Sim.results sim 0) with
+    | [ a; p1; p2 ] ->
+      Alcotest.check value (Printf.sprintf "push ack (crash@%d)" k) Nvm.Value.ack a;
+      Alcotest.check value (Printf.sprintf "pop value (crash@%d)" k) (Int 7) p1;
+      Alcotest.check value (Printf.sprintf "second pop empty (crash@%d)" k)
+        Objects.Stack_obj.empty p2
+    | _ -> Alcotest.fail "unexpected results"
+  done
+
+let test_torture () =
+  let scen = Workload.Scenarios.stack ~nprocs:3 ~ops:5 () in
+  let s = Workload.Trial.batch ~crash_prob:0.06 ~max_crashes:6 ~trials:120 scen in
+  Alcotest.(check int) "all pass NRL" s.Workload.Trial.trials s.Workload.Trial.passed;
+  Alcotest.(check bool) "crashes exercised" true (s.Workload.Trial.total_crashes > 50)
+
+(* conservation: pushes minus successful pops = final stack depth *)
+let prop_conservation =
+  QCheck2.Test.make ~name:"stack: pushes - pops = final depth" ~count:30
+    (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let nprocs = 2 in
+      let sim = Sim.create ~seed ~nprocs () in
+      let inst = Objects.Stack_obj.make sim ~name:"S" in
+      for p = 0 to nprocs - 1 do
+        Sim.set_script sim p
+          [
+            (inst, "PUSH", Sim.Args [| Workload.Opgen.tagged p 1 |]);
+            (inst, "PUSH", Sim.Args [| Workload.Opgen.tagged p 2 |]);
+            (inst, "POP", Sim.Args [||]);
+          ]
+      done;
+      let policy = Schedule.random ~crash_prob:0.08 ~max_crashes:5 ~seed:(seed * 3 + 11) () in
+      let nonempty_pops () =
+        List.length
+          (List.concat_map
+             (fun p ->
+               List.filter
+                 (fun (op, v) ->
+                   op = "POP" && not (Nvm.Value.equal v Objects.Stack_obj.empty))
+                 (Sim.results sim p))
+             (List.init nprocs Fun.id))
+      in
+      match Schedule.run ~max_steps:200_000 sim policy with
+      | Schedule.Completed -> (
+        (* drain the stack; afterwards every pushed element must have been
+           popped exactly once across the whole run *)
+        Sim.append_script sim 0
+          (List.init ((nprocs * 2) + 1) (fun _ -> (inst, "POP", Sim.Args [||])));
+        match Schedule.run sim (Schedule.round_robin ()) with
+        | Schedule.Completed -> nonempty_pops () = nprocs * 2
+        | _ -> false)
+      | _ -> QCheck2.assume_fail ())
+
+(* exhaustive verification, kept tractable (each stack op nests a READ
+   and a CAS, and contention adds retry rounds, so the full 2-proc
+   multi-op crash space is astronomically large): (a) two processes, one
+   PUSH each, crash-free — all interleavings including the retry round of
+   the loser; (b) one process, PUSH then POP, up to two adversarially
+   placed crashes. *)
+let test_exhaustive () =
+  let build ~crash () =
+    let sim = Sim.create ~nprocs:(if crash then 1 else 2) () in
+    let inst = Objects.Stack_obj.make sim ~name:"S" in
+    if crash then
+      Sim.set_script sim 0
+        [ (inst, "PUSH", Sim.Args [| Nvm.Value.Int 1 |]); (inst, "POP", Sim.Args [||]) ]
+    else begin
+      Sim.set_script sim 0 [ (inst, "PUSH", Sim.Args [| Nvm.Value.Int 1 |]) ];
+      Sim.set_script sim 1 [ (inst, "PUSH", Sim.Args [| Nvm.Value.Int 2 |]) ]
+    end;
+    sim
+  in
+  let check_run ~crash cfg =
+    let viol, stats =
+      Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ~crash ())
+    in
+    (match viol with
+    | Some (sim, reason) ->
+      Fmt.epr "violating history:@.%a@." History.pp (Sim.history sim);
+      Alcotest.failf "stack violated NRL: %s" reason
+    | None -> ());
+    Alcotest.(check int) "nothing truncated" 0 stats.Explore.truncated
+  in
+  check_run ~crash:false
+    { Explore.default_config with max_steps = 160; max_crashes = 0; crash_procs = [] };
+  check_run ~crash:true
+    { Explore.default_config with max_steps = 160; max_crashes = 2; crash_procs = [ 0 ] }
+
+let suite =
+  [
+    Alcotest.test_case "stack: LIFO" `Quick test_lifo;
+    Alcotest.test_case "stack: crash at every position" `Quick test_crash_every_position;
+    Alcotest.test_case "stack: randomized torture" `Slow test_torture;
+    Alcotest.test_case "stack: exhaustive slices" `Slow test_exhaustive;
+    QCheck_alcotest.to_alcotest prop_conservation;
+  ]

@@ -1,0 +1,108 @@
+(* Full-system crash tests: every process fails at the same instant (the
+   paper's individual-process model subsumes this as N simultaneous
+   crashes); recovery proceeds process by process, and NRL must still
+   hold for every algorithm. *)
+
+open Machine
+
+let value = Alcotest.testable Nvm.Value.pp Nvm.Value.equal
+
+let nrl_ok sim =
+  match Workload.Check.nrl_violation sim with
+  | None -> ()
+  | Some reason ->
+    Fmt.epr "history:@.%a@." History.pp (Sim.history sim);
+    Alcotest.failf "NRL violation: %s" reason
+
+let run_rr sim =
+  match Schedule.run sim (Schedule.round_robin ()) with
+  | Schedule.Completed -> ()
+  | _ -> Alcotest.fail "execution did not complete"
+
+(* targeted: all three processes mid-operation on the counter, then the
+   whole system goes down and comes back *)
+let test_counter_full_system_crash () =
+  let sim = Sim.create ~seed:13 ~nprocs:3 () in
+  let inst = Objects.Counter_obj.make sim ~name:"CTR" in
+  for p = 0 to 2 do
+    Sim.set_script sim p [ (inst, "INC", Sim.Args [||]) ]
+  done;
+  (* advance each process to a different depth inside its INC *)
+  Sim.step sim 0 (* INV *);
+  Sim.step sim 1;
+  Sim.step sim 1 (* inside the nested READ *);
+  for _ = 1 to 6 do
+    Sim.step sim 2 (* deep inside the nested WRITE *)
+  done;
+  (* lights out *)
+  for p = 0 to 2 do
+    Sim.crash sim p
+  done;
+  (* power back on: processes resurrect one by one *)
+  for p = 0 to 2 do
+    Sim.recover sim p
+  done;
+  Sim.append_script sim 0 [ (inst, "READ", Sim.Args [||]) ];
+  run_rr sim;
+  nrl_ok sim;
+  match List.assoc_opt "READ" (Sim.results sim 0) with
+  | Some v -> Alcotest.check value "all three INCs survive the blackout" (Int 3) v
+  | None -> Alcotest.fail "READ missing"
+
+(* randomized: every algorithm under repeated system-wide crashes *)
+let test_system_crash_torture () =
+  List.iter
+    (fun scen ->
+      let passed = ref 0 in
+      let trials = 60 in
+      for seed = 1 to trials do
+        let sim = Sim.create ~seed ~nprocs:scen.Workload.Trial.nprocs () in
+        scen.Workload.Trial.build sim;
+        let policy =
+          Schedule.random ~crash_prob:0.0 ~system_crash_prob:0.01 ~max_crashes:4
+            ~seed:(seed * 101 + 7) ()
+        in
+        match Schedule.run ~max_steps:200_000 sim policy with
+        | Schedule.Completed ->
+          if Workload.Check.nrl_violation sim = None then incr passed
+        | _ -> ()
+      done;
+      Alcotest.(check int)
+        (scen.Workload.Trial.scen_name ^ " under system crashes")
+        trials !passed)
+    (Workload.Scenarios.all_paper ~nprocs:3 ()
+    @ [
+        Workload.Scenarios.elect ~nprocs:3 ();
+        Workload.Scenarios.faa ~nprocs:3 ();
+        Workload.Scenarios.stack ~nprocs:3 ();
+        Workload.Scenarios.queue ~nprocs:3 ();
+      ])
+
+(* the history records one crash step per process, all adjacent *)
+let test_system_crash_history_shape () =
+  let sim = Sim.create ~seed:5 ~nprocs:2 () in
+  let inst = Objects.Rw_obj.make sim ~name:"R" in
+  for p = 0 to 1 do
+    Sim.set_script sim p [ (inst, "WRITE", Sim.Args [| Workload.Opgen.tagged p 1 |]) ]
+  done;
+  Sim.step sim 0;
+  Sim.step sim 1;
+  Sim.crash sim 0;
+  Sim.crash sim 1;
+  let crash_pids =
+    List.filter_map
+      (function History.Step.Crash { pid; _ } -> Some pid | _ -> None)
+      (History.to_list (Sim.history sim))
+  in
+  Alcotest.(check (list int)) "both crash steps recorded" [ 0; 1 ] crash_pids;
+  Sim.recover sim 0;
+  Sim.recover sim 1;
+  run_rr sim;
+  nrl_ok sim
+
+let suite =
+  [
+    Alcotest.test_case "counter: full-system blackout" `Quick test_counter_full_system_crash;
+    Alcotest.test_case "system-crash torture (all objects)" `Slow test_system_crash_torture;
+    Alcotest.test_case "history shape" `Quick test_system_crash_history_shape;
+  ]
