@@ -1,15 +1,84 @@
-(* Benchmark harness: regenerates every table (T1-T4) and figure series
-   (F1-F4) defined in DESIGN.md section 5, plus the correctness experiment
+(* Benchmark harness: regenerates every table (T1-T6) and figure series
+   (F1-F5) defined in DESIGN.md section 5, plus the correctness experiment
    suite (E1-E6) recorded in EXPERIMENTS.md.
 
    Run all:          dune exec bench/main.exe
    Run a subset:     dune exec bench/main.exe -- T1 T3 F2 E
+   Machine-readable: dune exec bench/main.exe -- --json [tags]
+                     additionally writes BENCH_explore.json (every ns/op
+                     estimate plus the T6 explore-scaling rows), so the
+                     perf trajectory is tracked across PRs.
 
    The paper (PODC'18) has no empirical evaluation; these benchmarks are
    the evaluation a systems reader would expect, with the expected shapes
    documented in DESIGN.md. *)
 
 let selected = ref []
+
+(* {1 machine-readable output (--json)} *)
+
+let json_requested = ref false
+let current_section = ref ""
+
+(* (section, name, ns/op); nan (failed OLS fit) becomes null *)
+let json_ns : (string * string * float) list ref = ref []
+
+type explore_row = {
+  er_scenario : string;
+  er_nprocs : int;
+  er_ops : int;
+  er_jobs : int;
+  er_dedup : bool;
+  er_terminals : int;
+  er_nodes : int;
+  er_dup : int;
+  er_seconds : float;
+}
+
+let json_explore : explore_row list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v
+
+let write_json path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"nrl-bench/1\",\n";
+  Printf.fprintf oc "  \"domains_available\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"ns_per_op\": [\n";
+  let rows = List.rev !json_ns in
+  List.iteri
+    (fun i (sect, name, ns) ->
+      Printf.fprintf oc "    {\"section\": \"%s\", \"name\": \"%s\", \"ns\": %s}%s\n"
+        (json_escape sect) (json_escape name) (json_float ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"explore\": [\n";
+  let rows = List.rev !json_explore in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": \"%s\", \"nprocs\": %d, \"ops\": %d, \"jobs\": %d, \"dedup\": %b, \
+         \"terminals\": %d, \"nodes\": %d, \"dup\": %d, \"seconds\": %s, \"nodes_per_sec\": %s}%s\n"
+        (json_escape r.er_scenario) r.er_nprocs r.er_ops r.er_jobs r.er_dedup r.er_terminals
+        r.er_nodes r.er_dup (json_float r.er_seconds)
+        (json_float (float_of_int r.er_nodes /. r.er_seconds))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
 
 let want tag =
   !selected = []
@@ -18,7 +87,9 @@ let want tag =
                  && String.sub tag 0 (String.length s) = s)
        !selected
 
-let section tag title = Printf.printf "\n== %s: %s ==\n%!" tag title
+let section tag title =
+  current_section := tag;
+  Printf.printf "\n== %s: %s ==\n%!" tag title
 
 (* {1 Bechamel helper: estimated ns/op for a thunk} *)
 
@@ -32,9 +103,13 @@ let estimate_ns name fn =
       (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
       Toolkit.Instance.monotonic_clock tbl
   in
-  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
-  | [ ols ] -> (match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan)
-  | _ -> nan
+  let ns =
+    match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+    | [ ols ] -> (match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan)
+    | _ -> nan
+  in
+  json_ns := (!current_section, name, ns) :: !json_ns;
+  ns
 
 let row3 a b c = Printf.printf "  %-34s %14s %14s\n%!" a b c
 let ns v = Printf.sprintf "%.1f ns" v
@@ -312,6 +387,60 @@ let t5 () =
 %!" name a2 a4 a8)
     rows
 
+(* {1 T6: exhaustive-exploration throughput scaling vs domain count} *)
+
+(* The domain-parallel engine on a fixed mid-sized instance: wall-clock
+   and nodes/sec for 1..max domains, with and without state
+   deduplication.  Statistics are engine-invariant without dedup, so the
+   rows double as a cross-check.  Speedup needs real cores: on a
+   single-core host the extra domains only measure the fan-out
+   overhead. *)
+let t6 () =
+  section "T6" "explore throughput scaling vs domains (register, 3 procs, 1 op, 1 crash)";
+  let nprocs = 3 and ops = 1 in
+  let scen = Workload.Scenarios.register ~nprocs ~ops () in
+  let build () =
+    let sim = Machine.Sim.create ~nprocs () in
+    scen.Workload.Trial.build sim;
+    sim
+  in
+  let cfg =
+    { Machine.Explore.default_config with max_steps = 100; max_crashes = 1; crash_procs = [ 0 ] }
+  in
+  let max_d = Runtime.Par.max_domains ~cap:8 () in
+  let jobs_list = List.filter (fun j -> j = 1 || j <= max_d * 4) [ 1; 2; 4; 8 ] in
+  Printf.printf "  %-8s %-8s %12s %10s %10s %12s\n%!" "jobs" "dedup" "nodes" "dup" "seconds"
+    "nodes/s";
+  List.iter
+    (fun dedup ->
+      List.iter
+        (fun jobs ->
+          let t0 = Unix.gettimeofday () in
+          let viol, stats =
+            Machine.Explore.find_violation ~cfg ~jobs ~dedup
+              ~check:Workload.Check.nrl_violation (build ())
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          assert (viol = None);
+          Printf.printf "  %-8d %-8b %12d %10d %10.2f %12.0f\n%!" jobs dedup
+            stats.Machine.Explore.nodes stats.Machine.Explore.dup dt
+            (float_of_int stats.Machine.Explore.nodes /. dt);
+          json_explore :=
+            {
+              er_scenario = "register";
+              er_nprocs = nprocs;
+              er_ops = ops;
+              er_jobs = jobs;
+              er_dedup = dedup;
+              er_terminals = stats.Machine.Explore.terminals;
+              er_nodes = stats.Machine.Explore.nodes;
+              er_dup = stats.Machine.Explore.dup;
+              er_seconds = dt;
+            }
+            :: !json_explore)
+        jobs_list)
+    [ false; true ]
+
 (* {1 F1: recovery latency vs crash position} *)
 
 let f1 () =
@@ -546,18 +675,22 @@ let e_suite () =
   Printf.printf "   Algorithm 1's conditional recovery exists to close this window.)\n%!"
 
 let () =
-  selected := List.tl (Array.to_list Sys.argv);
-  Printf.printf "NRL benchmark harness (tables T1-T4, figures F1-F4, experiments E1-E6)\n";
+  let args = List.tl (Array.to_list Sys.argv) in
+  json_requested := List.mem "--json" args;
+  selected := List.filter (fun a -> a <> "--json") args;
+  Printf.printf "NRL benchmark harness (tables T1-T6, figures F1-F5, experiments E1-E6)\n";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
   if want "T1" then t1 ();
   if want "T2" then t2 ();
   if want "T3" then t3 ();
   if want "T4" then t4 ();
   if want "T5" then t5 ();
+  if want "T6" then t6 ();
   if want "F1" then f1 ();
   if want "F2" then f2 ();
   if want "F3" then f3 ();
   if want "F4" then f4 ();
   if want "F5" then f5 ();
   if want "E" then e_suite ();
+  if !json_requested then write_json "BENCH_explore.json";
   Printf.printf "\ndone.\n%!"

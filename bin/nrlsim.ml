@@ -122,7 +122,24 @@ let explore_cmd =
   let crashes_arg =
     Arg.(value & opt int 1 & info [ "crashes" ] ~docv:"C" ~doc:"Crash budget (process 0 crashes).")
   in
-  let explore name nprocs ops max_steps max_crashes =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "Explore on $(docv) OCaml domains (subtrees of the schedule tree run \
+             concurrently; statistics are identical for every value).")
+  in
+  let dedup_arg =
+    Arg.(
+      value & flag
+      & info [ "dedup" ]
+          ~doc:
+            "Prune branches that reconverge on an already-visited machine configuration \
+             (fingerprint of memory + per-process control state).  Violations found are \
+             real; a clean sweep certifies one representative prefix per configuration.")
+  in
+  let explore name nprocs ops max_steps max_crashes jobs dedup =
     let build () =
       let sim = Machine.Sim.create ~nprocs () in
       (scenario_of_name name ~nprocs ~ops).Workload.Trial.build sim;
@@ -131,9 +148,10 @@ let explore_cmd =
     let cfg =
       { Machine.Explore.default_config with max_steps; max_crashes; crash_procs = [ 0 ] }
     in
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let viol, stats =
-      Machine.Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ())
+      Machine.Explore.find_violation ~cfg ~jobs ~dedup ~check:Workload.Check.nrl_violation
+        (build ())
     in
     (match viol with
     | Some (sim, reason) ->
@@ -142,13 +160,17 @@ let explore_cmd =
       exit 2
     | None ->
       Format.printf
-        "no violation: %d complete executions checked (%d truncated, %d nodes, %.1fs)@."
+        "no violation: %d complete executions checked (%d truncated, %d nodes, %d deduped, \
+         %d jobs, %.1fs)@."
         stats.Machine.Explore.terminals stats.Machine.Explore.truncated
-        stats.Machine.Explore.nodes (Sys.time () -. t0))
+        stats.Machine.Explore.nodes stats.Machine.Explore.dup jobs
+        (Unix.gettimeofday () -. t0))
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Bounded exhaustive schedule exploration (use small instances)")
-    Term.(const explore $ scenario_arg $ nprocs_arg $ ops_arg $ steps_arg $ crashes_arg)
+    Term.(
+      const explore $ scenario_arg $ nprocs_arg $ ops_arg $ steps_arg $ crashes_arg
+      $ jobs_arg $ dedup_arg)
 
 (* theorem *)
 let theorem_cmd =

@@ -1,13 +1,18 @@
-(** Canonical serialisation of a machine configuration, used to memoise
-    the valency analysis over reachable configurations.
+(** Canonical serialisation of a machine configuration.
 
-    The key covers everything that determines future behaviour: shared
-    memory, and for each process its status, results so far, remaining
-    script length, and frame stack (object, operation, phase, pc, [LI],
-    interrupted flag, local bindings).  History bookkeeping (call ids) is
-    deliberately excluded: two configurations with identical keys generate
-    identical future behaviour even if they were reached by different
-    interleavings. *)
+    A thin string-keyed compatibility layer over {!Machine.Fingerprint},
+    which holds the actual definition of "everything that determines
+    future behaviour" (shared memory, junk-generator state, and for each
+    process its status, results, remaining script and frame stack with
+    locals).  History bookkeeping (call ids) is excluded: two
+    configurations with identical keys generate identical future
+    behaviour even if they were reached by different interleavings.
+
+    New code that keys tables on configurations should use
+    {!Machine.Fingerprint} directly — structural, hashed once, no string
+    building; strings remain useful for ordered maps and debugging. *)
+
+let of_sim (sim : Machine.Sim.t) = Machine.Fingerprint.to_string (Machine.Fingerprint.of_sim sim)
 
 let frame_key (f : Machine.Sim.frame) =
   let b = Buffer.create 64 in
@@ -32,33 +37,4 @@ let frame_key (f : Machine.Sim.frame) =
       Buffer.add_string b (Nvm.Value.to_string a);
       Buffer.add_char b ',')
     f.Machine.Sim.f_args;
-  Buffer.contents b
-
-let of_sim (sim : Machine.Sim.t) =
-  let b = Buffer.create 256 in
-  Array.iter
-    (fun v ->
-      Buffer.add_string b (Nvm.Value.to_string v);
-      Buffer.add_char b '|')
-    (Nvm.Memory.snapshot (Machine.Sim.mem sim));
-  for p = 0 to Machine.Sim.nprocs sim - 1 do
-    let pr = Machine.Sim.proc sim p in
-    Buffer.add_string b
-      (match pr.Machine.Sim.status with Machine.Sim.Ready -> "R" | Machine.Sim.Crashed -> "C");
-    Buffer.add_string b (string_of_int (List.length pr.Machine.Sim.script));
-    Buffer.add_char b ':';
-    List.iter
-      (fun (op, v) ->
-        Buffer.add_string b op;
-        Buffer.add_string b (Nvm.Value.to_string v);
-        Buffer.add_char b ',')
-      pr.Machine.Sim.results;
-    Buffer.add_char b '[';
-    List.iter
-      (fun f ->
-        Buffer.add_string b (frame_key f);
-        Buffer.add_char b '/')
-      pr.Machine.Sim.stack;
-    Buffer.add_string b "]#"
-  done;
   Buffer.contents b

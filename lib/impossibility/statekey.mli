@@ -1,8 +1,8 @@
-(** Canonical serialisation of a machine configuration, used to memoise
-    the valency analysis.  The key covers everything that determines
-    future behaviour (memory, statuses, results, scripts remaining,
-    frame stacks with locals) and deliberately excludes history
-    bookkeeping such as call ids. *)
+(** Canonical serialisation of a machine configuration — a string-keyed
+    compatibility layer over {!Machine.Fingerprint}, which defines what
+    the key covers (everything that determines future behaviour; history
+    bookkeeping such as call ids is excluded).  Prefer
+    {!Machine.Fingerprint} for new hash-table keys. *)
 
 val of_sim : Machine.Sim.t -> string
 val frame_key : Machine.Sim.frame -> string

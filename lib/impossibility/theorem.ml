@@ -159,7 +159,7 @@ let analyze ?(solo_bound = 300) ?(explore_steps = 120) ?(exhaustive = true) ~nam
   in
   let violation, stats =
     if exhaustive then Machine.Explore.find_violation ~cfg ~check (setup maker)
-    else (None, { Machine.Explore.terminals = 0; truncated = 0; nodes = 0 })
+    else (None, Machine.Explore.zero_stats ())
   in
   {
     algorithm = name;

@@ -8,14 +8,15 @@
     crash-free configuration (memoised on the canonical state key) and
     computes, for each, the set of processes that can return 0. *)
 
-module Smap = Map.Make (String)
+module Table = Machine.Fingerprint.Table
 
 type t = {
-  mutable memo : int Smap.t;  (** state key -> bitmask of processes that can return 0 *)
+  memo : int Table.t;
+      (** configuration fingerprint -> bitmask of processes that can return 0 *)
   mutable configs : int;
 }
 
-let create () = { memo = Smap.empty; configs = 0 }
+let create () = { memo = Table.create 4096; configs = 0 }
 
 let returned_zero sim p =
   List.exists (fun (_, v) -> Nvm.Value.equal v (Nvm.Value.Int 0)) (Machine.Sim.results sim p)
@@ -23,14 +24,14 @@ let returned_zero sim p =
 (** Bitmask of processes that can return 0 in some crash-free execution
     from [sim]'s configuration. *)
 let rec zero_mask t sim =
-  let key = Statekey.of_sim sim in
-  match Smap.find_opt key t.memo with
+  let key = Machine.Fingerprint.of_sim sim in
+  match Table.find_opt t.memo key with
   | Some m -> m
   | None ->
     t.configs <- t.configs + 1;
     (* break cycles (busy-wait loops) pessimistically: a revisited
        configuration contributes nothing new on this branch *)
-    t.memo <- Smap.add key 0 t.memo;
+    Table.replace t.memo key 0;
     let base =
       let m = ref 0 in
       for p = 0 to Machine.Sim.nprocs sim - 1 do
@@ -46,7 +47,7 @@ let rec zero_mask t sim =
         m := !m lor zero_mask t s
       end
     done;
-    t.memo <- Smap.add key !m t.memo;
+    Table.replace t.memo key !m;
     !m
 
 type verdict = Bivalent of int list | Univalent of int | Zerovalent

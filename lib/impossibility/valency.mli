@@ -10,7 +10,8 @@
     run). *)
 
 type t = {
-  mutable memo : int Map.Make(String).t;
+  memo : int Machine.Fingerprint.Table.t;
+      (** configuration fingerprint -> zero-returner bitmask *)
   mutable configs : int;  (** distinct configurations explored *)
 }
 

@@ -29,3 +29,12 @@ let cardinal t =
   !c
 
 let key t = Bytes.to_string t
+
+let equal = Bytes.equal
+
+(* FNV-1a over the words; complete (every byte participates), unlike the
+   generic [Hashtbl.hash] which stops after a size limit *)
+let hash t =
+  let h = ref 0x811c9dc5 in
+  Bytes.iter (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land max_int) t;
+  !h

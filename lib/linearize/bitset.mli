@@ -16,4 +16,11 @@ val add : t -> int -> t
 val cardinal : t -> int
 
 val key : t -> string
-(** The raw bytes, usable as a memoisation key. *)
+(** The raw bytes as a string (allocates; prefer {!equal}/{!hash} for
+    memoisation keys). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Complete hash over the set's words (no truncation), suitable for
+    [Hashtbl.Make]. *)

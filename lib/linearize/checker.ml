@@ -29,15 +29,33 @@ let pp_verdict ppf = function
 
 exception Success of linearization
 
+(* The memoisation key: which operations have been linearized, plus the
+   specification state reached.  Structural — the bitset's words and the
+   spec-state value are hashed and compared directly, so the hot path
+   allocates no intermediate strings (the former key concatenated
+   [Bitset.key] with [Value.to_string] at every visited node). *)
+module Memo_key = struct
+  type t = Bitset.t * Nvm.Value.t
+
+  let equal (b1, v1) (b2, v2) = Bitset.equal b1 b2 && Nvm.Value.equal v1 v2
+  let hash (b, v) = ((Bitset.hash b * 0x01000193) lxor Nvm.Value.hash v) land max_int
+end
+
+module Memo = Hashtbl.Make (Memo_key)
+
 (** [check_object ~spec ~nprocs h] checks the crash-free single-object
     history [h].  All completed operations must be linearized; pending
-    invocations may be completed with a legal response or dropped. *)
-let check_object ~(spec : Spec.t) ~nprocs (h : History.t) : verdict =
+    invocations may be completed with a legal response or dropped.
+    [memo] (default true) enables Lowe-style memoisation of visited
+    (linearized-set, spec-state) pairs; the verdict is identical with it
+    off, only slower — the switch exists so tests can cross-check the
+    memoised search against the plain one. *)
+let check_object ?(memo = true) ~(spec : Spec.t) ~nprocs (h : History.t) : verdict =
   let ops = Array.of_list (History.ops_of h) in
   let n = Array.length ops in
   let completed = Array.map (fun (r : History.op_record) -> r.ret <> None) ops in
   let n_completed = Array.fold_left (fun a c -> if c then a + 1 else a) 0 completed in
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let seen : unit Memo.t = Memo.create 1024 in
   let best_progress = ref 0 in
   (* minimal response position among unlinearized completed ops: an op can
      be linearized next only if it was invoked before that response *)
@@ -52,9 +70,9 @@ let check_object ~(spec : Spec.t) ~nprocs (h : History.t) : verdict =
   in
   let rec go linearized state acc done_completed =
     if done_completed = n_completed then raise (Success (List.rev acc));
-    let key = Bitset.key linearized ^ "|" ^ Nvm.Value.to_string state.Spec.repr in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
+    let key = (linearized, state.Spec.repr) in
+    if not (memo && Memo.mem seen key) then begin
+      if memo then Memo.add seen key ();
       if done_completed > !best_progress then best_progress := done_completed;
       let frontier = min_res linearized in
       Array.iteri

@@ -17,9 +17,12 @@ type verdict =
 val is_linearizable : verdict -> bool
 val pp_verdict : verdict Fmt.t
 
-val check_object : spec:Spec.t -> nprocs:int -> History.t -> verdict
+val check_object : ?memo:bool -> spec:Spec.t -> nprocs:int -> History.t -> verdict
 (** Check a crash-free history containing the invocation/response steps
-    of a single object. *)
+    of a single object.  [memo] (default true) enables Lowe-style
+    memoisation on a structural (linearized-set, spec-state) key; the
+    verdict does not depend on it — the switch lets tests cross-check
+    the memoised search against the plain one. *)
 
 type object_report = {
   obj : int;

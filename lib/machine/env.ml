@@ -50,6 +50,11 @@ let scramble t junk =
   List.iter (fun k -> Hashtbl.replace t.tbl k (Junk.next junk)) keys;
   t.junk <- Some junk
 
+(** Generator state of a scrambled environment ([None] while strict).
+    Part of what determines future behaviour: a scrambled environment
+    answers unbound lookups from this stream. *)
+let junk_state t = Option.map Junk.state t.junk
+
 let bindings t =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
 

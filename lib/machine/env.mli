@@ -40,4 +40,10 @@ val scramble : t -> Junk.t -> unit
 val bindings : t -> (string * Nvm.Value.t) list
 (** Sorted bindings, for state hashing and debugging. *)
 
+val junk_state : t -> int option
+(** [Some s] iff the environment is in post-crash (scrambled) mode, where
+    [s] is its junk-generator state; [None] for a strict environment.
+    Used by {!Fingerprint} — the mode and the stream both affect what
+    future unbound lookups return. *)
+
 val pp : t Fmt.t

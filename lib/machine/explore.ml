@@ -1,12 +1,39 @@
 (** Exhaustive bounded exploration of schedules.
 
-    For small instances (two or three processes, one or two operations
-    each, a bounded crash budget) the decision tree is small enough to
-    enumerate completely.  Exploration clones the machine at each branch
-    point, so programs run forward only and every leaf carries its own
-    history — this is what lets the checkers examine {e every} history of a
-    bounded instance, turning the paper's universally quantified
-    correctness lemmas into machine-checked facts for those bounds. *)
+    For small instances (a few processes, a few operations each, a
+    bounded crash budget) the decision tree is small enough to enumerate
+    completely.  Exploration clones the machine at each branch point, so
+    programs run forward only and every leaf carries its own history —
+    this is what lets the checkers examine {e every} history of a bounded
+    instance, turning the paper's universally quantified correctness
+    lemmas into machine-checked facts for those bounds.
+
+    Two engines share one traversal core:
+
+    - the sequential depth-first search ([jobs = 1]), byte-for-byte the
+      behaviour of the original engine; and
+    - a domain-parallel search ([jobs > 1]) that first expands the
+      shallowest part of the tree breadth-first until it holds enough
+      independent subtree roots, then fans those subtrees out across
+      OCaml 5 domains, each running the sequential search on its own
+      cloned machine.  Statistics are summed at the join; a shared
+      atomic flag stops every worker as soon as one finds a violation.
+      Every node is processed exactly once by the same code either way,
+      so [terminals]/[truncated]/[nodes] are identical for every [jobs]
+      value.
+
+    Orthogonally, {e state deduplication} ([dedup]) prunes a branch when
+    the machine configuration's {!Fingerprint} has been visited before:
+    converging schedule prefixes are explored once.  Fingerprint
+    equality implies identical future event sequences, so the pruned
+    subtree's behaviours are exactly the representative's — but the
+    {e prefix} histories differ, so checks that depend on the full
+    history (NRL does) are verified against one representative prefix
+    per state.  Deduplicated search is therefore a fast
+    under-approximation: any violation it reports is real, while a clean
+    sweep certifies one representative history per reachable
+    configuration rather than all of them.  See docs/model.md for the
+    full soundness discussion. *)
 
 type config = {
   max_steps : int;  (** depth bound per branch (guards busy-wait loops) *)
@@ -37,7 +64,16 @@ type stats = {
   mutable terminals : int;  (** complete executions reached *)
   mutable truncated : int;  (** branches cut by the depth bound *)
   mutable nodes : int;
+  mutable dup : int;  (** branches pruned by state deduplication *)
 }
+
+let zero_stats () = { terminals = 0; truncated = 0; nodes = 0; dup = 0 }
+
+let add_stats into s =
+  into.terminals <- into.terminals + s.terminals;
+  into.truncated <- into.truncated + s.truncated;
+  into.nodes <- into.nodes + s.nodes;
+  into.dup <- into.dup + s.dup
 
 let decisions cfg ~crashes sim =
   let n = Sim.nprocs sim in
@@ -82,78 +118,199 @@ let decisions cfg ~crashes sim =
       steps @ recoveries @ crashes_d
   end
 
-(** Depth-first enumeration of all schedules of [sim0] under [cfg], calling
-    [on_terminal] on every completed execution.  Returns the statistics.
-    [on_terminal] may raise to abort the search (e.g. on the first
-    counterexample). *)
-let dfs ?(cfg = default_config) ~on_terminal sim0 =
-  let stats = { terminals = 0; truncated = 0; nodes = 0 } in
-  (* terminal: every process either completed its script or is down for
-     good (a crash may be a process's last step, per Definition 3) *)
-  let terminal sim =
-    Sim.all_done sim
-    || (let n = Sim.nprocs sim in
-        let rec ok p =
-          p >= n
-          || ((Sim.status sim p = Sim.Crashed || not (Sim.enabled sim p)) && ok (p + 1))
-        in
-        ok 0)
-  in
-  let rec go sim depth crashes =
-    stats.nodes <- stats.nodes + 1;
-    if Sim.all_done sim then begin
-      stats.terminals <- stats.terminals + 1;
-      on_terminal sim
-    end
-    else if terminal sim then begin
-      (* some process is down with no one else runnable: this is a complete
-         execution (check it), but recovery may still extend it *)
-      stats.terminals <- stats.terminals + 1;
-      on_terminal sim;
-      if depth < cfg.max_steps then
-        List.iter
-          (fun d ->
-            let s = Sim.clone sim in
-            Schedule.apply s d;
-            go s (depth + 1) crashes)
-          (decisions cfg ~crashes sim)
-    end
-    else if depth >= cfg.max_steps then stats.truncated <- stats.truncated + 1
-    else begin
-      let ds = decisions cfg ~crashes sim in
-      match ds with
-      | [] ->
-        (* deadlock: crashed processes that may not recover, or empty
-           scripts; count as truncated so callers notice *)
-        stats.truncated <- stats.truncated + 1
-      | _ ->
-        List.iter
-          (fun d ->
-            let s = Sim.clone sim in
-            Schedule.apply s d;
-            let crashes' =
-              match d with Schedule.Dcrash _ -> crashes + 1 | _ -> crashes
-            in
-            go s (depth + 1) crashes')
-          ds
-    end
-  in
-  go sim0 0 0;
-  stats
+(* terminal: every process either completed its script or is down for
+   good (a crash may be a process's last step, per Definition 3) *)
+let terminal sim =
+  Sim.all_done sim
+  || (let n = Sim.nprocs sim in
+      let rec ok p =
+        p >= n
+        || ((Sim.status sim p = Sim.Crashed || not (Sim.enabled sim p)) && ok (p + 1))
+      in
+      ok 0)
 
 exception Found of Sim.t * string
 
+exception Stopped
+(* raised inside a worker when another worker has flipped the stop flag *)
+
+(** A pending subtree: a cloned machine plus the depth and crash count at
+    its root. *)
+type task = { t_sim : Sim.t; t_depth : int; t_crashes : int }
+
+(** Everything one traversal needs.  [frontier = Some (d, emit)] turns
+    recursion at depth [>= d] into task emission — the frontier-expansion
+    phase of the parallel engine processes nodes one BFS level at a time
+    through the very same code path the workers later run, so every node
+    is visited exactly once regardless of where the tree is split. *)
+type ctx = {
+  cfg : config;
+  stats : stats;
+  stop : unit -> bool;
+  seen : Fingerprint.Store.t option;
+  on_terminal : Sim.t -> unit;
+  frontier : (int * (task -> unit)) option;
+}
+
+let rec go ctx sim depth crashes =
+  if ctx.stop () then raise Stopped;
+  match ctx.frontier with
+  | Some (fd, emit) when depth >= fd -> emit { t_sim = sim; t_depth = depth; t_crashes = crashes }
+  | _ -> (
+    match ctx.seen with
+    | Some store when not (Fingerprint.Store.add store (Fingerprint.of_sim sim)) ->
+      (* an equivalent configuration was reached by another prefix: its
+         futures have already been (or are being) explored *)
+      ctx.stats.dup <- ctx.stats.dup + 1
+    | _ ->
+      let stats = ctx.stats in
+      stats.nodes <- stats.nodes + 1;
+      if Sim.all_done sim then begin
+        stats.terminals <- stats.terminals + 1;
+        ctx.on_terminal sim
+      end
+      else if terminal sim then begin
+        (* some process is down with no one else runnable: this is a
+           complete execution (check it), but recovery may still extend it *)
+        stats.terminals <- stats.terminals + 1;
+        ctx.on_terminal sim;
+        if depth < ctx.cfg.max_steps then
+          List.iter
+            (fun d ->
+              let s = Sim.clone sim in
+              Schedule.apply s d;
+              go ctx s (depth + 1) crashes)
+            (decisions ctx.cfg ~crashes sim)
+      end
+      else if depth >= ctx.cfg.max_steps then stats.truncated <- stats.truncated + 1
+      else begin
+        let ds = decisions ctx.cfg ~crashes sim in
+        match ds with
+        | [] ->
+          (* deadlock: crashed processes that may not recover, or empty
+             scripts; count as truncated so callers notice *)
+          stats.truncated <- stats.truncated + 1
+        | _ ->
+          List.iter
+            (fun d ->
+              let s = Sim.clone sim in
+              Schedule.apply s d;
+              let crashes' =
+                match d with Schedule.Dcrash _ -> crashes + 1 | _ -> crashes
+              in
+              go ctx s (depth + 1) crashes')
+            ds
+      end)
+
+let never_stop () = false
+
+(* {1 The parallel engine} *)
+
+(** Expand the shallow part of the tree breadth-first until at least
+    [target] independent subtree roots are pending (or the tree is
+    exhausted).  Interior nodes and shallow terminals are processed —
+    and counted — here, through {!go} with a one-level frontier, so the
+    split point does not change any statistic. *)
+let expand_frontier ~ctx ~target sim0 =
+  let q = Queue.create () in
+  Queue.push { t_sim = sim0; t_depth = 0; t_crashes = 0 } q;
+  while (not (Queue.is_empty q)) && Queue.length q < target do
+    let t = Queue.pop q in
+    let ctx = { ctx with frontier = Some (t.t_depth + 1, fun t' -> Queue.push t' q) } in
+    go ctx t.t_sim t.t_depth t.t_crashes
+  done;
+  Array.init (Queue.length q) (fun _ -> Queue.pop q)
+
+(** Run [tasks] to completion on [jobs] domains.  Work is claimed from a
+    shared atomic index; each worker accumulates private statistics
+    (summed into [ctx.stats] at the join).  The first worker to catch
+    {!Found} publishes it and flips the stop flag; any other exception is
+    also published and re-raised in the caller, so [on_terminal]'s
+    abort-by-exception contract survives parallelism. *)
+let run_tasks ~ctx ~jobs tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    let next = Atomic.make 0 in
+    let stop_flag = Atomic.make false in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let publish e =
+      if Atomic.compare_and_set failure None (Some e) then ();
+      Atomic.set stop_flag true
+    in
+    let worker_stats = Array.init jobs (fun _ -> zero_stats ()) in
+    let worker w () =
+      let wctx =
+        {
+          ctx with
+          stats = worker_stats.(w);
+          stop = (fun () -> Atomic.get stop_flag);
+          frontier = None;
+        }
+      in
+      try
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            let t = tasks.(i) in
+            go wctx t.t_sim t.t_depth t.t_crashes
+        done
+      with
+      | Stopped -> ()
+      | e -> publish e
+    in
+    let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    Array.iter (add_stats ctx.stats) worker_stats;
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  end
+
+(** Depth-first enumeration of all schedules of [sim0] under [cfg],
+    calling [on_terminal] on every completed execution.  Returns the
+    statistics.  [on_terminal] may raise to abort the search (e.g. on
+    the first counterexample).
+
+    With [jobs > 1] the tree is split at an adaptive frontier and
+    subtrees run concurrently on that many domains; [on_terminal] must
+    then be safe to call from several domains at once (checks that only
+    touch their own [Sim.t] argument, like the NRL checkers, are).  With
+    [dedup] branches reaching a configuration whose fingerprint was
+    already visited are pruned and counted in [stats.dup]. *)
+let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ~on_terminal sim0 =
+  let jobs = max 1 jobs in
+  let ctx =
+    {
+      cfg;
+      stats = zero_stats ();
+      stop = never_stop;
+      seen = (if dedup then Some (Fingerprint.Store.create ()) else None);
+      on_terminal;
+      frontier = None;
+    }
+  in
+  if jobs = 1 then go ctx sim0 0 0
+  else begin
+    (* enough tasks that the longest subtree cannot dominate the makespan *)
+    let tasks = expand_frontier ~ctx ~target:(32 * jobs) sim0 in
+    run_tasks ~ctx ~jobs tasks
+  end;
+  ctx.stats
+
 (** Search for the first terminal execution whose history fails [check];
     [check] returns [Some reason] on a violation.  Returns the violating
-    machine (with its full history) if one exists, plus the statistics. *)
-let find_violation ?(cfg = default_config) ~check sim0 =
+    machine (with its full history) if one exists, plus the statistics.
+    [jobs] and [dedup] as in {!dfs}; with [jobs > 1] {e which}
+    counterexample is returned may vary between runs, but whether one
+    exists does not (and without [dedup], neither do the statistics). *)
+let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ~check sim0 =
   try
     let stats =
-      dfs ~cfg sim0 ~on_terminal:(fun sim ->
+      dfs ~cfg ~jobs ~dedup sim0 ~on_terminal:(fun sim ->
           match check sim with
           | Some reason -> raise (Found (sim, reason))
           | None -> ())
     in
     (None, stats)
-  with Found (sim, reason) ->
-    (Some (sim, reason), { terminals = 0; truncated = 0; nodes = 0 })
+  with Found (sim, reason) -> (Some (sim, reason), zero_stats ())

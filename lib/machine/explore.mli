@@ -10,7 +10,18 @@
     all schedules with a given shared-access interleaving this yields the
     history with the {e most} real-time constraints, so the reduced
     search finds a violation iff one exists in the full space.  Crash
-    decisions are still offered at every instruction boundary. *)
+    decisions are still offered at every instruction boundary.
+
+    The engine is domain-parallel: with [jobs > 1] the shallow part of
+    the tree is expanded breadth-first into independent subtree roots,
+    which are fanned out across OCaml 5 domains; every node is processed
+    exactly once by the same traversal code wherever the split falls, so
+    the statistics are identical for every [jobs] value.  An optional
+    state-deduplication layer ([dedup], built on {!Fingerprint}) prunes
+    branches that reconverge on an already-visited configuration; any
+    violation found under [dedup] is real, but a clean deduplicated sweep
+    certifies one representative prefix history per reachable
+    configuration rather than all of them — see docs/model.md. *)
 
 type config = {
   max_steps : int;  (** depth bound per branch (guards busy-wait loops) *)
@@ -34,22 +45,44 @@ type stats = {
           crashed process stays down for good, per Definition 3) *)
   mutable truncated : int;  (** branches cut by the depth bound *)
   mutable nodes : int;
+  mutable dup : int;
+      (** branches pruned because the configuration's fingerprint was
+          already visited (always 0 unless [dedup] is set) *)
 }
+
+val zero_stats : unit -> stats
 
 val decisions : config -> crashes:int -> Sim.t -> Schedule.decision list
 (** The decisions the explorer branches over at a configuration. *)
 
-val dfs : ?cfg:config -> on_terminal:(Sim.t -> unit) -> Sim.t -> stats
+val dfs :
+  ?cfg:config ->
+  ?jobs:int ->
+  ?dedup:bool ->
+  on_terminal:(Sim.t -> unit) ->
+  Sim.t ->
+  stats
 (** Depth-first enumeration; [on_terminal] is called on every complete
-    execution and may raise to abort the search. *)
+    execution and may raise to abort the search.
+
+    [jobs] (default 1) runs the search on that many domains; the
+    statistics do not depend on it, but [on_terminal] must then tolerate
+    concurrent calls from distinct domains (callbacks that only touch
+    their [Sim.t] argument, such as the NRL checkers, qualify).  [dedup]
+    (default false) prunes branches whose configuration fingerprint was
+    already visited. *)
 
 exception Found of Sim.t * string
 
 val find_violation :
   ?cfg:config ->
+  ?jobs:int ->
+  ?dedup:bool ->
   check:(Sim.t -> string option) ->
   Sim.t ->
   (Sim.t * string) option * stats
 (** First terminal execution for which [check] returns [Some reason],
     with its machine (and so its full history), or [None] with the
-    complete search statistics. *)
+    complete search statistics.  With [jobs > 1], {e which}
+    counterexample is returned may vary between runs; whether one exists
+    does not, and without [dedup] neither do the statistics. *)

@@ -1,0 +1,197 @@
+(** Canonical structural fingerprint of a machine configuration.
+
+    A fingerprint covers everything that determines the machine's future
+    behaviour: the persistent memory contents, the junk-generator state
+    (which fixes the values future crashes scramble locals to), and for
+    each process its status, completed results, remaining script length
+    and full frame stack — object, operation, phase, pc, [LI],
+    interrupted flag, argument values, local bindings and the
+    environment's post-crash mode.  History bookkeeping (call ids, step
+    counters, the recorded history itself) is deliberately excluded: two
+    configurations with equal fingerprints generate identical future
+    event sequences even when they were reached by different
+    interleavings.
+
+    Unlike the string serialisation previously private to the
+    impossibility analysis, the representation here is structural — no
+    intermediate strings are built — with the hash computed once at
+    construction, so fingerprints are cheap enough to take at every node
+    of an exploration.  {!Store} packages a sharded, mutex-protected
+    visited-set over fingerprints for use from multiple domains. *)
+
+type frame_fp = {
+  ff_obj : int;  (** instance id *)
+  ff_op : string;
+  ff_recovery : bool;
+  ff_pc : int;
+  ff_li : int;
+  ff_interrupted : bool;
+  ff_env : (string * Nvm.Value.t) list;  (** sorted bindings *)
+  ff_env_junk : int option;  (** post-crash mode + its stream state *)
+  ff_args : Nvm.Value.t array;
+}
+
+type proc_fp = {
+  pf_crashed : bool;
+  pf_script : int;  (** remaining script length *)
+  pf_results : (string * Nvm.Value.t) list;
+  pf_stack : frame_fp list;  (** inner-most first *)
+}
+
+type t = {
+  fp_hash : int;
+  fp_mem : Nvm.Value.t array;
+  fp_junk : int;
+  fp_procs : proc_fp array;
+}
+
+let hash t = t.fp_hash
+
+(* FNV-style mixing; Value.hash does the per-value work *)
+let mix h k = ((h * 0x01000193) lxor k) land max_int
+
+let hash_value_list h l =
+  List.fold_left (fun h (s, v) -> mix (mix h (Hashtbl.hash s)) (Nvm.Value.hash v)) h l
+
+let frame_of (f : Sim.frame) =
+  {
+    ff_obj = f.Sim.f_obj.Objdef.id;
+    ff_op = f.Sim.f_op.Objdef.op_name;
+    ff_recovery = (match f.Sim.f_phase with Sim.Body -> false | Sim.Recovery -> true);
+    ff_pc = f.Sim.f_pc;
+    ff_li = f.Sim.f_li;
+    ff_interrupted = f.Sim.f_interrupted;
+    ff_env = Env.bindings f.Sim.f_env;
+    ff_env_junk = Env.junk_state f.Sim.f_env;
+    ff_args = f.Sim.f_args;
+  }
+
+let hash_frame h f =
+  let h = mix h f.ff_obj in
+  let h = mix h (Hashtbl.hash f.ff_op) in
+  let h = mix h (Bool.to_int f.ff_recovery lor (Bool.to_int f.ff_interrupted lsl 1)) in
+  let h = mix h f.ff_pc in
+  let h = mix h f.ff_li in
+  let h = mix h (match f.ff_env_junk with None -> 0x5851 | Some s -> s) in
+  let h = hash_value_list h f.ff_env in
+  Array.fold_left (fun h v -> mix h (Nvm.Value.hash v)) h f.ff_args
+
+let proc_of (pr : Sim.proc) =
+  {
+    pf_crashed = (match pr.Sim.status with Sim.Ready -> false | Sim.Crashed -> true);
+    pf_script = List.length pr.Sim.script;
+    pf_results = pr.Sim.results;
+    pf_stack = List.map frame_of pr.Sim.stack;
+  }
+
+let hash_proc h p =
+  let h = mix h (Bool.to_int p.pf_crashed) in
+  let h = mix h p.pf_script in
+  let h = hash_value_list h p.pf_results in
+  List.fold_left hash_frame h p.pf_stack
+
+let of_sim sim =
+  let fp_mem = Nvm.Memory.snapshot (Sim.mem sim) in
+  let fp_junk = Sim.junk_state sim in
+  let fp_procs = Array.init (Sim.nprocs sim) (fun p -> proc_of (Sim.proc sim p)) in
+  let h = Array.fold_left (fun h v -> mix h (Nvm.Value.hash v)) 0x811c9dc5 fp_mem in
+  let h = mix h fp_junk in
+  let h = Array.fold_left hash_proc h fp_procs in
+  { fp_hash = h; fp_mem; fp_junk; fp_procs }
+
+(* Components are immutable first-order data (ints, bools, strings,
+   values), so structural polymorphic equality is exact; the precomputed
+   hash screens out almost all mismatches first. *)
+let equal a b =
+  a.fp_hash = b.fp_hash && a.fp_junk = b.fp_junk
+  && a.fp_mem = b.fp_mem && a.fp_procs = b.fp_procs
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(** Printable canonical serialisation (for diagnostics and the
+    impossibility analysis's string-keyed maps). *)
+let to_string t =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun v ->
+      Buffer.add_string b (Nvm.Value.to_string v);
+      Buffer.add_char b '|')
+    t.fp_mem;
+  Buffer.add_string b (Printf.sprintf "~j%d" t.fp_junk);
+  Array.iter
+    (fun p ->
+      Buffer.add_string b (if p.pf_crashed then "C" else "R");
+      Buffer.add_string b (string_of_int p.pf_script);
+      Buffer.add_char b ':';
+      List.iter
+        (fun (op, v) ->
+          Buffer.add_string b op;
+          Buffer.add_string b (Nvm.Value.to_string v);
+          Buffer.add_char b ',')
+        p.pf_results;
+      Buffer.add_char b '[';
+      List.iter
+        (fun f ->
+          Buffer.add_string b (string_of_int f.ff_obj);
+          Buffer.add_char b '.';
+          Buffer.add_string b f.ff_op;
+          Buffer.add_string b (if f.ff_recovery then "/r" else "/b");
+          Buffer.add_string b (Printf.sprintf "@%d;li%d" f.ff_pc f.ff_li);
+          if f.ff_interrupted then Buffer.add_char b '!';
+          (match f.ff_env_junk with
+          | None -> ()
+          | Some s -> Buffer.add_string b (Printf.sprintf "~e%d" s));
+          Buffer.add_char b '{';
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_string b k;
+              Buffer.add_char b '=';
+              Buffer.add_string b (Nvm.Value.to_string v);
+              Buffer.add_char b ';')
+            f.ff_env;
+          Buffer.add_char b '}';
+          Array.iter
+            (fun a ->
+              Buffer.add_string b (Nvm.Value.to_string a);
+              Buffer.add_char b ',')
+            f.ff_args;
+          Buffer.add_char b '/')
+        p.pf_stack;
+      Buffer.add_string b "]#")
+    t.fp_procs;
+  Buffer.contents b
+
+(** Sharded visited-set, safe to share across domains.  The shard is
+    picked by fingerprint hash, so contention is spread and two equal
+    fingerprints always race on the same mutex. *)
+module Store = struct
+  type fp = t
+
+  type t = { shards : (Mutex.t * unit Table.t) array }
+
+  let create ?(shards = 64) () =
+    { shards = Array.init (max 1 shards) (fun _ -> (Mutex.create (), Table.create 1024)) }
+
+  (** [add s fp] is [true] iff [fp] was not in the store (and is now). *)
+  let add t (fp : fp) =
+    let m, tbl = t.shards.(fp.fp_hash mod Array.length t.shards) in
+    Mutex.lock m;
+    let fresh = not (Table.mem tbl fp) in
+    if fresh then Table.add tbl fp ();
+    Mutex.unlock m;
+    fresh
+
+  let cardinal t =
+    Array.fold_left
+      (fun acc (m, tbl) ->
+        Mutex.lock m;
+        let n = Table.length tbl in
+        Mutex.unlock m;
+        acc + n)
+      0 t.shards
+end

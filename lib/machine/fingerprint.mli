@@ -1,0 +1,42 @@
+(** Canonical structural fingerprint of a machine configuration.
+
+    Covers everything that determines future behaviour — persistent
+    memory, junk-generator state, and per-process control state (status,
+    results, remaining script, frame stacks with locals) — and excludes
+    history bookkeeping (call ids, step counts, the recorded history):
+    two configurations with equal fingerprints generate identical future
+    event sequences even when reached by different interleavings.
+
+    The representation is structural (no string building) and the hash
+    is computed once at construction, so taking a fingerprint at every
+    node of an exploration is affordable.  This module generalises the
+    serialisation the impossibility analysis used privately; see
+    {!Impossibility.Statekey} for the string-keyed compatibility layer. *)
+
+type t
+
+val of_sim : Sim.t -> t
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_string : t -> string
+(** Printable canonical serialisation (diagnostics, string-keyed maps). *)
+
+module Table : Hashtbl.S with type key = t
+
+(** Sharded, mutex-protected visited-set over fingerprints, safe to
+    share across domains (used by the parallel explorer's state
+    deduplication). *)
+module Store : sig
+  type fp = t
+  type t
+
+  val create : ?shards:int -> unit -> t
+
+  val add : t -> fp -> bool
+  (** [add s fp] is [true] iff [fp] was not yet in the store (it is
+      recorded atomically with the test). *)
+
+  val cardinal : t -> int
+end

@@ -9,6 +9,11 @@ val create : int -> t
 
 val copy : t -> t
 
+val state : t -> int
+(** The current generator state, without advancing it.  Two generators
+    with equal states produce identical streams — this is what lets a
+    machine fingerprint cover the junk source (see {!Fingerprint}). *)
+
 val next : t -> Nvm.Value.t
 (** The next arbitrary value; advances the state. *)
 

@@ -88,6 +88,8 @@ let nprocs t = Array.length t.procs
 let total_steps t = t.total_steps
 let history t = History.of_list (List.rev t.hist_rev)
 
+let junk_state t = Junk.state t.junk
+
 let proc t p = t.procs.(p)
 let status t p = t.procs.(p).status
 let results t p = List.rev t.procs.(p).results

@@ -62,6 +62,11 @@ val registry : t -> Objdef.registry
 val nprocs : t -> int
 val total_steps : t -> int
 
+val junk_state : t -> int
+(** State of the machine's junk generator (the source that scrambles
+    locals on a crash); included in configuration fingerprints because it
+    determines the values future crashes produce. *)
+
 val history : t -> History.t
 (** The history recorded so far (invocation, response, crash and recovery
     steps, in order). *)

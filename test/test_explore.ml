@@ -137,6 +137,127 @@ let test_find_violation_reports_toy () =
   in
   Alcotest.(check bool) "first terminal reported" true (v <> None)
 
+(* {2 The domain-parallel engine} *)
+
+let stats_triple (s : Explore.stats) = (s.Explore.terminals, s.Explore.truncated, s.Explore.nodes)
+
+let seed_scenario name ~nprocs ~ops =
+  let build =
+    match name with
+    | "register" -> (Workload.Scenarios.register ~nprocs ~ops ()).Workload.Trial.build
+    | "cas" -> (Workload.Scenarios.cas ~nprocs ~ops ()).Workload.Trial.build
+    | "naive-rw-optimistic" ->
+      (Workload.Scenarios.naive_rw ~strategy:`Optimistic ~nprocs ~ops ()).Workload.Trial.build
+    | "naive-cas-reexec" ->
+      (Workload.Scenarios.naive_cas ~strategy:`Reexecute ~nprocs ~ops ()).Workload.Trial.build
+    | _ -> assert false
+  in
+  fun () ->
+    let sim = Sim.create ~nprocs () in
+    build sim;
+    sim
+
+let crashy_cfg = { Explore.default_config with max_steps = 100; max_crashes = 1; crash_procs = [ 0 ] }
+
+let test_parallel_determinism () =
+  (* jobs = 1..4 must report exactly the sequential statistics: every node
+     is processed once by the same traversal code wherever the frontier
+     splits the tree *)
+  List.iter
+    (fun (name, nprocs, ops) ->
+      let build = seed_scenario name ~nprocs ~ops in
+      let expected = stats_triple (Explore.dfs ~cfg:crashy_cfg ~on_terminal:ignore (build ())) in
+      List.iter
+        (fun jobs ->
+          let got =
+            stats_triple
+              (Explore.dfs ~cfg:crashy_cfg ~jobs ~on_terminal:ignore (build ()))
+          in
+          Alcotest.(check (triple int int int))
+            (Printf.sprintf "%s: jobs=%d = sequential" name jobs)
+            expected got)
+        [ 1; 2; 3; 4 ])
+    [ ("register", 2, 2); ("cas", 2, 1) ]
+
+let test_parallel_violation_verdict () =
+  (* the verdict (violation exists or not) must not depend on the domain
+     count; which counterexample is produced may *)
+  List.iter
+    (fun jobs ->
+      let v, _ =
+        Explore.find_violation ~cfg:crashy_cfg ~jobs ~check:Workload.Check.nrl_violation
+          (seed_scenario "naive-rw-optimistic" ~nprocs:2 ~ops:2 ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "naive baseline violation found with jobs=%d" jobs)
+        true (v <> None);
+      (match v with
+      | Some (_, reason) ->
+        Alcotest.(check bool) "reason mentions linearizability" true
+          (String.length reason > 0)
+      | None -> ());
+      let v, stats =
+        Explore.find_violation ~cfg:crashy_cfg ~jobs ~check:Workload.Check.nrl_violation
+          (seed_scenario "register" ~nprocs:2 ~ops:1 ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "paper register clean with jobs=%d" jobs)
+        true
+        (v = None && stats.Explore.terminals > 0))
+    [ 1; 2; 4 ]
+
+let test_parallel_on_terminal_abort () =
+  (* a non-Found exception raised by on_terminal in a worker domain must
+     surface in the caller (the abort-by-exception contract) *)
+  let seen = Atomic.make 0 in
+  let build = seed_scenario "register" ~nprocs:2 ~ops:1 in
+  match
+    Explore.dfs ~cfg:crashy_cfg ~jobs:2
+      ~on_terminal:(fun _ -> if Atomic.fetch_and_add seen 1 >= 10 then Stdlib.Exit |> raise)
+      (build ())
+  with
+  | _ -> Alcotest.fail "expected the callback's exception to propagate"
+  | exception Stdlib.Exit -> ()
+
+(* {2 State deduplication} *)
+
+let test_dedup_prunes_and_preserves_clean_verdict () =
+  let build = seed_scenario "register" ~nprocs:2 ~ops:2 in
+  let full = Explore.dfs ~cfg:crashy_cfg ~on_terminal:ignore (build ()) in
+  let deduped = Explore.dfs ~cfg:crashy_cfg ~dedup:true ~on_terminal:ignore (build ()) in
+  Alcotest.(check bool) "prunes converging prefixes" true (deduped.Explore.dup > 0);
+  Alcotest.(check bool) "explores strictly fewer nodes" true
+    (deduped.Explore.nodes < full.Explore.nodes);
+  Alcotest.(check int) "full sweep untouched by dedup accounting" 0 full.Explore.dup;
+  let v, _ =
+    Explore.find_violation ~cfg:crashy_cfg ~dedup:true ~check:Workload.Check.nrl_violation
+      (build ())
+  in
+  Alcotest.(check bool) "paper register still clean under dedup" true (v = None)
+
+let test_dedup_still_finds_state_visible_violation () =
+  (* dedup under-approximates prefix histories but any violation it finds
+     is real; the naive re-executing CAS corrupts the *state*, so its
+     violation survives deduplication (at every jobs count) *)
+  List.iter
+    (fun jobs ->
+      let v, _ =
+        Explore.find_violation ~cfg:crashy_cfg ~jobs ~dedup:true
+          ~check:Workload.Check.nrl_violation
+          (seed_scenario "naive-cas-reexec" ~nprocs:2 ~ops:2 ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "naive-cas-reexec violation survives dedup (jobs=%d)" jobs)
+        true (v <> None))
+    [ 1; 2 ]
+
+let test_dedup_stats_deterministic () =
+  let build = seed_scenario "register" ~nprocs:2 ~ops:2 in
+  let a = Explore.dfs ~cfg:crashy_cfg ~dedup:true ~on_terminal:ignore (build ()) in
+  let b = Explore.dfs ~cfg:crashy_cfg ~dedup:true ~on_terminal:ignore (build ()) in
+  Alcotest.(check (triple int int int)) "repeatable" (stats_triple a) (stats_triple b);
+  Alcotest.(check int) "repeatable dup count" a.Explore.dup b.Explore.dup
+
 let suite =
   [
     Alcotest.test_case "reduced enumeration count" `Quick test_crash_free_enumeration_count;
@@ -145,4 +266,14 @@ let suite =
     Alcotest.test_case "crash branches reachable" `Quick test_crash_branches_reachable;
     Alcotest.test_case "crashed-forever terminals" `Quick test_crashed_forever_terminal;
     Alcotest.test_case "find_violation plumbing" `Quick test_find_violation_reports_toy;
+    Alcotest.test_case "parallel: stats determinism jobs=1..4" `Quick test_parallel_determinism;
+    Alcotest.test_case "parallel: violation verdict invariant" `Quick
+      test_parallel_violation_verdict;
+    Alcotest.test_case "parallel: on_terminal abort propagates" `Quick
+      test_parallel_on_terminal_abort;
+    Alcotest.test_case "dedup: prunes, clean verdict preserved" `Quick
+      test_dedup_prunes_and_preserves_clean_verdict;
+    Alcotest.test_case "dedup: state-visible violation survives" `Quick
+      test_dedup_still_finds_state_visible_violation;
+    Alcotest.test_case "dedup: deterministic statistics" `Quick test_dedup_stats_deterministic;
   ]

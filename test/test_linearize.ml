@@ -342,6 +342,55 @@ let prop_checker_matches_bruteforce =
       in
       expected = got)
 
+(* the structural (bitset-words, spec-state) memo key must not change any
+   verdict: cross-check the memoised search against the memo-free one *)
+let prop_memo_verdicts_identical =
+  QCheck2.Test.make ~name:"structural memo key: memoised = unmemoised verdicts" ~count:400
+    bops_gen (fun ops ->
+      let h = history_of_bops ops in
+      lin (Checker.check_object ~spec:(Spec.register ()) ~nprocs:2 h)
+      = lin (Checker.check_object ~memo:false ~spec:(Spec.register ()) ~nprocs:2 h))
+
+let test_memo_verdicts_on_hand_histories () =
+  let agree ~spec h =
+    let h = History.of_list h in
+    Alcotest.(check bool) "memoised = unmemoised"
+      (lin (Checker.check_object ~memo:false ~spec ~nprocs:2 h))
+      (lin (Checker.check_object ~spec ~nprocs:2 h))
+  in
+  let reg = Spec.register () in
+  agree ~spec:reg [];
+  agree ~spec:reg
+    [
+      inv ~op:"WRITE" ~args:[| Nvm.Value.Int 1 |] 1;
+      res ~op:"WRITE" ~ret:Nvm.Value.ack 1;
+      inv ~op:"READ" 2;
+      res ~op:"READ" ~ret:(Nvm.Value.Int 1) 2;
+    ];
+  agree ~spec:reg
+    [
+      inv ~pid:0 ~op:"WRITE" ~args:[| Nvm.Value.Int 1 |] 1;
+      res ~pid:0 ~op:"WRITE" ~ret:Nvm.Value.ack 1;
+      inv ~pid:1 ~op:"READ" 2;
+      res ~pid:1 ~op:"READ" ~ret:(Nvm.Value.Int 1) 2;
+      inv ~pid:1 ~op:"READ" 3;
+      res ~pid:1 ~op:"READ" ~ret:Nvm.Value.Null 3;
+    ];
+  agree ~spec:(Spec.tas ())
+    [
+      inv ~pid:0 ~op:"T&S" 1;
+      res ~pid:0 ~op:"T&S" ~ret:(Nvm.Value.Int 0) 1;
+      inv ~pid:1 ~op:"T&S" 2;
+      res ~pid:1 ~op:"T&S" ~ret:(Nvm.Value.Int 0) 2;
+    ];
+  agree ~spec:(Spec.counter ())
+    [
+      inv ~op:"INC" 1;
+      res ~op:"INC" ~ret:Nvm.Value.ack 1;
+      inv ~op:"READ" 2;
+      res ~op:"READ" ~ret:(Nvm.Value.Int 1) 2;
+    ]
+
 (* {2 Model-based spec properties: replay random op sequences against
    plain OCaml reference structures} *)
 
@@ -476,7 +525,10 @@ let suite =
     Alcotest.test_case "nrl rejects malformed" `Quick test_nrl_rejects_malformed;
     Alcotest.test_case "strictness detection" `Quick test_strictness_detection;
     Alcotest.test_case "slot allocator spec nondeterminism" `Quick test_slot_allocator_nondet;
+    Alcotest.test_case "memo key: identical verdicts (hand histories)" `Quick
+      test_memo_verdicts_on_hand_histories;
     QCheck_alcotest.to_alcotest prop_checker_matches_bruteforce;
+    QCheck_alcotest.to_alcotest prop_memo_verdicts_identical;
     QCheck_alcotest.to_alcotest prop_stack_spec_model;
     QCheck_alcotest.to_alcotest prop_queue_spec_model;
     QCheck_alcotest.to_alcotest prop_counter_spec_model;
