@@ -1,13 +1,14 @@
-(* Benchmark harness: regenerates every table (T1-T6) and figure series
+(* Benchmark harness: regenerates every table (T1-T7) and figure series
    (F1-F5) defined in DESIGN.md section 5, plus the correctness experiment
    suite (E1-E6) recorded in EXPERIMENTS.md.
 
    Run all:          dune exec bench/main.exe
    Run a subset:     dune exec bench/main.exe -- T1 T3 F2 E
    Machine-readable: dune exec bench/main.exe -- --json [tags]
-                     additionally writes BENCH_explore.json (every ns/op
-                     estimate plus the T6 explore-scaling rows), so the
-                     perf trajectory is tracked across PRs.
+                     additionally writes BENCH_explore.json (schema
+                     Workload.Bench_json: every ns/op estimate, the T5
+                     persist-event counts and the T6/T7 explore rows),
+                     so the perf trajectory is tracked across PRs.
 
    The paper (PODC'18) has no empirical evaluation; these benchmarks are
    the evaluation a systems reader would expect, with the expected shapes
@@ -19,65 +20,47 @@ let selected = ref []
 
 let json_requested = ref false
 let current_section = ref ""
+let json_ns : Workload.Bench_json.ns_row list ref = ref []
+let json_persist : Workload.Bench_json.persist_row list ref = ref []
+let json_explore : Workload.Bench_json.explore_row list ref = ref []
 
-(* (section, name, ns/op); nan (failed OLS fit) becomes null *)
-let json_ns : (string * string * float) list ref = ref []
+(* throughput sections record their rows as ns/op too: one latency axis
+   for the whole document *)
+let record_ns name ns =
+  json_ns :=
+    { Workload.Bench_json.ns_section = !current_section; ns_name = name; ns_ns = ns }
+    :: !json_ns
 
-type explore_row = {
-  er_scenario : string;
-  er_nprocs : int;
-  er_ops : int;
-  er_jobs : int;
-  er_dedup : bool;
-  er_terminals : int;
-  er_nodes : int;
-  er_dup : int;
-  er_seconds : float;
-}
+let record_rate name ops_per_sec =
+  record_ns name (if ops_per_sec > 0. then 1e9 /. ops_per_sec else nan)
 
-let json_explore : explore_row list ref = ref []
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_float v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v
+let record_explore ~sect ~scenario ~nprocs ~ops ~jobs ~dedup ~trail ~mode
+    (stats : Machine.Explore.stats) seconds =
+  json_explore :=
+    {
+      Workload.Bench_json.er_section = sect;
+      er_scenario = scenario;
+      er_nprocs = nprocs;
+      er_ops = ops;
+      er_jobs = jobs;
+      er_dedup = dedup;
+      er_trail = trail;
+      er_mode = mode;
+      er_terminals = stats.Machine.Explore.terminals;
+      er_nodes = stats.Machine.Explore.nodes;
+      er_dup = stats.Machine.Explore.dup;
+      er_seconds = seconds;
+    }
+    :: !json_explore
 
 let write_json path =
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": \"nrl-bench/1\",\n";
-  Printf.fprintf oc "  \"domains_available\": %d,\n" (Domain.recommended_domain_count ());
-  Printf.fprintf oc "  \"ns_per_op\": [\n";
-  let rows = List.rev !json_ns in
-  List.iteri
-    (fun i (sect, name, ns) ->
-      Printf.fprintf oc "    {\"section\": \"%s\", \"name\": \"%s\", \"ns\": %s}%s\n"
-        (json_escape sect) (json_escape name) (json_float ns)
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ],\n  \"explore\": [\n";
-  let rows = List.rev !json_explore in
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"scenario\": \"%s\", \"nprocs\": %d, \"ops\": %d, \"jobs\": %d, \"dedup\": %b, \
-         \"terminals\": %d, \"nodes\": %d, \"dup\": %d, \"seconds\": %s, \"nodes_per_sec\": %s}%s\n"
-        (json_escape r.er_scenario) r.er_nprocs r.er_ops r.er_jobs r.er_dedup r.er_terminals
-        r.er_nodes r.er_dup (json_float r.er_seconds)
-        (json_float (float_of_int r.er_nodes /. r.er_seconds))
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  Workload.Bench_json.write ~path
+    {
+      Workload.Bench_json.domains_available = Domain.recommended_domain_count ();
+      ns_per_op = List.rev !json_ns;
+      persist_events = List.rev !json_persist;
+      explore = List.rev !json_explore;
+    };
   Printf.printf "\nwrote %s\n%!" path
 
 let want tag =
@@ -108,7 +91,7 @@ let estimate_ns name fn =
     | [ ols ] -> (match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan)
     | _ -> nan
   in
-  json_ns := (!current_section, name, ns) :: !json_ns;
+  record_ns name ns;
   ns
 
 let row3 a b c = Printf.printf "  %-34s %14s %14s\n%!" a b c
@@ -250,6 +233,9 @@ let t3 () =
       in
       Printf.printf "  %-8d %13.0f/s %13.0f/s %13.0f/s\n%!" d r1.Runtime.Par.ops_per_sec
         r2.Runtime.Par.ops_per_sec r3.Runtime.Par.ops_per_sec;
+      record_rate (Printf.sprintf "counter inc recoverable d=%d" d) r1.Runtime.Par.ops_per_sec;
+      record_rate (Printf.sprintf "counter inc plain-array d=%d" d) r2.Runtime.Par.ops_per_sec;
+      record_rate (Printf.sprintf "counter inc faa-atomic d=%d" d) r3.Runtime.Par.ops_per_sec;
       sweep (d * 2)
     end
   in
@@ -264,6 +250,7 @@ let t3 () =
             else Runtime.Rcounter.inc reco ~pid)
       in
       Printf.printf "  %-8d %13.0f/s\n%!" d r.Runtime.Par.ops_per_sec;
+      record_rate (Printf.sprintf "counter 90/10 recoverable d=%d" d) r.Runtime.Par.ops_per_sec;
       sweep2 (d * 2)
     end
   in
@@ -285,6 +272,7 @@ let t4 () =
   Printf.printf "  machine steps/s (incl. NRL check per trial): %.0f (%d steps, %.2fs)\n%!"
     (float_of_int !total_steps /. dt)
     !total_steps dt;
+  record_rate "machine step incl. NRL check" (float_of_int !total_steps /. dt);
   let t0 = Unix.gettimeofday () in
   let steps = ref 0 in
   for seed = 1 to trials do
@@ -295,7 +283,8 @@ let t4 () =
   done;
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "  machine steps/s (stepping only):             %.0f\n%!"
-    (float_of_int !steps /. dt)
+    (float_of_int !steps /. dt);
+  record_rate "machine step only" (float_of_int !steps /. dt)
 
 (* {1 T5: shared-access (persist-event) counts per operation} *)
 
@@ -383,6 +372,12 @@ let t5 () =
       let a2 = measure ~nprocs:2 build in
       let a4 = measure ~nprocs:4 build in
       let a8 = measure ~nprocs:8 build in
+      List.iter
+        (fun (n, a) ->
+          json_persist :=
+            { Workload.Bench_json.pe_op = name; pe_nprocs = n; pe_accesses = a }
+            :: !json_persist)
+        [ (2, a2); (4, a4); (8, a8) ];
       Printf.printf "  %-26s %8d %8d %8d
 %!" name a2 a4 a8)
     rows
@@ -397,6 +392,9 @@ let t5 () =
    overhead. *)
 let t6 () =
   section "T6" "explore throughput scaling vs domains (register, 3 procs, 1 op, 1 crash)";
+  (* the bechamel sections leave a large fragmented major heap that would
+     throttle the allocation-heavy search: measure from a compacted heap *)
+  Gc.compact ();
   let nprocs = 3 and ops = 1 in
   let scen = Workload.Scenarios.register ~nprocs ~ops () in
   let build () =
@@ -425,21 +423,71 @@ let t6 () =
           Printf.printf "  %-8d %-8b %12d %10d %10.2f %12.0f\n%!" jobs dedup
             stats.Machine.Explore.nodes stats.Machine.Explore.dup dt
             (float_of_int stats.Machine.Explore.nodes /. dt);
-          json_explore :=
-            {
-              er_scenario = "register";
-              er_nprocs = nprocs;
-              er_ops = ops;
-              er_jobs = jobs;
-              er_dedup = dedup;
-              er_terminals = stats.Machine.Explore.terminals;
-              er_nodes = stats.Machine.Explore.nodes;
-              er_dup = stats.Machine.Explore.dup;
-              er_seconds = dt;
-            }
-            :: !json_explore)
+          record_explore ~sect:"T6" ~scenario:"register" ~nprocs ~ops ~jobs ~dedup
+            ~trail:true ~mode:"check-terminal" stats dt)
         jobs_list)
     [ false; true ]
+
+(* {1 T7: branching-discipline and check-mode throughput (1 domain)} *)
+
+(* The two axes PR 2 adds to the engine, on the T6 instance at jobs = 1:
+   trail-based in-place backtracking vs the historical clone-per-branch
+   discipline (raw enumeration, no checking), and prefix-shared
+   incremental NRL checking vs re-checking every terminal from scratch
+   (both on the trail engine).  Statistics are identical across all four
+   rows — only the rates move. *)
+let t7 () =
+  section "T7" "trail vs clone, incremental vs terminal (register, 3 procs, 1 op, 1 crash)";
+  Gc.compact ();
+  let nprocs = 3 and ops = 1 in
+  let scen = Workload.Scenarios.register ~nprocs ~ops () in
+  let build () =
+    let sim = Machine.Sim.create ~nprocs () in
+    scen.Workload.Trial.build sim;
+    sim
+  in
+  let cfg =
+    { Machine.Explore.default_config with max_steps = 100; max_crashes = 1; crash_procs = [ 0 ] }
+  in
+  Printf.printf "  %-20s %-6s %12s %10s %10s %12s %12s\n%!" "mode" "trail" "nodes" "terminals"
+    "seconds" "nodes/s" "terminals/s";
+  let run ~mode ~trail =
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      match mode with
+      | "dfs" -> Machine.Explore.dfs ~cfg ~trail ~on_terminal:ignore (build ())
+      | "check-terminal" ->
+        let viol, stats =
+          Machine.Explore.find_violation ~cfg ~trail ~check:Workload.Check.nrl_violation
+            (build ())
+        in
+        assert (viol = None);
+        stats
+      | "check-incremental" ->
+        let viol, stats =
+          Machine.Explore.find_violation ~cfg ~trail
+            ~check_mode:(`Incremental (Workload.Check.nrl_incremental ()))
+            ~check:Workload.Check.nrl_violation (build ())
+        in
+        assert (viol = None);
+        stats
+      | _ -> assert false
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "  %-20s %-6b %12d %10d %10.2f %12.0f %12.0f\n%!" mode trail
+      stats.Machine.Explore.nodes stats.Machine.Explore.terminals dt
+      (float_of_int stats.Machine.Explore.nodes /. dt)
+      (float_of_int stats.Machine.Explore.terminals /. dt);
+    record_explore ~sect:"T7" ~scenario:"register" ~nprocs ~ops ~jobs:1 ~dedup:false ~trail
+      ~mode stats dt;
+    float_of_int stats.Machine.Explore.nodes /. dt
+  in
+  let clone_dfs = run ~mode:"dfs" ~trail:false in
+  let trail_dfs = run ~mode:"dfs" ~trail:true in
+  let term = run ~mode:"check-terminal" ~trail:true in
+  let inc = run ~mode:"check-incremental" ~trail:true in
+  Printf.printf "  trail vs clone (enumeration):   %s\n" (ratio trail_dfs clone_dfs);
+  Printf.printf "  incremental vs terminal check:  %s\n%!" (ratio inc term)
 
 (* {1 F1: recovery latency vs crash position} *)
 
@@ -678,7 +726,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   json_requested := List.mem "--json" args;
   selected := List.filter (fun a -> a <> "--json") args;
-  Printf.printf "NRL benchmark harness (tables T1-T6, figures F1-F5, experiments E1-E6)\n";
+  Printf.printf "NRL benchmark harness (tables T1-T7, figures F1-F5, experiments E1-E6)\n";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
   if want "T1" then t1 ();
   if want "T2" then t2 ();
@@ -686,6 +734,7 @@ let () =
   if want "T4" then t4 ();
   if want "T5" then t5 ();
   if want "T6" then t6 ();
+  if want "T7" then t7 ();
   if want "F1" then f1 ();
   if want "F2" then f2 ();
   if want "F3" then f3 ();

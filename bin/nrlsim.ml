@@ -123,12 +123,53 @@ let explore_cmd =
     Arg.(value & opt int 1 & info [ "crashes" ] ~docv:"C" ~doc:"Crash budget (process 0 crashes).")
   in
   let jobs_arg =
+    (* an int or the literal "auto" (resolved against the host's domain
+       count at startup, so "auto" on a 1-core box skips the parallel
+       frontier split entirely) *)
+    let jobs_conv =
+      let parse = function
+        | "auto" -> Ok `Auto
+        | s -> (
+          match int_of_string_opt s with
+          | Some j when j >= 1 -> Ok (`Jobs j)
+          | _ -> Error (`Msg (Printf.sprintf "expected a positive integer or 'auto', got %S" s)))
+      and print ppf = function
+        | `Auto -> Format.pp_print_string ppf "auto"
+        | `Jobs j -> Format.pp_print_int ppf j
+      in
+      Arg.conv (parse, print)
+    in
     Arg.(
-      value & opt int 1
+      value
+      & opt jobs_conv (`Jobs 1)
       & info [ "j"; "jobs" ] ~docv:"J"
           ~doc:
             "Explore on $(docv) OCaml domains (subtrees of the schedule tree run \
-             concurrently; statistics are identical for every value).")
+             concurrently; statistics are identical for every value).  $(b,auto) uses \
+             the recommended domain count of this machine.")
+  in
+  let trail_arg =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "trail" ] ~docv:"BOOL"
+          ~doc:
+            "Branch by in-place backtracking over an undo trail (the default) instead of \
+             cloning the machine at every branch point.  Statistics are identical either \
+             way; --trail=false is the slower historical baseline.")
+  in
+  let check_mode_arg =
+    let mode_conv =
+      Arg.enum [ ("terminal", `Terminal); ("incremental", `Incremental) ]
+    in
+    Arg.(
+      value
+      & opt mode_conv `Terminal
+      & info [ "check-mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,terminal) re-checks the NRL condition on every complete execution from \
+             scratch; $(b,incremental) threads checker state down the search so work on \
+             shared schedule prefixes is done once.  Verdicts are identical.")
   in
   let dedup_arg =
     Arg.(
@@ -139,7 +180,13 @@ let explore_cmd =
              (fingerprint of memory + per-process control state).  Violations found are \
              real; a clean sweep certifies one representative prefix per configuration.")
   in
-  let explore name nprocs ops max_steps max_crashes jobs dedup =
+  let explore name nprocs ops max_steps max_crashes jobs trail check_mode dedup =
+    let jobs = match jobs with `Auto -> Machine.Explore.auto_jobs () | `Jobs j -> j in
+    let check_mode =
+      match check_mode with
+      | `Terminal -> `Terminal
+      | `Incremental -> `Incremental (Workload.Check.nrl_incremental ())
+    in
     let build () =
       let sim = Machine.Sim.create ~nprocs () in
       (scenario_of_name name ~nprocs ~ops).Workload.Trial.build sim;
@@ -150,8 +197,8 @@ let explore_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let viol, stats =
-      Machine.Explore.find_violation ~cfg ~jobs ~dedup ~check:Workload.Check.nrl_violation
-        (build ())
+      Machine.Explore.find_violation ~cfg ~jobs ~dedup ~trail ~check_mode
+        ~check:Workload.Check.nrl_violation (build ())
     in
     (match viol with
     | Some (sim, reason) ->
@@ -170,7 +217,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Bounded exhaustive schedule exploration (use small instances)")
     Term.(
       const explore $ scenario_arg $ nprocs_arg $ ops_arg $ steps_arg $ crashes_arg
-      $ jobs_arg $ dedup_arg)
+      $ jobs_arg $ trail_arg $ check_mode_arg $ dedup_arg)
 
 (* theorem *)
 let theorem_cmd =

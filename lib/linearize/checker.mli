@@ -10,6 +10,19 @@ type linearization = (History.op_record * Nvm.Value.t) list
 (** A witness: operations in linearization order with their (possibly
     completed) responses. *)
 
+(** The structural memoisation key — (linearized-set, encoded state) —
+    and its hash table.  Exposed so other search layers (notably
+    {!Nrl.Incremental}'s per-event closure) memoise on the same cheap
+    key instead of re-inventing a string-based one. *)
+module Memo_key : sig
+  type t = Bitset.t * Nvm.Value.t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Memo : Hashtbl.S with type key = Memo_key.t
+
 type verdict =
   | Linearizable of linearization
   | Not_linearizable of string

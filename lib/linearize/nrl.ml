@@ -52,6 +52,275 @@ let explain r =
 
 let pp ppf r = Fmt.string ppf (explain r)
 
+(** Incremental NRL checking: the whole Definition 4 condition as an
+    automaton over history steps, designed to be threaded down a
+    depth-first schedule exploration so that work done on a shared
+    schedule prefix is shared by every terminal history below it.
+
+    The state is purely functional (persistent lists and maps, plus
+    copy-on-write arrays), so keeping the state of an interior DFS node
+    alive while its subtrees are explored costs nothing and needs no
+    undo.
+
+    {b Recoverable well-formedness} (Definition 3) is tracked directly:
+    per process, a [crashed] flag (any step after a crash other than the
+    matching recovery is a violation, as is a recovery without a crash)
+    and a stack of open operations (an invocation on an object with an
+    operation already pending on it breaks per-object alternation; a
+    response not matching the inner-most open operation breaks the
+    nesting discipline).
+
+    {b Linearizability of N(H)} (Definition 2, per object by locality) is
+    tracked as a set of {e configurations} per object — each a set of
+    speculatively linearized pending operations (with their chosen
+    responses) plus the specification state reached.  Invocations extend
+    the pending universe and leave configurations untouched; all search
+    happens at response steps, where each configuration is closed under
+    linearizing pending operations until the responding operation is
+    placed with its actual response value.  Deferring the linearization
+    of every {e other} pending operation to a later event is sound
+    because currently-pending operations are mutually concurrent and no
+    specification transition happens between events except
+    linearizations themselves: any ordering realisable now is equally
+    realisable at the next response step from the surviving
+    configuration.  Requiring the responding operation to be placed at
+    its own response step is exactly the Wing & Gong real-time frontier —
+    every operation invoked later must be linearized after it.  A
+    terminal history is linearizable iff the configuration set is
+    non-empty: still-pending operations not in a configuration's
+    speculative set are dropped, the others completed, as Definition 2's
+    completions allow.  Emptiness is detected at the response step that
+    causes it and recorded sticky, so exploration below a doomed prefix
+    fails fast.
+
+    The per-event closure memoises on {!Checker.Memo_key} — the
+    linearized-set bitset over the event's pending universe, paired with
+    the specification state [repr] extended (chained [Value.Pair]s) with
+    the chosen responses, which future response steps observe. *)
+module Incremental = struct
+  module Imap = Map.Make (Int)
+
+  type pending_op = {
+    p_call : int;
+    p_pid : int;
+    p_op : string;
+    p_args : Nvm.Value.t array;
+  }
+
+  (** One speculative configuration: pending operations already
+      linearized (sorted by call id, with the chosen response) and the
+      specification state reached. *)
+  type config = {
+    c_lin : (int * Nvm.Value.t) list;
+    c_st : Spec.state;
+  }
+
+  type obj_state = {
+    o_name : string;
+    o_pending : pending_op list;  (** invocation order *)
+    o_configs : config list;  (** non-empty (emptiness is a sticky violation) *)
+  }
+
+  type pstate = {
+    ps_crashed : bool;  (** p's last step was a crash *)
+    ps_stack : (int * int) list;  (** open operations, (obj, call_id), inner-most first *)
+  }
+
+  type t = {
+    i_spec_for : int -> Spec.t option;
+    i_nprocs : int;
+    i_objs : obj_state Imap.t;
+    i_skip : unit Imap.t;  (** objects with no known specification *)
+    i_procs : pstate array;  (** copy-on-write; never mutated in place *)
+    i_consumed : int;  (** history steps folded in so far *)
+    i_violation : string option;  (** sticky: set by the first violating step *)
+  }
+
+  let create ~spec_for ~nprocs =
+    {
+      i_spec_for = spec_for;
+      i_nprocs = nprocs;
+      i_objs = Imap.empty;
+      i_skip = Imap.empty;
+      i_procs = Array.make (max 1 nprocs) { ps_crashed = false; ps_stack = [] };
+      i_consumed = 0;
+      i_violation = None;
+    }
+
+  let consumed t = t.i_consumed
+  let violation t = t.i_violation
+
+  let set_proc t pid ps =
+    let procs = Array.copy t.i_procs in
+    procs.(pid) <- ps;
+    { t with i_procs = procs }
+
+  let rec insert_lin ((c, _) as e) = function
+    | [] -> [ e ]
+    | ((c', _) as e') :: rest ->
+      if c < c' then e :: e' :: rest else e' :: insert_lin e rest
+
+  (* The chosen responses are part of a configuration's identity (a
+     later response step filters on them), so chain them onto the state
+     repr to form the [Value] half of the structural memo key. *)
+  let encode_config lin repr =
+    List.fold_left (fun acc (_, ret) -> Nvm.Value.Pair (ret, acc)) repr lin
+
+  (* Close [os.o_configs] under linearizing pending operations until the
+     responding operation [call_id] is placed with response [ret];
+     configurations that already placed it survive iff the chosen
+     response matches.  Returns the surviving configurations with the
+     responding operation removed from both the speculative sets and the
+     pending universe, deduplicated. *)
+  let res_transition os ~call_id ~ret =
+    let pend = Array.of_list os.o_pending in
+    let n = Array.length pend in
+    let idx = Hashtbl.create (2 * n) in
+    Array.iteri (fun i p -> Hashtbl.replace idx p.p_call i) pend;
+    let mask_of lin =
+      List.fold_left (fun m (c, _) -> Bitset.add m (Hashtbl.find idx c)) (Bitset.create n) lin
+    in
+    let memo : unit Checker.Memo.t = Checker.Memo.create 64 in
+    let survivors = ref [] in
+    let rec go mask lin (st : Spec.state) =
+      let key = (mask, encode_config lin st.Spec.repr) in
+      if not (Checker.Memo.mem memo key) then begin
+        Checker.Memo.add memo key ();
+        Array.iteri
+          (fun i p ->
+            if not (Bitset.mem mask i) then begin
+              let target = p.p_call = call_id in
+              let outcomes = st.Spec.apply ~pid:p.p_pid ~op:p.p_op ~args:p.p_args in
+              let outcomes =
+                if target then
+                  List.filter (fun (r, _) -> Nvm.Value.equal r ret) outcomes
+                else outcomes
+              in
+              List.iter
+                (fun (r, st') ->
+                  let lin' = insert_lin (p.p_call, r) lin in
+                  if target then survivors := { c_lin = lin'; c_st = st' } :: !survivors
+                  else go (Bitset.add mask i) lin' st')
+                outcomes
+            end)
+          pend
+      end
+    in
+    List.iter
+      (fun c ->
+        match List.assoc_opt call_id c.c_lin with
+        | Some r0 -> if Nvm.Value.equal r0 ret then survivors := c :: !survivors
+        | None -> go (mask_of c.c_lin) c.c_lin c.c_st)
+      os.o_configs;
+    (* commit: the responding operation leaves the pending universe *)
+    let pending' = List.filter (fun p -> p.p_call <> call_id) os.o_pending in
+    let idx' = Hashtbl.create (2 * n) in
+    List.iteri (fun i p -> Hashtbl.replace idx' p.p_call i) pending';
+    let n' = List.length pending' in
+    let dedup : unit Checker.Memo.t = Checker.Memo.create 16 in
+    let configs' =
+      List.filter_map
+        (fun c ->
+          let lin = List.remove_assoc call_id c.c_lin in
+          let mask =
+            List.fold_left
+              (fun m (cid, _) -> Bitset.add m (Hashtbl.find idx' cid))
+              (Bitset.create n') lin
+          in
+          let key = (mask, encode_config lin c.c_st.Spec.repr) in
+          if Checker.Memo.mem dedup key then None
+          else begin
+            Checker.Memo.add dedup key ();
+            Some { c_lin = lin; c_st = c.c_st }
+          end)
+        !survivors
+    in
+    { os with o_pending = pending'; o_configs = configs' }
+
+  let fail t m = { t with i_violation = Some m }
+
+  let obj_inv t (opref : History.Step.opref) ~pid ~args ~call_id =
+    let o = opref.History.Step.obj in
+    if Imap.mem o t.i_skip then t
+    else
+      match Imap.find_opt o t.i_objs with
+      | Some os ->
+        let p = { p_call = call_id; p_pid = pid; p_op = opref.History.Step.op; p_args = args } in
+        { t with i_objs = Imap.add o { os with o_pending = os.o_pending @ [ p ] } t.i_objs }
+      | None -> (
+        match t.i_spec_for o with
+        | None -> { t with i_skip = Imap.add o () t.i_skip }
+        | Some spec ->
+          let os =
+            {
+              o_name = opref.History.Step.obj_name;
+              o_pending =
+                [ { p_call = call_id; p_pid = pid; p_op = opref.History.Step.op; p_args = args } ];
+              o_configs = [ { c_lin = []; c_st = spec.Spec.initial ~nprocs:t.i_nprocs } ];
+            }
+          in
+          { t with i_objs = Imap.add o os t.i_objs })
+
+  let obj_res t (opref : History.Step.opref) ~call_id ~ret =
+    let o = opref.History.Step.obj in
+    if Imap.mem o t.i_skip then t
+    else
+      match Imap.find_opt o t.i_objs with
+      | None ->
+        fail t
+          (Fmt.str "response on object %s without a tracked invocation"
+             opref.History.Step.obj_name)
+      | Some os ->
+        let os' = res_transition os ~call_id ~ret in
+        if os'.o_configs = [] then
+          fail t
+            (Fmt.str "N(H) not linearizable for object(s): %s (no configuration admits %s -> %a)"
+               os.o_name opref.History.Step.op Nvm.Value.pp ret)
+        else { t with i_objs = Imap.add o os' t.i_objs }
+
+  (** Fold one history step into the automaton.  Violations are sticky:
+      once set, further steps only advance the consumed count. *)
+  let step t (s : History.Step.t) =
+    let t = { t with i_consumed = t.i_consumed + 1 } in
+    if t.i_violation <> None then t
+    else begin
+      let pid = History.Step.pid s in
+      let ps = t.i_procs.(pid) in
+      match s with
+      | History.Step.Rec _ ->
+        if not ps.ps_crashed then
+          fail t (Fmt.str "p%d: recovery step without preceding crash" pid)
+        else set_proc t pid { ps with ps_crashed = false }
+      | _ when ps.ps_crashed ->
+        fail t (Fmt.str "p%d: crash step not followed by a matching recovery step" pid)
+      | History.Step.Crash _ ->
+        (* the crashed operation stays pending in its object's automaton;
+           N(H) simply omits the crash step *)
+        set_proc t pid { ps with ps_crashed = true }
+      | History.Step.Inv { opref; args; call_id; _ } ->
+        if List.exists (fun (o, _) -> o = opref.History.Step.obj) ps.ps_stack then
+          fail t
+            (Fmt.str "p%d invoked a second operation on object %d while one is pending" pid
+               opref.History.Step.obj)
+        else
+          let t =
+            set_proc t pid
+              { ps with ps_stack = (opref.History.Step.obj, call_id) :: ps.ps_stack }
+          in
+          obj_inv t opref ~pid ~args ~call_id
+      | History.Step.Res { opref; ret; call_id; _ } -> (
+        match ps.ps_stack with
+        | (o, c) :: rest when c = call_id && o = opref.History.Step.obj ->
+          let t = set_proc t pid { ps with ps_stack = rest } in
+          obj_res t opref ~call_id ~ret
+        | _ ->
+          fail t
+            (Fmt.str "p%d: response does not match the inner-most pending invocation" pid))
+    end
+
+  let steps t l = List.fold_left step t l
+end
+
 (** Definition 1 (strict recoverable operations): every response of an
     operation that declares a designated per-process persistent response
     variable must find its response value already persisted there.  The

@@ -17,6 +17,48 @@ val check : spec_for:(int -> Spec.t option) -> nprocs:int -> History.t -> result
 val explain : result -> string
 val pp : result Fmt.t
 
+(** Incremental NRL checking: Definition 4 as an automaton over history
+    steps, for threading down a depth-first schedule exploration so work
+    done on a shared schedule prefix is shared by every terminal below
+    it.  The state is persistent — keeping an interior DFS node's state
+    alive while its subtrees are explored needs no undo.
+
+    Recoverable well-formedness is tracked per process (crash/recovery
+    discipline, per-object alternation, nesting of open operations);
+    linearizability of [N(H)] is tracked per object as a set of
+    (speculatively linearized pending operations, specification state)
+    configurations, closed at each response step under linearizing
+    pending operations — memoised on {!Checker.Memo_key} — until the
+    responding operation is placed with its actual response.  A violation
+    is detected at the earliest step that dooms every extension and is
+    sticky from then on.
+
+    The verdict at a terminal history equals {!Nrl.check}'s on the same
+    sequence of steps (the test suite cross-checks the pair on every
+    exploration scenario); messages may be phrased differently. *)
+module Incremental : sig
+  type t
+
+  val create : spec_for:(int -> Spec.t option) -> nprocs:int -> t
+
+  val step : t -> History.Step.t -> t
+  (** Fold one history step into the automaton.  Pure in [t]: the input
+      state remains valid (and is shared structurally), which is what
+      makes per-branch threading free. *)
+
+  val steps : t -> History.Step.t list -> t
+  (** Fold a suffix of steps, in order. *)
+
+  val consumed : t -> int
+  (** Number of steps folded so far — callers use it to know where the
+      next suffix starts (see {!Machine.Sim.history_suffix}). *)
+
+  val violation : t -> string option
+  (** [Some reason] once any folded prefix violated NRL (sticky);
+      [None] means every completion of the consumed history by dropping
+      still-pending operations satisfies NRL so far. *)
+end
+
 val strictness_violations : History.t -> History.Step.t list
 (** Responses of operations declared strict (Definition 1) whose value
     was {e not} found in the designated persistent variable at response

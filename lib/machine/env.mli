@@ -23,7 +23,12 @@ val create_post_crash : Junk.t -> t
     values". *)
 
 val copy : t -> t
-(** Independent copy, for machine cloning. *)
+(** Independent copy, for machine cloning.  The copy carries no trail. *)
+
+val set_trail : t -> Nvm.Trail.t option -> unit
+(** Attach (or detach) an undo trail: binding updates, cached junk draws
+    and {!scramble} then log undo thunks, so {!Nvm.Trail.undo_to} reverts
+    the environment — including its junk-generator state — in place. *)
 
 val set : t -> string -> Nvm.Value.t -> unit
 

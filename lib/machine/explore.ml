@@ -2,32 +2,43 @@
 
     For small instances (a few processes, a few operations each, a
     bounded crash budget) the decision tree is small enough to enumerate
-    completely.  Exploration clones the machine at each branch point, so
-    programs run forward only and every leaf carries its own history —
-    this is what lets the checkers examine {e every} history of a bounded
-    instance, turning the paper's universally quantified correctness
-    lemmas into machine-checked facts for those bounds.
+    completely — this is what lets the checkers examine {e every} history
+    of a bounded instance, turning the paper's universally quantified
+    correctness lemmas into machine-checked facts for those bounds.
 
-    Two engines share one traversal core:
+    Two branching disciplines share one traversal core:
 
-    - the sequential depth-first search ([jobs = 1]), byte-for-byte the
-      behaviour of the original engine; and
-    - a domain-parallel search ([jobs > 1]) that first expands the
-      shallowest part of the tree breadth-first until it holds enough
-      independent subtree roots, then fans those subtrees out across
-      OCaml 5 domains, each running the sequential search on its own
-      cloned machine.  Statistics are summed at the join; a shared
-      atomic flag stops every worker as soon as one finds a violation.
-      Every node is processed exactly once by the same code either way,
-      so [terminals]/[truncated]/[nodes] are identical for every [jobs]
-      value.
+    - {e trail-based in-place backtracking} (the default): the search
+      mutates a single machine, taking a {!Sim.mark} before each decision
+      and {!Sim.undo_to}-ing it afterwards, so the per-branch cost is the
+      few mutations of one step instead of a whole-machine deep copy; and
+    - {e clone-per-branch} ([trail = false]): the historical engine,
+      copying the machine at every branch point.  Kept as the baseline
+      the benchmarks compare against, and because a clone-mode traversal
+      hands [on_terminal] a machine that stays valid after the callback
+      returns.
+
+    Both visit the same nodes in the same order, so every statistic is
+    identical across the two.
+
+    The engine is also domain-parallel: with [jobs > 1] the shallowest
+    part of the tree is first expanded breadth-first (in clone mode, so
+    each pending subtree root owns an independent machine) until it holds
+    enough tasks, which are then fanned out across OCaml 5 domains, each
+    running the sequential search — trailed on its own machine — over its
+    subtrees.  Statistics are summed at the join; a shared atomic flag
+    stops every worker as soon as one finds a violation.  Every node is
+    processed exactly once by the same code either way, so
+    [terminals]/[truncated]/[nodes] are identical for every [jobs] value.
 
     Orthogonally, {e state deduplication} ([dedup]) prunes a branch when
-    the machine configuration's {!Fingerprint} has been visited before:
-    converging schedule prefixes are explored once.  Fingerprint
-    equality implies identical future event sequences, so the pruned
-    subtree's behaviours are exactly the representative's — but the
-    {e prefix} histories differ, so checks that depend on the full
+    the machine configuration's {!Fingerprint} — extended with the crash
+    budget already consumed on the current path, which determines how
+    many crash decisions the future still offers — has been visited
+    before: converging schedule prefixes are explored once.  Fingerprint
+    equality (budget included) implies identical future subtrees, so the
+    pruned subtree's behaviours are exactly the representative's — but
+    the {e prefix} histories differ, so checks that depend on the full
     history (NRL does) are verified against one representative prefix
     per state.  Deduplicated search is therefore a fast
     under-approximation: any violation it reports is real, while a clean
@@ -74,6 +85,8 @@ let add_stats into s =
   into.truncated <- into.truncated + s.truncated;
   into.nodes <- into.nodes + s.nodes;
   into.dup <- into.dup + s.dup
+
+let auto_jobs () = max 1 (Domain.recommended_domain_count ())
 
 let decisions cfg ~crashes sim =
   let n = Sim.nprocs sim in
@@ -134,52 +147,76 @@ exception Found of Sim.t * string
 exception Stopped
 (* raised inside a worker when another worker has flipped the stop flag *)
 
-(** A pending subtree: a cloned machine plus the depth and crash count at
-    its root. *)
-type task = { t_sim : Sim.t; t_depth : int; t_crashes : int }
+(** A path checker: per-path state threaded down the DFS, updated after
+    every applied decision and asked for a verdict at each terminal.  The
+    state type is existential — the explorer only moves values of it
+    around — which lets {!Checker}-level state live above this library in
+    the dependency order (see [Workload.Check.nrl_incremental]). *)
+type path_checker =
+  | Path : {
+      init : Sim.t -> 'st;
+          (** state for the root configuration (folds any history the
+              machine recorded during setup) *)
+      step : 'st -> Sim.t -> 'st;
+          (** consume the history suffix the last decision appended; must
+              be pure in ['st] (the same state value is reused across
+              sibling branches) and must not retain [Sim.t] *)
+      terminal : 'st -> Sim.t -> string option;
+          (** verdict for a complete execution, [Some reason] = violation *)
+    }
+      -> path_checker
+
+type check_mode = [ `Terminal | `Incremental of path_checker ]
+
+(** A pending subtree: a machine owned by the task plus the depth, crash
+    count and path-checker state at its root. *)
+type 'st task = { t_sim : Sim.t; t_depth : int; t_crashes : int; t_state : 'st }
 
 (** Everything one traversal needs.  [frontier = Some (d, emit)] turns
     recursion at depth [>= d] into task emission — the frontier-expansion
     phase of the parallel engine processes nodes one BFS level at a time
     through the very same code path the workers later run, so every node
     is visited exactly once regardless of where the tree is split. *)
-type ctx = {
+type 'st ctx = {
   cfg : config;
   stats : stats;
   stop : unit -> bool;
   seen : Fingerprint.Store.t option;
-  on_terminal : Sim.t -> unit;
-  frontier : (int * (task -> unit)) option;
+  trail : bool;  (** branch by mark/undo on one machine vs clone-per-branch *)
+  step_state : 'st -> Sim.t -> 'st;
+  on_terminal : 'st -> Sim.t -> unit;
+  frontier : (int * ('st task -> unit)) option;
 }
 
-let rec go ctx sim depth crashes =
+let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
+ fun ctx sim depth crashes st ->
   if ctx.stop () then raise Stopped;
   match ctx.frontier with
-  | Some (fd, emit) when depth >= fd -> emit { t_sim = sim; t_depth = depth; t_crashes = crashes }
+  | Some (fd, emit) when depth >= fd ->
+    emit { t_sim = sim; t_depth = depth; t_crashes = crashes; t_state = st }
   | _ -> (
     match ctx.seen with
-    | Some store when not (Fingerprint.Store.add store (Fingerprint.of_sim sim)) ->
-      (* an equivalent configuration was reached by another prefix: its
-         futures have already been (or are being) explored *)
+    | Some store
+      when not (Fingerprint.Store.add store (Fingerprint.of_sim ~extra:crashes sim)) ->
+      (* an equivalent configuration (same remaining crash budget) was
+         reached by another prefix: its futures have already been (or are
+         being) explored *)
       ctx.stats.dup <- ctx.stats.dup + 1
     | _ ->
       let stats = ctx.stats in
       stats.nodes <- stats.nodes + 1;
       if Sim.all_done sim then begin
         stats.terminals <- stats.terminals + 1;
-        ctx.on_terminal sim
+        ctx.on_terminal st sim
       end
       else if terminal sim then begin
         (* some process is down with no one else runnable: this is a
            complete execution (check it), but recovery may still extend it *)
         stats.terminals <- stats.terminals + 1;
-        ctx.on_terminal sim;
+        ctx.on_terminal st sim;
         if depth < ctx.cfg.max_steps then
           List.iter
-            (fun d ->
-              let s = Sim.clone sim in
-              Schedule.apply s d;
-              go ctx s (depth + 1) crashes)
+            (fun d -> branch ctx sim depth crashes st d)
             (decisions ctx.cfg ~crashes sim)
       end
       else if depth >= ctx.cfg.max_steps then stats.truncated <- stats.truncated + 1
@@ -193,14 +230,36 @@ let rec go ctx sim depth crashes =
         | _ ->
           List.iter
             (fun d ->
-              let s = Sim.clone sim in
-              Schedule.apply s d;
               let crashes' =
                 match d with Schedule.Dcrash _ -> crashes + 1 | _ -> crashes
               in
-              go ctx s (depth + 1) crashes')
+              branch ctx sim depth crashes' st d)
             ds
       end)
+
+(* One child edge: apply the decision, advance the path-checker state on
+   the appended history suffix, recurse.  Trail mode reverts the shared
+   machine afterwards; clone mode gives the child its own machine and
+   leaves the parent untouched.  [crashes] is the child's crash count:
+   callers charge crash decisions at ordinary interior nodes, while the
+   terminal-but-extendable path deliberately passes its own count through
+   unchanged (see [go]) to keep node accounting identical with the
+   historical engine. *)
+and branch : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> Schedule.decision -> unit =
+ fun ctx sim depth crashes st d ->
+  if ctx.trail then begin
+    let m = Sim.mark sim in
+    Schedule.apply sim d;
+    let st' = ctx.step_state st sim in
+    go ctx sim (depth + 1) crashes st';
+    Sim.undo_to sim m
+  end
+  else begin
+    let s = Sim.clone sim in
+    Schedule.apply s d;
+    let st' = ctx.step_state st s in
+    go ctx s (depth + 1) crashes st'
+  end
 
 let never_stop () = false
 
@@ -210,23 +269,29 @@ let never_stop () = false
     [target] independent subtree roots are pending (or the tree is
     exhausted).  Interior nodes and shallow terminals are processed —
     and counted — here, through {!go} with a one-level frontier, so the
-    split point does not change any statistic. *)
-let expand_frontier ~ctx ~target sim0 =
+    split point does not change any statistic.  Expansion runs in clone
+    mode regardless of [ctx.trail]: each emitted task must own a machine
+    that survives past the expansion loop. *)
+let expand_frontier ~ctx ~target ~init sim0 =
   let q = Queue.create () in
-  Queue.push { t_sim = sim0; t_depth = 0; t_crashes = 0 } q;
+  Queue.push { t_sim = sim0; t_depth = 0; t_crashes = 0; t_state = init sim0 } q;
   while (not (Queue.is_empty q)) && Queue.length q < target do
     let t = Queue.pop q in
-    let ctx = { ctx with frontier = Some (t.t_depth + 1, fun t' -> Queue.push t' q) } in
-    go ctx t.t_sim t.t_depth t.t_crashes
+    let ctx =
+      { ctx with trail = false; frontier = Some (t.t_depth + 1, fun t' -> Queue.push t' q) }
+    in
+    go ctx t.t_sim t.t_depth t.t_crashes t.t_state
   done;
   Array.init (Queue.length q) (fun _ -> Queue.pop q)
 
 (** Run [tasks] to completion on [jobs] domains.  Work is claimed from a
     shared atomic index; each worker accumulates private statistics
-    (summed into [ctx.stats] at the join).  The first worker to catch
-    {!Found} publishes it and flips the stop flag; any other exception is
-    also published and re-raised in the caller, so [on_terminal]'s
-    abort-by-exception contract survives parallelism. *)
+    (summed into [ctx.stats] at the join).  In trail mode each worker
+    enables the trail on each task's machine — tasks own their machines,
+    so the in-place discipline stays single-domain.  The first worker to
+    catch {!Found} publishes it and flips the stop flag; any other
+    exception is also published and re-raised in the caller, so
+    [on_terminal]'s abort-by-exception contract survives parallelism. *)
 let run_tasks ~ctx ~jobs tasks =
   let n = Array.length tasks in
   if n > 0 then begin
@@ -252,9 +317,11 @@ let run_tasks ~ctx ~jobs tasks =
         while !continue do
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then continue := false
-          else
+          else begin
             let t = tasks.(i) in
-            go wctx t.t_sim t.t_depth t.t_crashes
+            if wctx.trail then Sim.enable_trail t.t_sim;
+            go wctx t.t_sim t.t_depth t.t_crashes t.t_state
+          end
         done
       with
       | Stopped -> ()
@@ -267,18 +334,9 @@ let run_tasks ~ctx ~jobs tasks =
     match Atomic.get failure with Some e -> raise e | None -> ()
   end
 
-(** Depth-first enumeration of all schedules of [sim0] under [cfg],
-    calling [on_terminal] on every completed execution.  Returns the
-    statistics.  [on_terminal] may raise to abort the search (e.g. on
-    the first counterexample).
-
-    With [jobs > 1] the tree is split at an adaptive frontier and
-    subtrees run concurrently on that many domains; [on_terminal] must
-    then be safe to call from several domains at once (checks that only
-    touch their own [Sim.t] argument, like the NRL checkers, are).  With
-    [dedup] branches reaching a configuration whose fingerprint was
-    already visited are pruned and counted in [stats.dup]. *)
-let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ~on_terminal sim0 =
+(** The generic engine all public entry points share: a DFS threading
+    ['st] down the path. *)
+let run_gen ~cfg ~jobs ~dedup ~trail ~init ~step_state ~on_terminal sim0 =
   let jobs = max 1 jobs in
   let ctx =
     {
@@ -286,31 +344,105 @@ let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ~on_terminal sim0 =
       stats = zero_stats ();
       stop = never_stop;
       seen = (if dedup then Some (Fingerprint.Store.create ()) else None);
+      trail;
+      step_state;
       on_terminal;
       frontier = None;
     }
   in
-  if jobs = 1 then go ctx sim0 0 0
+  if jobs = 1 then
+    if trail then begin
+      (* one private clone for the whole search: an abort-by-exception
+         from [on_terminal] skips the pending undos, which must not
+         corrupt the caller's machine *)
+      let sim = Sim.clone sim0 in
+      Sim.enable_trail sim;
+      go ctx sim 0 0 (init sim)
+    end
+    else go ctx sim0 0 0 (init sim0)
   else begin
     (* enough tasks that the longest subtree cannot dominate the makespan *)
-    let tasks = expand_frontier ~ctx ~target:(32 * jobs) sim0 in
+    let tasks = expand_frontier ~ctx ~target:(32 * jobs) ~init sim0 in
     run_tasks ~ctx ~jobs tasks
   end;
   ctx.stats
 
-(** Search for the first terminal execution whose history fails [check];
-    [check] returns [Some reason] on a violation.  Returns the violating
-    machine (with its full history) if one exists, plus the statistics.
-    [jobs] and [dedup] as in {!dfs}; with [jobs > 1] {e which}
+(** Depth-first enumeration of all schedules of [sim0] under [cfg],
+    calling [on_terminal] on every completed execution.  Returns the
+    statistics.  [on_terminal] may raise to abort the search (e.g. on
+    the first counterexample).
+
+    [trail] (default true) selects in-place backtracking; the machine
+    passed to [on_terminal] and [on_step] is then the search's working
+    machine, valid only for the duration of the callback — {!Sim.clone}
+    it to keep it.  With [trail = false] every callback receives an
+    independent machine.  Statistics are identical either way.
+
+    [on_step] is invoked after every applied decision with the resulting
+    configuration — the hook incremental path analyses attach to.
+
+    With [jobs > 1] the tree is split at an adaptive frontier and
+    subtrees run concurrently on that many domains; [on_terminal] must
+    then be safe to call from several domains at once (checks that only
+    touch their own [Sim.t] argument, like the NRL checkers, are).  Use
+    {!auto_jobs} to pick a fan-out matching the host.  With [dedup]
+    branches reaching a configuration whose fingerprint (including the
+    crash budget spent) was already visited are pruned and counted in
+    [stats.dup]. *)
+let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?on_step
+    ~on_terminal sim0 =
+  let step_state =
+    match on_step with
+    | None -> fun () _ -> ()
+    | Some f ->
+      fun () sim ->
+        f sim;
+        ()
+  in
+  run_gen ~cfg ~jobs ~dedup ~trail ~init:(fun _ -> ()) ~step_state
+    ~on_terminal:(fun () sim -> on_terminal sim)
+    sim0
+
+(** Search for the first terminal execution that fails the check.
+    Returns the violating machine (with its full history) if one exists,
+    plus the statistics.
+
+    [check_mode] selects how the verdict is computed: [`Terminal] (the
+    default) calls [check] on each complete execution from scratch;
+    [`Incremental pc] threads [pc]'s state down the path so work done on
+    a shared schedule prefix is shared by all terminals below it, and
+    [check] is unused.  Both modes return the same verdict for sound
+    checkers (cross-checked in the test suite).
+
+    [jobs], [dedup] and [trail] as in {!dfs}; with [jobs > 1] {e which}
     counterexample is returned may vary between runs, but whether one
-    exists does not (and without [dedup], neither do the statistics). *)
-let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ~check sim0 =
+    exists does not (and without [dedup], neither do the statistics).
+    The returned machine is always an independent snapshot, whatever the
+    branching discipline. *)
+let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true)
+    ?(check_mode = `Terminal) ~check sim0 =
+  (* in trail mode the machine at a terminal is the search's working
+     machine, about to be rewound: capture an independent snapshot *)
+  let capture sim = if trail then Sim.clone sim else sim in
   try
     let stats =
-      dfs ~cfg ~jobs ~dedup sim0 ~on_terminal:(fun sim ->
-          match check sim with
-          | Some reason -> raise (Found (sim, reason))
-          | None -> ())
+      match (check_mode : check_mode) with
+      | `Terminal ->
+        run_gen ~cfg ~jobs ~dedup ~trail
+          ~init:(fun _ -> ())
+          ~step_state:(fun () _ -> ())
+          ~on_terminal:(fun () sim ->
+            match check sim with
+            | Some reason -> raise (Found (capture sim, reason))
+            | None -> ())
+          sim0
+      | `Incremental (Path p) ->
+        run_gen ~cfg ~jobs ~dedup ~trail ~init:p.init ~step_state:p.step
+          ~on_terminal:(fun st sim ->
+            match p.terminal st sim with
+            | Some reason -> raise (Found (capture sim, reason))
+            | None -> ())
+          sim0
     in
     (None, stats)
   with Found (sim, reason) -> (Some (sim, reason), zero_stats ())

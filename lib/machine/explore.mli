@@ -2,8 +2,14 @@
 
     For small instances the decision tree is enumerated completely, which
     turns the paper's universally-quantified correctness lemmas into
-    machine-checked facts for those bounds.  Exploration clones the
-    machine at each branch point, so every leaf carries its own history.
+    machine-checked facts for those bounds.
+
+    Branching discipline: by default the search backtracks {e in place}
+    on a single machine via {!Sim.mark}/{!Sim.undo_to} (the undo trail),
+    so a branch costs the few mutations of one step instead of a
+    whole-machine deep copy; [trail = false] selects the historical
+    clone-per-branch engine.  Both disciplines visit the same nodes in
+    the same order and produce identical statistics.
 
     A sound partial-order reduction ([reduce_local]) fires local
     (non-shared-access) transitions eagerly, response steps first: among
@@ -13,14 +19,15 @@
     decisions are still offered at every instruction boundary.
 
     The engine is domain-parallel: with [jobs > 1] the shallow part of
-    the tree is expanded breadth-first into independent subtree roots,
-    which are fanned out across OCaml 5 domains; every node is processed
-    exactly once by the same traversal code wherever the split falls, so
-    the statistics are identical for every [jobs] value.  An optional
-    state-deduplication layer ([dedup], built on {!Fingerprint}) prunes
-    branches that reconverge on an already-visited configuration; any
-    violation found under [dedup] is real, but a clean deduplicated sweep
-    certifies one representative prefix history per reachable
+    the tree is expanded breadth-first into independent subtree roots
+    (each owning a cloned machine), which are fanned out across OCaml 5
+    domains; every node is processed exactly once by the same traversal
+    code wherever the split falls, so the statistics are identical for
+    every [jobs] value.  An optional state-deduplication layer ([dedup],
+    built on {!Fingerprint} extended with the consumed crash budget)
+    prunes branches that reconverge on an already-visited configuration;
+    any violation found under [dedup] is real, but a clean deduplicated
+    sweep certifies one representative prefix history per reachable
     configuration rather than all of them — see docs/model.md. *)
 
 type config = {
@@ -52,25 +59,61 @@ type stats = {
 
 val zero_stats : unit -> stats
 
+val auto_jobs : unit -> int
+(** A fan-out matching the host: [Domain.recommended_domain_count ()]
+    (at least 1).  On a single-domain host this is 1, which skips the
+    parallel split — and its frontier-expansion overhead — entirely.
+    Passed as [~jobs] when the user asks for [auto]; explicit [~jobs]
+    values are never clamped (benchmarks deliberately oversubscribe). *)
+
 val decisions : config -> crashes:int -> Sim.t -> Schedule.decision list
 (** The decisions the explorer branches over at a configuration. *)
+
+(** A path checker: per-path analysis state threaded down the DFS.
+    [init] produces the state for the root configuration, [step] updates
+    it after each applied decision (consume {!Sim.history_suffix} since
+    the last known length), and [terminal] delivers the verdict at a
+    complete execution.  The state must be used persistently: the same
+    value is passed to several children of one node, so [step] must not
+    mutate it in place.  Neither [step] nor [terminal] may retain the
+    [Sim.t] they are given (in trail mode it is the search's working
+    machine). *)
+type path_checker =
+  | Path : {
+      init : Sim.t -> 'st;
+      step : 'st -> Sim.t -> 'st;
+      terminal : 'st -> Sim.t -> string option;
+    }
+      -> path_checker
+
+type check_mode = [ `Terminal | `Incremental of path_checker ]
 
 val dfs :
   ?cfg:config ->
   ?jobs:int ->
   ?dedup:bool ->
+  ?trail:bool ->
+  ?on_step:(Sim.t -> unit) ->
   on_terminal:(Sim.t -> unit) ->
   Sim.t ->
   stats
 (** Depth-first enumeration; [on_terminal] is called on every complete
-    execution and may raise to abort the search.
+    execution and may raise to abort the search; [on_step] (if given) is
+    called after every applied decision with the resulting configuration.
+
+    [trail] (default [true]) backtracks in place: the machine passed to
+    the callbacks is then the search's working machine, valid only for
+    the duration of the call — {!Sim.clone} it to keep it.  With
+    [trail = false] each callback receives an independent machine.  The
+    caller's [sim0] is never mutated in either mode.
 
     [jobs] (default 1) runs the search on that many domains; the
-    statistics do not depend on it, but [on_terminal] must then tolerate
+    statistics do not depend on it, but the callbacks must then tolerate
     concurrent calls from distinct domains (callbacks that only touch
     their [Sim.t] argument, such as the NRL checkers, qualify).  [dedup]
-    (default false) prunes branches whose configuration fingerprint was
-    already visited. *)
+    (default false) prunes branches whose configuration fingerprint —
+    including the crash budget spent on the path — was already
+    visited. *)
 
 exception Found of Sim.t * string
 
@@ -78,11 +121,23 @@ val find_violation :
   ?cfg:config ->
   ?jobs:int ->
   ?dedup:bool ->
+  ?trail:bool ->
+  ?check_mode:check_mode ->
   check:(Sim.t -> string option) ->
   Sim.t ->
   (Sim.t * string) option * stats
-(** First terminal execution for which [check] returns [Some reason],
-    with its machine (and so its full history), or [None] with the
-    complete search statistics.  With [jobs > 1], {e which}
-    counterexample is returned may vary between runs; whether one exists
-    does not, and without [dedup] neither do the statistics. *)
+(** First terminal execution judged a violation, with its machine (and so
+    its full history — always an independent snapshot, whatever the
+    branching discipline), or [None] with the complete search statistics.
+
+    [check_mode] (default [`Terminal]) selects the judge: [`Terminal]
+    runs [check] on each complete execution from scratch;
+    [`Incremental pc] threads [pc]'s state down the path, sharing the
+    work done on common schedule prefixes between all terminals below
+    them ([check] is then unused).  A sound incremental checker returns
+    the same verdict as its terminal counterpart on every scenario — the
+    test suite cross-checks the NRL pair.
+
+    With [jobs > 1], {e which} counterexample is returned may vary
+    between runs; whether one exists does not, and without [dedup]
+    neither do the statistics. *)

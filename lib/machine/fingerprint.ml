@@ -43,6 +43,11 @@ type t = {
   fp_mem : Nvm.Value.t array;
   fp_junk : int;
   fp_procs : proc_fp array;
+  fp_extra : int;
+      (** caller-supplied path context that must keep otherwise-equal
+          configurations distinct — the explorer passes its consumed
+          crash budget, without which deduplication would merge states
+          whose remaining futures differ (see {!Explore}) *)
 }
 
 let hash t = t.fp_hash
@@ -90,20 +95,21 @@ let hash_proc h p =
   let h = hash_value_list h p.pf_results in
   List.fold_left hash_frame h p.pf_stack
 
-let of_sim sim =
+let of_sim ?(extra = 0) sim =
   let fp_mem = Nvm.Memory.snapshot (Sim.mem sim) in
   let fp_junk = Sim.junk_state sim in
   let fp_procs = Array.init (Sim.nprocs sim) (fun p -> proc_of (Sim.proc sim p)) in
   let h = Array.fold_left (fun h v -> mix h (Nvm.Value.hash v)) 0x811c9dc5 fp_mem in
   let h = mix h fp_junk in
+  let h = mix h extra in
   let h = Array.fold_left hash_proc h fp_procs in
-  { fp_hash = h; fp_mem; fp_junk; fp_procs }
+  { fp_hash = h; fp_mem; fp_junk; fp_procs; fp_extra = extra }
 
 (* Components are immutable first-order data (ints, bools, strings,
    values), so structural polymorphic equality is exact; the precomputed
    hash screens out almost all mismatches first. *)
 let equal a b =
-  a.fp_hash = b.fp_hash && a.fp_junk = b.fp_junk
+  a.fp_hash = b.fp_hash && a.fp_junk = b.fp_junk && a.fp_extra = b.fp_extra
   && a.fp_mem = b.fp_mem && a.fp_procs = b.fp_procs
 
 module Table = Hashtbl.Make (struct
@@ -123,6 +129,7 @@ let to_string t =
       Buffer.add_char b '|')
     t.fp_mem;
   Buffer.add_string b (Printf.sprintf "~j%d" t.fp_junk);
+  if t.fp_extra <> 0 then Buffer.add_string b (Printf.sprintf "~x%d" t.fp_extra);
   Array.iter
     (fun p ->
       Buffer.add_string b (if p.pf_crashed then "C" else "R");

@@ -15,7 +15,12 @@
 
 type t
 
-val of_sim : Sim.t -> t
+val of_sim : ?extra:int -> Sim.t -> t
+(** [extra] (default 0) is mixed into the fingerprint as opaque path
+    context.  The explorer passes the crash budget consumed so far:
+    two equal configurations reached having spent different budgets have
+    different remaining futures, so deduplicating across them would make
+    search statistics depend on traversal order. *)
 
 val equal : t -> t -> bool
 val hash : t -> int

@@ -8,6 +8,7 @@ type t = { mutable s : int }
 let create seed = { s = (if seed = 0 then 0x9e3779b9 else seed land max_int) }
 let copy t = { s = t.s }
 let state t = t.s
+let set_state t s = t.s <- s
 
 let bits t =
   let s = t.s in

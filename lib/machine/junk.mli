@@ -14,6 +14,11 @@ val state : t -> int
     with equal states produce identical streams — this is what lets a
     machine fingerprint cover the junk source (see {!Fingerprint}). *)
 
+val set_state : t -> int -> unit
+(** Rewind (or fast-forward) the generator to a state previously observed
+    with {!state}.  Used by undo trails to revert junk draws on
+    backtrack. *)
+
 val next : t -> Nvm.Value.t
 (** The next arbitrary value; advances the state. *)
 

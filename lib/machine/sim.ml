@@ -65,8 +65,12 @@ type t = {
   procs : proc array;
   junk : Junk.t;
   mutable hist_rev : History.Step.t list;
+  mutable hist_len : int;  (** [List.length hist_rev], maintained incrementally *)
   mutable next_call : int;
   mutable total_steps : int;
+  mutable trail : Nvm.Trail.t option;
+      (** when set, every machine mutation below logs an undo thunk (or is
+          covered by a {!mark} snapshot), enabling in-place backtracking *)
 }
 
 let create ?(seed = 1) ~nprocs () =
@@ -78,8 +82,10 @@ let create ?(seed = 1) ~nprocs () =
           { pid; stack = []; script = []; status = Ready; results = []; crashes = 0 });
     junk = Junk.create seed;
     hist_rev = [];
+    hist_len = 0;
     next_call = 0;
     total_steps = 0;
+    trail = None;
   }
 
 let mem t = t.mem
@@ -87,6 +93,20 @@ let registry t = t.reg
 let nprocs t = Array.length t.procs
 let total_steps t = t.total_steps
 let history t = History.of_list (List.rev t.hist_rev)
+let history_length t = t.hist_len
+
+let history_suffix t n =
+  if n < 0 || n > t.hist_len then
+    invalid_arg
+      (Printf.sprintf "Sim.history_suffix: index %d out of range (length %d)" n t.hist_len);
+  let rec take k l acc =
+    if k = 0 then acc
+    else
+      match l with
+      | s :: rest -> take (k - 1) rest (s :: acc)
+      | [] -> assert false
+  in
+  take (t.hist_len - n) t.hist_rev []
 
 let junk_state t = Junk.state t.junk
 
@@ -153,7 +173,14 @@ let next_is_ret t p =
 let all_done t =
   Array.for_all (fun pr -> pr.status = Ready && pr.stack = [] && pr.script = []) t.procs
 
-let record t s = t.hist_rev <- s :: t.hist_rev
+(* History length, call counter, step counter, junk-generator state and
+   memory access statistics are NOT trailed per mutation: they are scalar
+   monotone counters, so a {!mark} snapshots them and {!undo_to} restores
+   them wholesale.  Everything structural (heap cells, environments,
+   stacks, frame fields, statuses) is trailed at its mutation site. *)
+let record t s =
+  t.hist_rev <- s :: t.hist_rev;
+  t.hist_len <- t.hist_len + 1
 
 let fresh_call t =
   let id = t.next_call in
@@ -183,6 +210,12 @@ let push_frame t pr (inst : Objdef.instance) opname args dst =
       f_call_id = call_id;
     }
   in
+  (match t.trail with
+  | None -> ()
+  | Some tr ->
+    Env.set_trail f.f_env t.trail;
+    let old_stack = pr.stack in
+    Nvm.Trail.push tr (fun () -> pr.stack <- old_stack));
   pr.stack <- f :: pr.stack;
   record t (Inv { pid = pr.pid; opref = Objdef.opref inst opname; args; call_id })
 
@@ -204,6 +237,27 @@ let persisted_flag t pr (f : frame) ret =
     Some matches
 
 let complete_op t pr (f : frame) ret =
+  (match t.trail with
+  | None -> ()
+  | Some tr -> (
+    let old_stack = pr.stack and old_results = pr.results in
+    match pr.stack with
+    | _ :: parent :: _ ->
+      let old_phase = parent.f_phase
+      and old_pc = parent.f_pc
+      and old_env = parent.f_env
+      and old_intr = parent.f_interrupted in
+      Nvm.Trail.push tr (fun () ->
+          pr.stack <- old_stack;
+          pr.results <- old_results;
+          parent.f_phase <- old_phase;
+          parent.f_pc <- old_pc;
+          parent.f_env <- old_env;
+          parent.f_interrupted <- old_intr)
+    | _ ->
+      Nvm.Trail.push tr (fun () ->
+          pr.stack <- old_stack;
+          pr.results <- old_results)));
   record t
     (Res
        {
@@ -227,7 +281,9 @@ let complete_op t pr (f : frame) ret =
            function — recovery cascades outward through the nesting *)
         parent.f_phase <- Recovery;
         parent.f_pc <- 0;
-        parent.f_env <- Env.create_post_crash t.junk;
+        let env = Env.create_post_crash t.junk in
+        Env.set_trail env t.trail;
+        parent.f_env <- env;
         parent.f_interrupted <- false
       end
       else parent.f_pc <- parent.f_pc + 1
@@ -243,6 +299,17 @@ let exec_instr t pr (f : frame) =
          (Printf.sprintf "p%d: pc %d out of range in %s" pr.pid f.f_pc (Program.name prog)));
   let ctx = ctx_of t f pr.pid in
   let env = f.f_env in
+  (* one combined thunk covers every control-field write this instruction
+     can make (pc, LI_p, phase — including [Resume]'s phase switch);
+     heap, environment and stack effects are trailed at their own sites *)
+  (match t.trail with
+  | None -> ()
+  | Some tr ->
+    let old_pc = f.f_pc and old_li = f.f_li and old_phase = f.f_phase in
+    Nvm.Trail.push tr (fun () ->
+        f.f_pc <- old_pc;
+        f.f_li <- old_li;
+        f.f_phase <- old_phase));
   let jump_to line = f.f_pc <- Program.pc_of_line prog line in
   (* LI_p tracks the last body instruction that started executing *)
   (match f.f_phase with
@@ -299,6 +366,11 @@ let step t p =
     match pr.script with
     | [] -> invalid_arg (Printf.sprintf "Sim.step: p%d has no work" p)
     | (inst, opname, spec) :: rest ->
+      (match t.trail with
+      | None -> ()
+      | Some tr ->
+        let old_script = pr.script in
+        Nvm.Trail.push tr (fun () -> pr.script <- old_script));
       pr.script <- rest;
       let args =
         match spec with Args a -> a | Compute f -> f t.mem
@@ -311,9 +383,19 @@ let crash t p =
   let pr = t.procs.(p) in
   if pr.status <> Ready then invalid_arg (Printf.sprintf "Sim.crash: p%d is not ready" p);
   t.total_steps <- t.total_steps + 1;
+  (match t.trail with
+  | None -> ()
+  | Some tr ->
+    let old_crashes = pr.crashes and old_status = pr.status in
+    let old_intr = List.map (fun f -> (f, f.f_interrupted)) pr.stack in
+    Nvm.Trail.push tr (fun () ->
+        pr.crashes <- old_crashes;
+        pr.status <- old_status;
+        List.iter (fun (f, i) -> f.f_interrupted <- i) old_intr));
   pr.crashes <- pr.crashes + 1;
   List.iter
     (fun f ->
+      (* [scramble] logs its own undo (old bindings + generator state) *)
       Env.scramble f.f_env t.junk;
       f.f_interrupted <- true)
     pr.stack;
@@ -332,15 +414,98 @@ let recover t p =
   if pr.status <> Crashed then
     invalid_arg (Printf.sprintf "Sim.recover: p%d has not crashed" p);
   t.total_steps <- t.total_steps + 1;
+  (match t.trail with
+  | None -> ()
+  | Some tr -> (
+    let old_status = pr.status in
+    match pr.stack with
+    | [] -> Nvm.Trail.push tr (fun () -> pr.status <- old_status)
+    | f :: _ ->
+      let old_phase = f.f_phase
+      and old_pc = f.f_pc
+      and old_env = f.f_env
+      and old_intr = f.f_interrupted in
+      Nvm.Trail.push tr (fun () ->
+          pr.status <- old_status;
+          f.f_phase <- old_phase;
+          f.f_pc <- old_pc;
+          f.f_env <- old_env;
+          f.f_interrupted <- old_intr)));
   record t (Rec { pid = p });
   (match pr.stack with
   | [] -> ()  (* no pending operation: the process simply resumes its script *)
   | f :: _ ->
     f.f_phase <- Recovery;
     f.f_pc <- 0;
-    f.f_env <- Env.create_post_crash t.junk;
+    let env = Env.create_post_crash t.junk in
+    Env.set_trail env t.trail;
+    f.f_env <- env;
     f.f_interrupted <- false);
   pr.status <- Ready
+
+(* ------------------------------------------------------------------ *)
+(* Trail-based backtracking                                            *)
+
+type mark = {
+  mk_trail : Nvm.Trail.mark;
+  mk_hist : History.Step.t list;  (* persistent list: sharing the old spine is the snapshot *)
+  mk_hist_len : int;
+  mk_next_call : int;
+  mk_total_steps : int;
+  mk_junk : int;
+  mk_reads : int;
+  mk_writes : int;
+  mk_rmws : int;
+}
+
+let trail_enabled t = t.trail <> None
+
+let enable_trail t =
+  match t.trail with
+  | Some _ -> ()
+  | None ->
+    let tr = Nvm.Trail.create () in
+    t.trail <- Some tr;
+    Nvm.Memory.set_trail t.mem (Some tr);
+    (* frames created from here on attach the trail at creation; existing
+       frames (machine set up before enabling) are adopted here *)
+    Array.iter
+      (fun pr -> List.iter (fun f -> Env.set_trail f.f_env (Some tr)) pr.stack)
+      t.procs
+
+let mark t =
+  match t.trail with
+  | None -> invalid_arg "Sim.mark: trail not enabled (call Sim.enable_trail first)"
+  | Some tr ->
+    let st = Nvm.Memory.stats t.mem in
+    {
+      mk_trail = Nvm.Trail.mark tr;
+      mk_hist = t.hist_rev;
+      mk_hist_len = t.hist_len;
+      mk_next_call = t.next_call;
+      mk_total_steps = t.total_steps;
+      mk_junk = Junk.state t.junk;
+      mk_reads = st.reads;
+      mk_writes = st.writes;
+      mk_rmws = st.rmws;
+    }
+
+let undo_to t m =
+  match t.trail with
+  | None -> invalid_arg "Sim.undo_to: trail not enabled"
+  | Some tr ->
+    (* structural state first (thunks may also rewind env junk draws),
+       then the counters snapshotted by [mark] *)
+    Nvm.Trail.undo_to tr m.mk_trail;
+    t.hist_rev <- m.mk_hist;
+    t.hist_len <- m.mk_hist_len;
+    t.next_call <- m.mk_next_call;
+    t.total_steps <- m.mk_total_steps;
+    Junk.set_state t.junk m.mk_junk;
+    let st = Nvm.Memory.stats t.mem in
+    st.reads <- m.mk_reads;
+    st.writes <- m.mk_writes;
+    st.rmws <- m.mk_rmws
 
 let clone t =
   let copy_frame (f : frame) =
@@ -374,8 +539,12 @@ let clone t =
         t.procs;
     junk = Junk.copy t.junk;
     hist_rev = t.hist_rev;
+    hist_len = t.hist_len;
     next_call = t.next_call;
     total_steps = t.total_steps;
+    (* a clone is an independent snapshot: it never shares (or inherits) a
+       trail — the explorer re-enables one per cloned frontier task *)
+    trail = None;
   }
 
 (** Short description of a process state, for debugging and error reports. *)

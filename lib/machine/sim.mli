@@ -71,6 +71,15 @@ val history : t -> History.t
 (** The history recorded so far (invocation, response, crash and recovery
     steps, in order). *)
 
+val history_length : t -> int
+(** Number of steps recorded so far — O(1); lets an incremental checker
+    remember how much of the history it has already consumed. *)
+
+val history_suffix : t -> int -> History.Step.t list
+(** [history_suffix t n] is the steps from index [n] (inclusive) to the
+    end, in chronological order — the part of the history recorded since
+    {!history_length} returned [n].  O(length of the suffix). *)
+
 val proc : t -> int -> proc
 val status : t -> int -> status
 
@@ -119,7 +128,43 @@ val recover : t -> int -> unit
 val clone : t -> t
 (** Independent deep copy sharing only immutable structure (programs,
     instance definitions); used by the exhaustive explorer and the
-    valency analysis. *)
+    valency analysis.  The clone carries no trail (see {!enable_trail}). *)
+
+(** {1 Trail-based backtracking}
+
+    Instead of cloning the machine at every branch point, a depth-first
+    exploration can {!enable_trail} once, take a {!mark} before applying a
+    decision, and {!undo_to} it afterwards: every mutation between the two
+    calls — NVRAM cells and allocations, volatile environments and their
+    junk draws, frame control fields, process stacks / scripts / statuses,
+    recorded history, and all counters — is reverted in place.  What is
+    {e not} restored: the identity of [Env.t] values replaced wholesale by
+    recovery (the original environment object is re-installed, which is
+    observationally equivalent), and the object registry (immutable after
+    setup by construction).  Marks obey stack discipline: undo to marks in
+    reverse order of taking them. *)
+
+type mark
+(** A position in the machine's undo trail plus a snapshot of its scalar
+    counters. *)
+
+val enable_trail : t -> unit
+(** Switch the machine into trailed mode (idempotent).  Call after setup
+    (registration, allocation, scripting) and before exploration; existing
+    frames are adopted.  There is no [disable]: {!clone} yields a
+    trail-free machine. *)
+
+val trail_enabled : t -> bool
+
+val mark : t -> mark
+(** O(1).  @raise Invalid_argument if the trail is not enabled. *)
+
+val undo_to : t -> mark -> unit
+(** Revert every mutation made since the mark was taken, newest first.
+    Cost is proportional to the number of mutations reverted.
+    @raise Invalid_argument if the trail is not enabled, or on a mark
+    already undone past (marks are not re-usable across [undo_to] of an
+    earlier mark). *)
 
 val current_program : frame -> Program.t
 val ctx_of : t -> frame -> int -> Program.ctx

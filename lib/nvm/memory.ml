@@ -24,6 +24,10 @@ type t = {
   mutable used : int;
   names : (addr, string) Hashtbl.t;
   stats : stats;
+  mutable trail : Trail.t option;
+      (** when set, every cell mutation logs an undo thunk so the heap can
+          be reverted by {!Trail.undo_to}; access statistics are {e not}
+          trailed (the machine snapshots them in its own mark) *)
 }
 
 let create () =
@@ -32,7 +36,19 @@ let create () =
     used = 0;
     names = Hashtbl.create 64;
     stats = { reads = 0; writes = 0; rmws = 0 };
+    trail = None;
   }
+
+let set_trail t trail = t.trail <- trail
+
+(* The undo thunk indexes [t.cells] afresh, so it stays correct even if
+   the cell array is reallocated by growth in between. *)
+let log_cell t a =
+  match t.trail with
+  | None -> ()
+  | Some tr ->
+    let old = t.cells.(a) in
+    Trail.push tr (fun () -> t.cells.(a) <- old)
 
 let stats t = t.stats
 
@@ -50,7 +66,20 @@ let ensure t n =
     t.cells <- cells
   end
 
+(* Allocation during a trailed run is legal (though algorithms normally
+   allocate only at build time): the undo shrinks [used] back, which is
+   all later allocations observe; stale name-table entries are harmless
+   diagnostics. *)
+let log_alloc t n =
+  match t.trail with
+  | None -> ()
+  | Some tr ->
+    let old = t.used in
+    ignore n;
+    Trail.push tr (fun () -> t.used <- old)
+
 let alloc ?name t init =
+  log_alloc t 1;
   ensure t (t.used + 1);
   let a = t.used in
   t.cells.(a) <- init;
@@ -60,6 +89,7 @@ let alloc ?name t init =
 
 let alloc_array ?name t n init =
   if n < 0 then invalid_arg "Memory.alloc_array: negative size";
+  log_alloc t n;
   ensure t (t.used + n);
   let base = t.used in
   for i = 0 to n - 1 do
@@ -91,6 +121,7 @@ let read t a =
 let write t a v =
   check t a;
   t.stats.writes <- t.stats.writes + 1;
+  log_cell t a;
   t.cells.(a) <- v
 
 (* Read-modify-write primitives.  Each counts as a single atomic access. *)
@@ -99,6 +130,7 @@ let cas t a ~expected ~desired =
   check t a;
   t.stats.rmws <- t.stats.rmws + 1;
   if Value.equal t.cells.(a) expected then begin
+    log_cell t a;
     t.cells.(a) <- desired;
     true
   end
@@ -109,6 +141,7 @@ let cas t a ~expected ~desired =
 let tas t a =
   check t a;
   t.stats.rmws <- t.stats.rmws + 1;
+  log_cell t a;
   let prev = t.cells.(a) in
   t.cells.(a) <- Value.Int 1;
   prev
@@ -116,6 +149,7 @@ let tas t a =
 let fetch_and_add t a delta =
   check t a;
   t.stats.rmws <- t.stats.rmws + 1;
+  log_cell t a;
   let prev = Value.as_int t.cells.(a) in
   t.cells.(a) <- Value.Int (prev + delta);
   Value.Int prev
@@ -129,16 +163,27 @@ let peek t a =
 let snapshot t = Array.sub t.cells 0 t.used
 
 let restore t snap =
+  (match t.trail with
+  | None -> ()
+  | Some tr ->
+    let old_cells = Array.sub t.cells 0 t.used and old_used = t.used in
+    Trail.push tr (fun () ->
+        ensure t old_used;
+        Array.blit old_cells 0 t.cells 0 old_used;
+        t.used <- old_used));
   ensure t (Array.length snap);
   Array.blit snap 0 t.cells 0 (Array.length snap);
   t.used <- Array.length snap
 
+(* The copy is trail-free: it is an independent snapshot, so undoing the
+   original past the copy point must not (and does not) affect it. *)
 let copy t =
   {
     cells = Array.copy t.cells;
     used = t.used;
     names = Hashtbl.copy t.names;
     stats = { reads = t.stats.reads; writes = t.stats.writes; rmws = t.stats.rmws };
+    trail = None;
   }
 
 let pp ppf t =

@@ -45,6 +45,14 @@ val restore : t -> Value.t array -> unit
 val copy : t -> t
 (** Independent deep copy (cells, names and statistics). *)
 
+val set_trail : t -> Trail.t option -> unit
+(** Attach (or detach) an undo trail.  While attached, every cell
+    mutation ([write]/[cas]/[tas]/[fetch_and_add]/[restore]) and every
+    allocation logs an undo thunk, so {!Trail.undo_to} reverts the heap
+    in-place.  Access {!stats} are deliberately {e not} trailed — the
+    machine snapshots them in its own mark.  {!copy} never propagates the
+    trail. *)
+
 val name : t -> addr -> string
 val size : t -> int
 val stats : t -> stats

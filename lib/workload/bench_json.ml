@@ -1,0 +1,108 @@
+(** Machine-readable benchmark output: the [BENCH_explore.json] document
+    the bench harness writes with [--json], tracked across PRs as a CI
+    artifact.
+
+    Schema ["nrl-bench/2"]:
+
+    - [ns_per_op]: one row per latency estimate (tables T1-T4 and the
+      figure sweeps that fit an OLS model), [{section; name; ns}] with
+      [ns = null] when the fit failed;
+    - [persist_events]: table T5 — shared accesses (the model's persist
+      events) per operation at each process count;
+    - [explore]: tables T6 (domain scaling) and T7 (branching-discipline
+      and check-mode throughput), each row carrying the full engine
+      configuration ([jobs]/[dedup]/[trail]/[mode]) plus the statistics
+      and the derived [nodes_per_sec] / [terminals_per_sec] rates.
+
+    Version 1 of the schema had only [ns_per_op] (left empty by the
+    explore-only CI smoke run) and [explore] rows without the
+    [section]/[trail]/[mode] fields. *)
+
+let schema_version = "nrl-bench/2"
+
+type ns_row = { ns_section : string; ns_name : string; ns_ns : float }
+
+type persist_row = { pe_op : string; pe_nprocs : int; pe_accesses : int }
+
+type explore_row = {
+  er_section : string;  (** ["T6"] or ["T7"] *)
+  er_scenario : string;
+  er_nprocs : int;
+  er_ops : int;
+  er_jobs : int;
+  er_dedup : bool;
+  er_trail : bool;
+  er_mode : string;  (** ["dfs"], ["check-terminal"] or ["check-incremental"] *)
+  er_terminals : int;
+  er_nodes : int;
+  er_dup : int;
+  er_seconds : float;
+}
+
+type t = {
+  domains_available : int;
+  ns_per_op : ns_row list;
+  persist_events : persist_row list;
+  explore : explore_row list;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* nan (a failed OLS fit) and infinities (a zero-duration measurement)
+   have no JSON literal: emit null *)
+let number v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
+
+let rate num seconds = if seconds > 0. then float_of_int num /. seconds else nan
+
+let add_rows buf rows render =
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (render r);
+      Buffer.add_string buf (if i = List.length rows - 1 then "\n" else ",\n"))
+    rows
+
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": \"%s\",\n" schema_version);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains_available\": %d,\n" t.domains_available);
+  Buffer.add_string buf "  \"ns_per_op\": [\n";
+  add_rows buf t.ns_per_op (fun r ->
+      Printf.sprintf "    {\"section\": \"%s\", \"name\": \"%s\", \"ns\": %s}"
+        (escape r.ns_section) (escape r.ns_name) (number r.ns_ns));
+  Buffer.add_string buf "  ],\n  \"persist_events\": [\n";
+  add_rows buf t.persist_events (fun r ->
+      Printf.sprintf "    {\"op\": \"%s\", \"nprocs\": %d, \"accesses\": %d}"
+        (escape r.pe_op) r.pe_nprocs r.pe_accesses);
+  Buffer.add_string buf "  ],\n  \"explore\": [\n";
+  add_rows buf t.explore (fun r ->
+      Printf.sprintf
+        "    {\"section\": \"%s\", \"scenario\": \"%s\", \"nprocs\": %d, \"ops\": %d, \
+         \"jobs\": %d, \"dedup\": %b, \"trail\": %b, \"mode\": \"%s\", \"terminals\": %d, \
+         \"nodes\": %d, \"dup\": %d, \"seconds\": %s, \"nodes_per_sec\": %s, \
+         \"terminals_per_sec\": %s}"
+        (escape r.er_section) (escape r.er_scenario) r.er_nprocs r.er_ops r.er_jobs
+        r.er_dedup r.er_trail (escape r.er_mode) r.er_terminals r.er_nodes r.er_dup
+        (number r.er_seconds)
+        (number (rate r.er_nodes r.er_seconds))
+        (number (rate r.er_terminals r.er_seconds)));
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write ~path t =
+  let oc = open_out path in
+  output_string oc (render t);
+  close_out oc

@@ -51,3 +51,26 @@ let nrl_violation sim =
 (** Strictness violations (Definition 1) recorded in [sim]'s history. *)
 let strictness_violations sim =
   Linearize.Nrl.strictness_violations (Machine.Sim.history sim)
+
+(** A path checker for {!Machine.Explore.find_violation}'s
+    [`Incremental] mode: threads {!Linearize.Nrl.Incremental} state down
+    the DFS, feeding it exactly the history suffix each decision
+    appended ({!Machine.Sim.history_length} tells the automaton where
+    the suffix starts).  The automaton state is persistent, so sibling
+    branches share every prefix's work. *)
+let nrl_incremental () =
+  Machine.Explore.Path
+    {
+      init =
+        (fun sim ->
+          let st =
+            Linearize.Nrl.Incremental.create ~spec_for:(spec_for sim)
+              ~nprocs:(Machine.Sim.nprocs sim)
+          in
+          Linearize.Nrl.Incremental.steps st (Machine.Sim.history_suffix sim 0));
+      step =
+        (fun st sim ->
+          Linearize.Nrl.Incremental.steps st
+            (Machine.Sim.history_suffix sim (Linearize.Nrl.Incremental.consumed st)));
+      terminal = (fun st _sim -> Linearize.Nrl.Incremental.violation st);
+    }

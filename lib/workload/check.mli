@@ -14,3 +14,10 @@ val nrl_violation : Machine.Sim.t -> string option
 
 val strictness_violations : Machine.Sim.t -> History.Step.t list
 (** Strictness violations (Definition 1) recorded in the history. *)
+
+val nrl_incremental : unit -> Machine.Explore.path_checker
+(** A path checker for {!Machine.Explore.find_violation}'s
+    [`Incremental] mode: prefix-shared NRL checking via
+    {!Linearize.Nrl.Incremental}.  Returns the same verdict as
+    {!nrl_violation} run at each terminal, with the work for shared
+    schedule prefixes done once. *)

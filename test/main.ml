@@ -14,6 +14,7 @@ let () =
       ("histogram", Test_histogram.suite);
       ("stack", Test_stack.suite);
       ("workload", Test_workload.suite);
+      ("bench-json", Test_bench_json.suite);
       ("queue-max", Test_queue_max.suite);
       ("system-crash", Test_system_crash.suite);
       ("explore", Test_explore.suite);

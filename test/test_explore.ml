@@ -146,6 +146,7 @@ let seed_scenario name ~nprocs ~ops =
     match name with
     | "register" -> (Workload.Scenarios.register ~nprocs ~ops ()).Workload.Trial.build
     | "cas" -> (Workload.Scenarios.cas ~nprocs ~ops ()).Workload.Trial.build
+    | "tas" -> (Workload.Scenarios.tas ~nprocs ()).Workload.Trial.build
     | "naive-rw-optimistic" ->
       (Workload.Scenarios.naive_rw ~strategy:`Optimistic ~nprocs ~ops ()).Workload.Trial.build
     | "naive-cas-reexec" ->
@@ -251,6 +252,128 @@ let test_dedup_still_finds_state_visible_violation () =
         true (v <> None))
     [ 1; 2 ]
 
+(* {2 The jobs x dedup x trail matrix} *)
+
+(* crash-free bound for the recoverable T&S: each of its single ops is
+   dozens of machine instructions, so a crash budget makes the tree
+   astronomically large; 40 steps complete every crash-free
+   interleaving of two processes (truncated = 0, checked below) *)
+let tas_free_cfg = { Explore.default_config with max_steps = 40; max_crashes = 0 }
+
+let test_jobs_dedup_trail_matrix () =
+  (* every statistic must be independent of the branching discipline
+     (trail vs clone) and of the domain fan-out.  Deduplication changes
+     the counts by design (pruned subtrees), so the pin is per dedup
+     setting: all six jobs x trail combinations agree with the
+     sequential clone engine.  Nothing may be truncated: with no depth
+     cut-offs the deduplicated counts are a pure reachability fixpoint
+     (each fingerprint processed exactly once, out-degrees a function of
+     the configuration alone), hence independent of which worker won the
+     race to a configuration *)
+  List.iter
+    (fun (name, nprocs, ops, cfg) ->
+      let build = seed_scenario name ~nprocs ~ops in
+      List.iter
+        (fun dedup ->
+          let expected =
+            Explore.dfs ~cfg ~dedup ~trail:false ~on_terminal:ignore (build ())
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s dedup=%b: nothing truncated" name dedup)
+            0 expected.Explore.truncated;
+          List.iter
+            (fun jobs ->
+              List.iter
+                (fun trail ->
+                  let got =
+                    Explore.dfs ~cfg ~jobs ~dedup ~trail ~on_terminal:ignore (build ())
+                  in
+                  Alcotest.(check (triple int int int))
+                    (Printf.sprintf "%s: jobs=%d dedup=%b trail=%b" name jobs dedup trail)
+                    (stats_triple expected) (stats_triple got);
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s: dup count jobs=%d dedup=%b trail=%b" name jobs dedup
+                       trail)
+                    expected.Explore.dup got.Explore.dup)
+                [ false; true ])
+            [ 1; 2; 3 ])
+        [ false; true ])
+    [ ("register", 2, 1, crashy_cfg); ("tas", 2, 0, tas_free_cfg) ]
+
+(* {2 Incremental checking} *)
+
+let all_seed_scenarios =
+  (* tas gets a tight depth bound: its single ops expand to dozens of
+     machine instructions, and a crash budget at depth 100 is an
+     astronomically large tree *)
+  [
+    ("register", 2, 1, crashy_cfg);
+    ("cas", 2, 1, crashy_cfg);
+    ("tas", 2, 0, { crashy_cfg with Explore.max_steps = 20 });
+    ("naive-rw-optimistic", 2, 2, crashy_cfg);
+    ("naive-cas-reexec", 2, 2, crashy_cfg);
+  ]
+
+let test_incremental_matches_terminal () =
+  (* `Incremental threads Nrl.Incremental state down the path instead of
+     re-checking each terminal from scratch; the verdict (violation
+     exists or clean) and the complete-sweep statistics must coincide
+     with `Terminal on every scenario, in both branching disciplines *)
+  List.iter
+    (fun (name, nprocs, ops, cfg) ->
+      let build = seed_scenario name ~nprocs ~ops in
+      let vt, st =
+        Explore.find_violation ~cfg ~check_mode:`Terminal
+          ~check:Workload.Check.nrl_violation (build ())
+      in
+      List.iter
+        (fun trail ->
+          let vi, si =
+            Explore.find_violation ~cfg ~trail
+              ~check_mode:(`Incremental (Workload.Check.nrl_incremental ()))
+              ~check:Workload.Check.nrl_violation (build ())
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: same verdict (trail=%b)" name trail)
+            (vt <> None) (vi <> None);
+          if vt = None then
+            Alcotest.(check (triple int int int))
+              (Printf.sprintf "%s: same clean-sweep stats (trail=%b)" name trail)
+              (stats_triple st) (stats_triple si))
+        [ true; false ])
+    all_seed_scenarios
+
+let test_incremental_counterexample_is_violating () =
+  (* the machine captured by the incremental mode must itself fail the
+     terminal checker: the two judges agree on the witness, not just on
+     existence *)
+  let v, _ =
+    Explore.find_violation ~cfg:crashy_cfg
+      ~check_mode:(`Incremental (Workload.Check.nrl_incremental ()))
+      ~check:(fun _ -> None)
+      (seed_scenario "naive-rw-optimistic" ~nprocs:2 ~ops:2 ())
+  in
+  match v with
+  | None -> Alcotest.fail "expected the naive baseline to fail incrementally"
+  | Some (sim, _) ->
+    Alcotest.(check bool)
+      "terminal checker rejects the captured machine" true
+      (Workload.Check.nrl_violation sim <> None)
+
+let test_on_step_hook_runs_per_decision () =
+  (* on_step must fire once per applied decision: nodes = steps + 1 root
+     (every non-root node is entered by exactly one decision; terminal
+     extensions re-enter the same count) *)
+  let build = seed_scenario "register" ~nprocs:2 ~ops:1 in
+  let steps = ref 0 in
+  let stats =
+    Explore.dfs ~cfg:crashy_cfg ~on_step:(fun _ -> incr steps) ~on_terminal:ignore (build ())
+  in
+  Alcotest.(check bool) "hook fired" true (!steps > 0);
+  Alcotest.(check bool)
+    "at least one application per non-root node" true
+    (!steps >= stats.Explore.nodes - 1)
+
 let test_dedup_stats_deterministic () =
   let build = seed_scenario "register" ~nprocs:2 ~ops:2 in
   let a = Explore.dfs ~cfg:crashy_cfg ~dedup:true ~on_terminal:ignore (build ()) in
@@ -276,4 +399,9 @@ let suite =
     Alcotest.test_case "dedup: state-visible violation survives" `Quick
       test_dedup_still_finds_state_visible_violation;
     Alcotest.test_case "dedup: deterministic statistics" `Quick test_dedup_stats_deterministic;
+    Alcotest.test_case "matrix: jobs x dedup x trail" `Quick test_jobs_dedup_trail_matrix;
+    Alcotest.test_case "incremental = terminal verdicts" `Quick test_incremental_matches_terminal;
+    Alcotest.test_case "incremental counterexample violates" `Quick
+      test_incremental_counterexample_is_violating;
+    Alcotest.test_case "on_step hook" `Quick test_on_step_hook_runs_per_decision;
   ]

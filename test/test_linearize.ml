@@ -509,6 +509,73 @@ let prop_checker_on_machine_histories =
         verdict events && ((not had_read) || not (verdict corrupt))
       end)
 
+(* {2 Pending operations that must be dropped}
+
+   Definition 2's completions allow a pending operation to be completed
+   with some legal response *or* removed.  Every built-in specification
+   is total (any operation is legal in any state), so only completion is
+   ever exercised by the scenario tests; a one-shot gate — FIRE succeeds
+   exactly once, and nothing is legal afterwards — makes dropping the
+   only way to linearize. *)
+
+let gate_spec () =
+  let spent =
+    { Spec.apply = (fun ~pid:_ ~op:_ ~args:_ -> []); repr = Nvm.Value.Int 1 }
+  in
+  let armed =
+    {
+      Spec.apply =
+        (fun ~pid:_ ~op ~args:_ ->
+          match op with "FIRE" -> [ (Nvm.Value.ack, spent) ] | _ -> []);
+      repr = Nvm.Value.Int 0;
+    }
+  in
+  { Spec.spec_name = "one-shot gate"; initial = (fun ~nprocs:_ -> armed) }
+
+let check_gate ~memo h =
+  lin (Checker.check_object ~memo ~spec:(gate_spec ()) ~nprocs:2 (History.of_list h))
+
+let test_pending_op_must_be_dropped () =
+  (* p1's FIRE never responds and can be appended nowhere (the gate is
+     spent by p0's completed FIRE): the checker must drop it, with and
+     without memoisation *)
+  let h =
+    [
+      inv ~pid:0 ~op:"FIRE" 1;
+      res ~pid:0 ~op:"FIRE" ~ret:Nvm.Value.ack 1;
+      inv ~pid:1 ~op:"FIRE" 2;
+    ]
+  in
+  Alcotest.(check bool) "dropped, memoised" true (check_gate ~memo:true h);
+  Alcotest.(check bool) "dropped, unmemoised" true (check_gate ~memo:false h);
+  (* sanity: the same history with p1's FIRE completed is rejected *)
+  Alcotest.(check bool) "two completed fires rejected" false
+    (check_gate ~memo:true (h @ [ res ~pid:1 ~op:"FIRE" ~ret:Nvm.Value.ack 2 ]))
+
+let test_pending_op_dropped_after_speculation () =
+  (* p1's pending FIRE is invoked *before* p0's, so the search may
+     speculatively linearize it first — which strands p0's completed
+     FIRE.  It must backtrack to the drop branch, not fail. *)
+  let h =
+    [
+      inv ~pid:1 ~op:"FIRE" 2;
+      inv ~pid:0 ~op:"FIRE" 1;
+      res ~pid:0 ~op:"FIRE" ~ret:Nvm.Value.ack 1;
+    ]
+  in
+  Alcotest.(check bool) "backtracks to dropping, memoised" true (check_gate ~memo:true h);
+  Alcotest.(check bool) "backtracks to dropping, unmemoised" true
+    (check_gate ~memo:false h)
+
+let test_two_pendings_one_droppable () =
+  (* two pending FIREs, no completed one: linearizable only because the
+     checker may complete one and drop the other (completing both is
+     illegal) *)
+  let h = [ inv ~pid:0 ~op:"FIRE" 1; inv ~pid:1 ~op:"FIRE" 2 ] in
+  Alcotest.(check bool) "one completed, one dropped" true (check_gate ~memo:true h);
+  Alcotest.(check bool) "one completed, one dropped (unmemoised)" true
+    (check_gate ~memo:false h)
+
 let suite =
   [
     Alcotest.test_case "empty history" `Quick test_empty_history;
@@ -527,6 +594,10 @@ let suite =
     Alcotest.test_case "slot allocator spec nondeterminism" `Quick test_slot_allocator_nondet;
     Alcotest.test_case "memo key: identical verdicts (hand histories)" `Quick
       test_memo_verdicts_on_hand_histories;
+    Alcotest.test_case "pending op must be dropped" `Quick test_pending_op_must_be_dropped;
+    Alcotest.test_case "drop after failed speculation" `Quick
+      test_pending_op_dropped_after_speculation;
+    Alcotest.test_case "two pendings, one droppable" `Quick test_two_pendings_one_droppable;
     QCheck_alcotest.to_alcotest prop_checker_matches_bruteforce;
     QCheck_alcotest.to_alcotest prop_memo_verdicts_identical;
     QCheck_alcotest.to_alcotest prop_stack_spec_model;
