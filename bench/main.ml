@@ -261,19 +261,19 @@ let t3 () =
 let t4 () =
   section "T4" "simulator step throughput and NRL-check cost";
   let scen = Workload.Scenarios.register ~nprocs:3 ~ops:20 () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_s () in
   let total_steps = ref 0 in
   let trials = 50 in
   for seed = 1 to trials do
     let sim, _ = Workload.Trial.run ~seed ~crash_prob:0.02 scen in
     total_steps := !total_steps + Machine.Sim.total_steps sim
   done;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Obs.Clock.now_s () -. t0 in
   Printf.printf "  machine steps/s (incl. NRL check per trial): %.0f (%d steps, %.2fs)\n%!"
     (float_of_int !total_steps /. dt)
     !total_steps dt;
   record_rate "machine step incl. NRL check" (float_of_int !total_steps /. dt);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_s () in
   let steps = ref 0 in
   for seed = 1 to trials do
     let sim = Machine.Sim.create ~seed ~nprocs:3 () in
@@ -281,7 +281,7 @@ let t4 () =
     ignore (Machine.Schedule.run sim (Machine.Schedule.round_robin ()));
     steps := !steps + Machine.Sim.total_steps sim
   done;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Obs.Clock.now_s () -. t0 in
   Printf.printf "  machine steps/s (stepping only):             %.0f\n%!"
     (float_of_int !steps /. dt);
   record_rate "machine step only" (float_of_int !steps /. dt)
@@ -413,12 +413,12 @@ let t6 () =
     (fun dedup ->
       List.iter
         (fun jobs ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = Obs.Clock.now_s () in
           let viol, stats =
             Machine.Explore.find_violation ~cfg ~jobs ~dedup
               ~check:Workload.Check.nrl_violation (build ())
           in
-          let dt = Unix.gettimeofday () -. t0 in
+          let dt = Obs.Clock.now_s () -. t0 in
           assert (viol = None);
           Printf.printf "  %-8d %-8b %12d %10d %10.2f %12.0f\n%!" jobs dedup
             stats.Machine.Explore.nodes stats.Machine.Explore.dup dt
@@ -452,7 +452,7 @@ let t7 () =
   Printf.printf "  %-20s %-6s %12s %10s %10s %12s %12s\n%!" "mode" "trail" "nodes" "terminals"
     "seconds" "nodes/s" "terminals/s";
   let run ~mode ~trail =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_s () in
     let stats =
       match mode with
       | "dfs" -> Machine.Explore.dfs ~cfg ~trail ~on_terminal:ignore (build ())
@@ -473,7 +473,7 @@ let t7 () =
         stats
       | _ -> assert false
     in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Clock.now_s () -. t0 in
     Printf.printf "  %-20s %-6b %12d %10d %10.2f %12.0f %12.0f\n%!" mode trail
       stats.Machine.Explore.nodes stats.Machine.Explore.terminals dt
       (float_of_int stats.Machine.Explore.nodes /. dt)
@@ -506,9 +506,9 @@ let f1 () =
           (try Runtime.Rrw.write ~cp r ~pid:0 (0, 1) with Runtime.Crash.Crashed -> ());
           r)
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_s () in
     Array.iter (fun r -> Runtime.Rrw.write_recover r ~pid:0 (0, 1)) objs;
-    let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch *. 1e9 in
+    let dt = (Obs.Clock.now_s () -. t0) /. float_of_int batch *. 1e9 in
     Printf.printf "    crash@%d: %8.1f ns\n%!" k dt
   done;
   Printf.printf "  T&S (Algorithm 3), solo, crash position -> recovery ns/op:\n";
@@ -522,9 +522,9 @@ let f1 () =
            with Runtime.Crash.Crashed -> ());
           t)
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_s () in
     Array.iter (fun t -> ignore (Runtime.Rtas.recover t ~pid:0)) objs;
-    let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch *. 1e9 in
+    let dt = (Obs.Clock.now_s () -. t0) /. float_of_int batch *. 1e9 in
     Printf.printf "    crash@%d: %8.1f ns\n%!" k dt
   done;
   Printf.printf "  CAS (Algorithm 2), crash position -> recovery ns/op (N=4):\n";
@@ -538,9 +538,9 @@ let f1 () =
            with Runtime.Crash.Crashed -> ());
           c)
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_s () in
     Array.iter (fun c -> ignore (Runtime.Rcas.cas_recover c ~pid:0 ~old:0 ~new_:1)) objs;
-    let dt = (Unix.gettimeofday () -. t0) /. float_of_int batch *. 1e9 in
+    let dt = (Obs.Clock.now_s () -. t0) /. float_of_int batch *. 1e9 in
     Printf.printf "    crash@%d: %8.1f ns\n%!" k dt
   done
 
@@ -557,12 +557,12 @@ let f2 () =
       let policy = Machine.Schedule.random ~crash_prob:0.02 ~max_crashes:4 ~seed:99 () in
       ignore (Machine.Schedule.run sim policy);
       let h = Machine.Sim.history sim in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_s () in
       let reps = 50 in
       for _ = 1 to reps do
         ignore (Workload.Check.nrl sim)
       done;
-      let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e3 in
+      let dt = (Obs.Clock.now_s () -. t0) /. float_of_int reps *. 1e3 in
       Printf.printf "  %-14d %10d %12.3f\n%!" ops (History.length h) dt)
     [ 4; 8; 12; 16; 24; 32 ]
 
@@ -662,7 +662,7 @@ let f5 () =
           crash_procs = [ 0 ];
         }
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_s () in
       let viol, stats =
         Machine.Explore.find_violation ~cfg ~check:Workload.Check.nrl_violation (build ())
       in
@@ -670,7 +670,7 @@ let f5 () =
       Printf.printf "  %-14d %14d %10d %12.2f
 %!" ops stats.Machine.Explore.terminals
         stats.Machine.Explore.nodes
-        (Unix.gettimeofday () -. t0))
+        (Obs.Clock.now_s () -. t0))
     [ 1; 2 ];
   Printf.printf
     "  (3 ops/process: ~6.8M terminals, minutes of CPU and GBs of heap --\n";

@@ -67,25 +67,94 @@ let system_crash_arg =
     & info [ "system-crash-prob" ] ~docv:"P"
         ~doc:"Probability of a full-system crash (all processes at once) per step.")
 
+(* observability args, shared by run and explore *)
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print an end-of-run metrics breakdown (counters, timers, derived rates) to \
+           stdout.  Counter values are engine-invariant: identical for every $(b,--jobs) \
+           and $(b,--trail) setting.  See docs/observability.md.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write an NDJSON trace (schema nrl-trace/1: config events, phase spans, final \
+           metric values) to $(docv).  The schema is documented in docs/observability.md.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a progress line (nodes visited, rate, task completion, crude ETA) to \
+           stderr roughly once per second.")
+
+(* [--stats]/[--trace] both want a registry; build one iff either asked *)
+let obs_of ~stats ~trace = if stats || trace <> None then Some (Obs.Metrics.create ()) else None
+
+(* end-of-run: dump metrics into the trace, close it, print the summary *)
+let obs_finish ?(header = "") ~stats ~tracer obs =
+  (match obs, tracer with
+  | Some reg, Some tr -> Obs.Trace.metrics tr reg
+  | _ -> ());
+  Option.iter Obs.Trace.close tracer;
+  match obs with
+  | Some reg when stats ->
+    if header <> "" then Format.printf "%s@." header;
+    Format.printf "%a" Obs.Report.pp_summary reg
+  | _ -> ()
+
 (* run *)
 let run_cmd =
   let trials_arg =
     Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Number of trials.")
   in
-  let run name nprocs ops trials seed crash_prob max_crashes system_crash_prob =
+  let run name nprocs ops trials seed crash_prob max_crashes system_crash_prob stats trace =
     let scen = scenario_of_name name ~nprocs ~ops in
+    let obs = obs_of ~stats ~trace in
+    let tracer = Option.map (fun path -> Obs.Trace.create ~path) trace in
+    Option.iter
+      (fun tr ->
+        Obs.Trace.event tr ~name:"run.config"
+          [
+            ("scenario", Obs.Trace.Str name);
+            ("nprocs", Obs.Trace.Int nprocs);
+            ("ops", Obs.Trace.Int ops);
+            ("trials", Obs.Trace.Int trials);
+            ("seed", Obs.Trace.Int seed);
+            ("crash_prob", Obs.Trace.Float crash_prob);
+            ("max_crashes", Obs.Trace.Int max_crashes);
+          ])
+      tracer;
+    let t0 = Obs.Clock.now_ns () in
     let s =
       Workload.Trial.batch ~base_seed:seed ~crash_prob ~max_crashes
-        ~system_crash_prob ~trials scen
+        ~system_crash_prob ?obs ~trials scen
     in
+    Option.iter
+      (fun tr ->
+        Obs.Trace.span tr ~name:"run.batch" ~start_ns:t0
+          ~dur_ns:(Obs.Clock.now_ns () - t0)
+          [
+            ("trials", Obs.Trace.Int s.Workload.Trial.trials);
+            ("passed", Obs.Trace.Int s.Workload.Trial.passed);
+            ("failed", Obs.Trace.Int s.Workload.Trial.failed);
+          ])
+      tracer;
     Format.printf "%s: %a@." scen.Workload.Trial.scen_name Workload.Trial.pp_summary s;
+    obs_finish ~stats ~tracer obs;
     if s.Workload.Trial.failed > 0 then exit 2
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Randomized crash-torture batch with NRL checking")
     Term.(
       const run $ scenario_arg $ nprocs_arg $ ops_arg $ trials_arg $ seed_arg
-      $ crash_prob_arg $ max_crashes_arg $ system_crash_arg)
+      $ crash_prob_arg $ max_crashes_arg $ system_crash_arg $ stats_arg $ trace_arg)
 
 (* check *)
 let check_cmd =
@@ -180,8 +249,12 @@ let explore_cmd =
              (fingerprint of memory + per-process control state).  Violations found are \
              real; a clean sweep certifies one representative prefix per configuration.")
   in
-  let explore name nprocs ops max_steps max_crashes jobs trail check_mode dedup =
+  let explore name nprocs ops max_steps max_crashes jobs trail check_mode dedup stats_flag
+      trace progress =
     let jobs = match jobs with `Auto -> Machine.Explore.auto_jobs () | `Jobs j -> j in
+    let check_mode_name =
+      match check_mode with `Terminal -> "terminal" | `Incremental -> "incremental"
+    in
     let check_mode =
       match check_mode with
       | `Terminal -> `Terminal
@@ -195,13 +268,34 @@ let explore_cmd =
     let cfg =
       { Machine.Explore.default_config with max_steps; max_crashes; crash_procs = [ 0 ] }
     in
-    let t0 = Unix.gettimeofday () in
+    let obs = obs_of ~stats:stats_flag ~trace in
+    let tracer = Option.map (fun path -> Obs.Trace.create ~path) trace in
+    Option.iter
+      (fun tr ->
+        Obs.Trace.event tr ~name:"explore.config"
+          [
+            ("scenario", Obs.Trace.Str name);
+            ("nprocs", Obs.Trace.Int nprocs);
+            ("ops", Obs.Trace.Int ops);
+            ("max_steps", Obs.Trace.Int max_steps);
+            ("max_crashes", Obs.Trace.Int max_crashes);
+            ("jobs", Obs.Trace.Int jobs);
+            ("trail", Obs.Trace.Bool trail);
+            ("dedup", Obs.Trace.Bool dedup);
+            ("check_mode", Obs.Trace.Str check_mode_name);
+          ])
+      tracer;
+    let prog =
+      if progress then Some (Obs.Progress.create ~label:"explore" ()) else None
+    in
+    let t0 = Obs.Clock.now_s () in
     let viol, stats =
-      Machine.Explore.find_violation ~cfg ~jobs ~dedup ~trail ~check_mode
-        ~check:Workload.Check.nrl_violation (build ())
+      Machine.Explore.find_violation ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog
+        ?trace:tracer ~check_mode ~check:Workload.Check.nrl_violation (build ())
     in
     (match viol with
     | Some (sim, reason) ->
+      obs_finish ~stats:stats_flag ~tracer obs;
       Format.printf "VIOLATION: %s@.history:@.%a@." reason History.pp
         (Machine.Sim.history sim);
       exit 2
@@ -211,13 +305,15 @@ let explore_cmd =
          %d jobs, %.1fs)@."
         stats.Machine.Explore.terminals stats.Machine.Explore.truncated
         stats.Machine.Explore.nodes stats.Machine.Explore.dup jobs
-        (Unix.gettimeofday () -. t0))
+        (Obs.Clock.now_s () -. t0);
+      obs_finish ~stats:stats_flag ~tracer obs)
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Bounded exhaustive schedule exploration (use small instances)")
     Term.(
       const explore $ scenario_arg $ nprocs_arg $ ops_arg $ steps_arg $ crashes_arg
-      $ jobs_arg $ trail_arg $ check_mode_arg $ dedup_arg)
+      $ jobs_arg $ trail_arg $ check_mode_arg $ dedup_arg $ stats_arg $ trace_arg
+      $ progress_arg)
 
 (* theorem *)
 let theorem_cmd =

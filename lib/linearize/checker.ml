@@ -50,13 +50,16 @@ module Memo = Hashtbl.Make (Memo_key)
     (linearized-set, spec-state) pairs; the verdict is identical with it
     off, only slower — the switch exists so tests can cross-check the
     memoised search against the plain one. *)
-let check_object ?(memo = true) ~(spec : Spec.t) ~nprocs (h : History.t) : verdict =
+let check_object ?(memo = true) ?obs ~(spec : Spec.t) ~nprocs (h : History.t) : verdict =
   let ops = Array.of_list (History.ops_of h) in
   let n = Array.length ops in
   let completed = Array.map (fun (r : History.op_record) -> r.ret <> None) ops in
   let n_completed = Array.fold_left (fun a c -> if c then a + 1 else a) 0 completed in
   let seen : unit Memo.t = Memo.create 1024 in
   let best_progress = ref 0 in
+  (* memo traffic lands in plain local refs on the hot path and is summed
+     into [obs] once per check, whatever exit is taken *)
+  let memo_hits = ref 0 and expanded = ref 0 in
   (* minimal response position among unlinearized completed ops: an op can
      be linearized next only if it was invoked before that response *)
   let min_res linearized =
@@ -71,8 +74,10 @@ let check_object ?(memo = true) ~(spec : Spec.t) ~nprocs (h : History.t) : verdi
   let rec go linearized state acc done_completed =
     if done_completed = n_completed then raise (Success (List.rev acc));
     let key = (linearized, state.Spec.repr) in
-    if not (memo && Memo.mem seen key) then begin
+    if memo && Memo.mem seen key then incr memo_hits
+    else begin
       if memo then Memo.add seen key ();
+      incr expanded;
       if done_completed > !best_progress then best_progress := done_completed;
       let frontier = min_res linearized in
       Array.iteri
@@ -96,14 +101,24 @@ let check_object ?(memo = true) ~(spec : Spec.t) ~nprocs (h : History.t) : verdi
         ops
     end
   in
-  if n = 0 then Linearizable []
+  let finish verdict =
+    (match obs with
+    | Some reg ->
+      Obs.Metrics.Counter.incr (Obs.Metrics.counter reg Obs.Names.checker_object_checks);
+      Obs.Metrics.Counter.add (Obs.Metrics.counter reg Obs.Names.checker_memo_hits) !memo_hits;
+      Obs.Metrics.Counter.add (Obs.Metrics.counter reg Obs.Names.checker_memo_misses) !expanded
+    | None -> ());
+    verdict
+  in
+  if n = 0 then finish (Linearizable [])
   else
-    try
-      go (Bitset.create n) (spec.Spec.initial ~nprocs) [] 0;
-      Not_linearizable
-        (Fmt.str "no legal linearization (best: %d of %d completed ops ordered)"
-           !best_progress n_completed)
-    with Success w -> Linearizable w
+    finish
+      (try
+         go (Bitset.create n) (spec.Spec.initial ~nprocs) [] 0;
+         Not_linearizable
+           (Fmt.str "no legal linearization (best: %d of %d completed ops ordered)"
+              !best_progress n_completed)
+       with Success w -> Linearizable w)
 
 type object_report = {
   obj : int;
@@ -114,7 +129,7 @@ type object_report = {
 (** Check every object of a crash-free history, using linearizability's
     locality: the history is linearizable iff each per-object subhistory
     is. *)
-let check_all ~spec_for ~nprocs (h : History.t) : object_report list =
+let check_all ?obs ~spec_for ~nprocs (h : History.t) : object_report list =
   List.map
     (fun o ->
       let events =
@@ -133,5 +148,5 @@ let check_all ~spec_for ~nprocs (h : History.t) : object_report list =
       match spec_for o with
       | None -> { obj = o; obj_name = name; verdict = None }
       | Some spec ->
-        { obj = o; obj_name = name; verdict = Some (check_object ~spec ~nprocs events) })
+        { obj = o; obj_name = name; verdict = Some (check_object ?obs ~spec ~nprocs events) })
     (History.objects h)

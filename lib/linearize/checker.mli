@@ -18,7 +18,10 @@ module Memo_key : sig
   type t = Bitset.t * Nvm.Value.t
 
   val equal : t -> t -> bool
+  (** Structural equality on both halves. *)
+
   val hash : t -> int
+  (** Structural hash consistent with {!equal}. *)
 end
 
 module Memo : Hashtbl.S with type key = Memo_key.t
@@ -28,14 +31,26 @@ type verdict =
   | Not_linearizable of string
 
 val is_linearizable : verdict -> bool
-val pp_verdict : verdict Fmt.t
+(** [true] on [Linearizable _]. *)
 
-val check_object : ?memo:bool -> spec:Spec.t -> nprocs:int -> History.t -> verdict
+val pp_verdict : verdict Fmt.t
+(** Renders the witness order, or the failure reason. *)
+
+val check_object :
+  ?memo:bool -> ?obs:Obs.Metrics.t -> spec:Spec.t -> nprocs:int -> History.t -> verdict
 (** Check a crash-free history containing the invocation/response steps
     of a single object.  [memo] (default true) enables Lowe-style
     memoisation on a structural (linearized-set, spec-state) key; the
     verdict does not depend on it — the switch lets tests cross-check
-    the memoised search against the plain one. *)
+    the memoised search against the plain one.
+
+    [obs] counts the search into a metric registry:
+    [checker.object_checks] once per call, [checker.memo.hits] per
+    search node skipped because its key was already visited and
+    [checker.memo.misses] per node expanded (with [memo = false] every
+    node is a miss).  The counts are a function of the history and the
+    specification alone, so they are identical wherever and however
+    often the same check runs — see {!Obs.Names}. *)
 
 type object_report = {
   obj : int;
@@ -44,6 +59,11 @@ type object_report = {
 }
 
 val check_all :
-  spec_for:(int -> Spec.t option) -> nprocs:int -> History.t -> object_report list
+  ?obs:Obs.Metrics.t ->
+  spec_for:(int -> Spec.t option) ->
+  nprocs:int ->
+  History.t ->
+  object_report list
 (** Check every object of a crash-free history separately
-    (linearizability is local). *)
+    (linearizability is local).  [obs] is passed to every
+    {!check_object}. *)

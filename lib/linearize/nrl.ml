@@ -26,11 +26,14 @@ let failing_objects r =
       match o.verdict with Some v -> not (Checker.is_linearizable v) | None -> false)
     r.objects
 
-let check ~spec_for ~nprocs (h : History.t) : result =
+let check ?obs ~spec_for ~nprocs (h : History.t) : result =
+  (match obs with
+  | Some reg -> Obs.Metrics.Counter.incr (Obs.Metrics.counter reg Obs.Names.nrl_checks)
+  | None -> ());
   let rwf = History.Wellformed.check_recoverable_well_formed h in
   let objects =
     if History.Wellformed.is_ok rwf then
-      Checker.check_all ~spec_for ~nprocs (History.n_of h)
+      Checker.check_all ?obs ~spec_for ~nprocs (History.n_of h)
     else []
   in
   { rwf; objects }
@@ -172,7 +175,7 @@ module Incremental = struct
      response matches.  Returns the surviving configurations with the
      responding operation removed from both the speculative sets and the
      pending universe, deduplicated. *)
-  let res_transition os ~call_id ~ret =
+  let res_transition ?obs os ~call_id ~ret =
     let pend = Array.of_list os.o_pending in
     let n = Array.length pend in
     let idx = Hashtbl.create (2 * n) in
@@ -181,11 +184,15 @@ module Incremental = struct
       List.fold_left (fun m (c, _) -> Bitset.add m (Hashtbl.find idx c)) (Bitset.create n) lin
     in
     let memo : unit Checker.Memo.t = Checker.Memo.create 64 in
+    (* memo traffic counts in local refs; summed into [obs] once below *)
+    let memo_hits = ref 0 and memo_misses = ref 0 in
     let survivors = ref [] in
     let rec go mask lin (st : Spec.state) =
       let key = (mask, encode_config lin st.Spec.repr) in
-      if not (Checker.Memo.mem memo key) then begin
+      if Checker.Memo.mem memo key then incr memo_hits
+      else begin
         Checker.Memo.add memo key ();
+        incr memo_misses;
         Array.iteri
           (fun i p ->
             if not (Bitset.mem mask i) then begin
@@ -212,6 +219,15 @@ module Incremental = struct
         | Some r0 -> if Nvm.Value.equal r0 ret then survivors := c :: !survivors
         | None -> go (mask_of c.c_lin) c.c_lin c.c_st)
       os.o_configs;
+    (match obs with
+    | Some reg ->
+      Obs.Metrics.Counter.incr
+        (Obs.Metrics.counter reg Obs.Names.nrl_inc_res_transitions);
+      Obs.Metrics.Counter.add (Obs.Metrics.counter reg Obs.Names.nrl_inc_memo_hits) !memo_hits;
+      Obs.Metrics.Counter.add
+        (Obs.Metrics.counter reg Obs.Names.nrl_inc_memo_misses)
+        !memo_misses
+    | None -> ());
     (* commit: the responding operation leaves the pending universe *)
     let pending' = List.filter (fun p -> p.p_call <> call_id) os.o_pending in
     let idx' = Hashtbl.create (2 * n) in
@@ -261,7 +277,7 @@ module Incremental = struct
           in
           { t with i_objs = Imap.add o os t.i_objs })
 
-  let obj_res t (opref : History.Step.opref) ~call_id ~ret =
+  let obj_res ?obs t (opref : History.Step.opref) ~call_id ~ret =
     let o = opref.History.Step.obj in
     if Imap.mem o t.i_skip then t
     else
@@ -271,7 +287,7 @@ module Incremental = struct
           (Fmt.str "response on object %s without a tracked invocation"
              opref.History.Step.obj_name)
       | Some os ->
-        let os' = res_transition os ~call_id ~ret in
+        let os' = res_transition ?obs os ~call_id ~ret in
         if os'.o_configs = [] then
           fail t
             (Fmt.str "N(H) not linearizable for object(s): %s (no configuration admits %s -> %a)"
@@ -280,7 +296,10 @@ module Incremental = struct
 
   (** Fold one history step into the automaton.  Violations are sticky:
       once set, further steps only advance the consumed count. *)
-  let step t (s : History.Step.t) =
+  let step ?obs t (s : History.Step.t) =
+    (match obs with
+    | Some reg -> Obs.Metrics.Counter.incr (Obs.Metrics.counter reg Obs.Names.nrl_inc_steps)
+    | None -> ());
     let t = { t with i_consumed = t.i_consumed + 1 } in
     if t.i_violation <> None then t
     else begin
@@ -312,13 +331,13 @@ module Incremental = struct
         match ps.ps_stack with
         | (o, c) :: rest when c = call_id && o = opref.History.Step.obj ->
           let t = set_proc t pid { ps with ps_stack = rest } in
-          obj_res t opref ~call_id ~ret
+          obj_res ?obs t opref ~call_id ~ret
         | _ ->
           fail t
             (Fmt.str "p%d: response does not match the inner-most pending invocation" pid))
     end
 
-  let steps t l = List.fold_left step t l
+  let steps ?obs t l = List.fold_left (fun t s -> step ?obs t s) t l
 end
 
 (** Definition 1 (strict recoverable operations): every response of an

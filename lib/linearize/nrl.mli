@@ -8,14 +8,31 @@ type result = {
 }
 
 val ok : result -> bool
+(** The whole Definition 4 condition: recoverable well-formed {e and}
+    every per-object verdict linearizable. *)
 
 val failing_objects : result -> Checker.object_report list
 (** Objects whose subhistory of [N(H)] is not linearizable. *)
 
-val check : spec_for:(int -> Spec.t option) -> nprocs:int -> History.t -> result
+val check :
+  ?obs:Obs.Metrics.t ->
+  spec_for:(int -> Spec.t option) ->
+  nprocs:int ->
+  History.t ->
+  result
+(** Check a full history against Definition 4: recoverable
+    well-formedness first, then per-object linearizability of [N(H)]
+    (skipped when well-formedness already failed).
+
+    [obs] counts the work into a metric registry: [nrl.checks] once per
+    call, plus the per-object search counters documented at
+    {!Checker.check_object}. *)
 
 val explain : result -> string
+(** One line: "satisfies NRL" or which half failed and why. *)
+
 val pp : result Fmt.t
+(** Prints {!explain}. *)
 
 (** Incremental NRL checking: Definition 4 as an automaton over history
     steps, for threading down a depth-first schedule exploration so work
@@ -40,14 +57,24 @@ module Incremental : sig
   type t
 
   val create : spec_for:(int -> Spec.t option) -> nprocs:int -> t
+  (** The empty-history automaton state.  [spec_for] resolves an object
+      id to its sequential specification ([None] objects are skipped,
+      as in {!Checker.check_all}). *)
 
-  val step : t -> History.Step.t -> t
+  val step : ?obs:Obs.Metrics.t -> t -> History.Step.t -> t
   (** Fold one history step into the automaton.  Pure in [t]: the input
       state remains valid (and is shared structurally), which is what
-      makes per-branch threading free. *)
+      makes per-branch threading free.
 
-  val steps : t -> History.Step.t list -> t
-  (** Fold a suffix of steps, in order. *)
+      [obs] counts the work into a metric registry: [nrl.inc.steps] once
+      per call, [nrl.inc.res_transitions] once per response step that
+      reaches the configuration closure, and [nrl.inc.memo.hits] /
+      [nrl.inc.memo.misses] for the closure's memo table.  The memo is
+      local to each response step, so the counts depend only on the step
+      sequence — identical wherever the same prefix is replayed. *)
+
+  val steps : ?obs:Obs.Metrics.t -> t -> History.Step.t list -> t
+  (** Fold a suffix of steps, in order, with [obs] applied to each. *)
 
   val consumed : t -> int
   (** Number of steps folded so far — callers use it to know where the

@@ -168,6 +168,38 @@ type path_checker =
 
 type check_mode = [ `Terminal | `Incremental of path_checker ]
 
+(* Pre-resolved handles for the explorer's per-phase timers.  Each
+   traversal context owns its meters — the parallel engine gives every
+   worker a private registry (merged at the join, in worker order), so
+   timing the hot loop never touches cross-domain state. *)
+type meters = {
+  m_reg : Obs.Metrics.t;
+  m_step : Obs.Metrics.timer;
+  m_check : Obs.Metrics.timer;
+  m_dedup : Obs.Metrics.timer;
+}
+
+let meters_of reg =
+  {
+    m_reg = reg;
+    m_step = Obs.Metrics.timer reg Obs.Names.explore_time_step;
+    m_check = Obs.Metrics.timer reg Obs.Names.explore_time_check;
+    m_dedup = Obs.Metrics.timer reg Obs.Names.explore_time_dedup;
+  }
+
+(* Timing helpers that vanish when unobserved: [now_if] reads the clock
+   only when meters are attached, [lap] charges the elapsed time to the
+   selected timer. *)
+let now_if om = match om with Some _ -> Obs.Clock.now_ns () | None -> 0
+
+let lap om sel t0 =
+  match om with Some m -> Obs.Metrics.Timer.add (sel m) (Obs.Clock.now_ns () - t0) | None -> ()
+
+(* Progress ticks are batched: each traversal bumps the shared atomic
+   once per [tick_batch] of its own nodes, keeping the per-node cost at
+   one private increment. *)
+let tick_batch = 8192
+
 (** A pending subtree: a machine owned by the task plus the depth, crash
     count and path-checker state at its root. *)
 type 'st task = { t_sim : Sim.t; t_depth : int; t_crashes : int; t_state : 'st }
@@ -186,6 +218,8 @@ type 'st ctx = {
   step_state : 'st -> Sim.t -> 'st;
   on_terminal : 'st -> Sim.t -> unit;
   frontier : (int * ('st task -> unit)) option;
+  om : meters option;  (** this traversal's private phase timers *)
+  prog : Obs.Progress.t option;  (** shared across workers; tick-batched *)
 }
 
 let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
@@ -194,26 +228,40 @@ let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
   match ctx.frontier with
   | Some (fd, emit) when depth >= fd ->
     emit { t_sim = sim; t_depth = depth; t_crashes = crashes; t_state = st }
-  | _ -> (
-    match ctx.seen with
-    | Some store
-      when not (Fingerprint.Store.add store (Fingerprint.of_sim ~extra:crashes sim)) ->
+  | _ ->
+    let fresh =
+      match ctx.seen with
+      | None -> true
+      | Some store ->
+        let t0 = now_if ctx.om in
+        let r = Fingerprint.Store.add store (Fingerprint.of_sim ~extra:crashes sim) in
+        lap ctx.om (fun m -> m.m_dedup) t0;
+        r
+    in
+    if not fresh then
       (* an equivalent configuration (same remaining crash budget) was
          reached by another prefix: its futures have already been (or are
          being) explored *)
       ctx.stats.dup <- ctx.stats.dup + 1
-    | _ ->
+    else begin
       let stats = ctx.stats in
       stats.nodes <- stats.nodes + 1;
+      (match ctx.prog with
+      | Some p when stats.nodes land (tick_batch - 1) = 0 -> Obs.Progress.tick p ~nodes:tick_batch
+      | _ -> ());
       if Sim.all_done sim then begin
         stats.terminals <- stats.terminals + 1;
-        ctx.on_terminal st sim
+        let t0 = now_if ctx.om in
+        ctx.on_terminal st sim;
+        lap ctx.om (fun m -> m.m_check) t0
       end
       else if terminal sim then begin
         (* some process is down with no one else runnable: this is a
            complete execution (check it), but recovery may still extend it *)
         stats.terminals <- stats.terminals + 1;
+        let t0 = now_if ctx.om in
         ctx.on_terminal st sim;
+        lap ctx.om (fun m -> m.m_check) t0;
         if depth < ctx.cfg.max_steps then
           List.iter
             (fun d -> branch ctx sim depth crashes st d)
@@ -235,7 +283,8 @@ let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
               in
               branch ctx sim depth crashes' st d)
             ds
-      end)
+      end
+    end
 
 (* One child edge: apply the decision, advance the path-checker state on
    the appended history suffix, recurse.  Trail mode reverts the shared
@@ -247,17 +296,29 @@ let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
    historical engine. *)
 and branch : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> Schedule.decision -> unit =
  fun ctx sim depth crashes st d ->
+  (* the [now_if]/[lap] pairs compile to nothing when unobserved; the
+     recursive [go] call is never inside a timed interval *)
   if ctx.trail then begin
+    let t0 = now_if ctx.om in
     let m = Sim.mark sim in
     Schedule.apply sim d;
+    lap ctx.om (fun mt -> mt.m_step) t0;
+    let t1 = now_if ctx.om in
     let st' = ctx.step_state st sim in
+    lap ctx.om (fun mt -> mt.m_check) t1;
     go ctx sim (depth + 1) crashes st';
-    Sim.undo_to sim m
+    let t2 = now_if ctx.om in
+    Sim.undo_to sim m;
+    lap ctx.om (fun mt -> mt.m_step) t2
   end
   else begin
+    let t0 = now_if ctx.om in
     let s = Sim.clone sim in
     Schedule.apply s d;
+    lap ctx.om (fun mt -> mt.m_step) t0;
+    let t1 = now_if ctx.om in
     let st' = ctx.step_state st s in
+    lap ctx.om (fun mt -> mt.m_check) t1;
     go ctx s (depth + 1) crashes st'
   end
 
@@ -292,7 +353,7 @@ let expand_frontier ~ctx ~target ~init sim0 =
     catch {!Found} publishes it and flips the stop flag; any other
     exception is also published and re-raised in the caller, so
     [on_terminal]'s abort-by-exception contract survives parallelism. *)
-let run_tasks ~ctx ~jobs tasks =
+let run_tasks ~ctx ~jobs ~trace tasks =
   let n = Array.length tasks in
   if n > 0 then begin
     let next = Atomic.make 0 in
@@ -303,40 +364,76 @@ let run_tasks ~ctx ~jobs tasks =
       Atomic.set stop_flag true
     in
     let worker_stats = Array.init jobs (fun _ -> zero_stats ()) in
+    (* one private registry per worker: instrumentation stays
+       single-domain and the join below merges them in worker order, so
+       aggregated counters are exact, deterministic sums *)
+    let worker_obs =
+      match ctx.om with
+      | None -> [||]
+      | Some _ -> Array.init jobs (fun _ -> meters_of (Obs.Metrics.create ()))
+    in
+    let worker_span = Array.make jobs (0, 0) in
     let worker w () =
+      let t0 = Obs.Clock.now_ns () in
       let wctx =
         {
           ctx with
           stats = worker_stats.(w);
           stop = (fun () -> Atomic.get stop_flag);
           frontier = None;
+          om = (if worker_obs = [||] then None else Some worker_obs.(w));
         }
       in
-      try
-        let continue = ref true in
-        while !continue do
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n then continue := false
-          else begin
-            let t = tasks.(i) in
-            if wctx.trail then Sim.enable_trail t.t_sim;
-            go wctx t.t_sim t.t_depth t.t_crashes t.t_state
-          end
-        done
-      with
+      (try
+         let continue = ref true in
+         while !continue do
+           let i = Atomic.fetch_and_add next 1 in
+           if i >= n then continue := false
+           else begin
+             let t = tasks.(i) in
+             if wctx.trail then Sim.enable_trail t.t_sim;
+             (* the task owns its machine: re-point its counters at this
+                worker's registry (they arrive attached to the parent's) *)
+             (match wctx.om with
+             | Some m -> Sim.set_obs t.t_sim (Some m.m_reg)
+             | None -> ());
+             go wctx t.t_sim t.t_depth t.t_crashes t.t_state;
+             match ctx.prog with Some p -> Obs.Progress.task_done p | None -> ()
+           end
+         done
+       with
       | Stopped -> ()
-      | e -> publish e
+      | e -> publish e);
+      worker_span.(w) <- (t0, Obs.Clock.now_ns ())
     in
     let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
     worker 0 ();
     List.iter Domain.join domains;
+    (* deterministic joins: stats and registries merge in worker order *)
     Array.iter (add_stats ctx.stats) worker_stats;
+    (match ctx.om with
+    | Some m ->
+      Array.iter (fun wm -> Obs.Metrics.merge ~into:m.m_reg wm.m_reg) worker_obs
+    | None -> ());
+    (match trace with
+    | Some tr ->
+      Array.iteri
+        (fun w (t0, t1) ->
+          Obs.Trace.span tr ~name:"explore.worker" ~start_ns:t0 ~dur_ns:(t1 - t0)
+            [
+              ("worker", Obs.Trace.Int w);
+              ("nodes", Obs.Trace.Int worker_stats.(w).nodes);
+              ("terminals", Obs.Trace.Int worker_stats.(w).terminals);
+            ])
+        worker_span
+    | None -> ());
     match Atomic.get failure with Some e -> raise e | None -> ()
   end
 
 (** The generic engine all public entry points share: a DFS threading
     ['st] down the path. *)
-let run_gen ~cfg ~jobs ~dedup ~trail ~init ~step_state ~on_terminal sim0 =
+let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init ~step_state ~on_terminal
+    sim0 =
   let jobs = max 1 jobs in
   let ctx =
     {
@@ -348,23 +445,77 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~init ~step_state ~on_terminal sim0 =
       step_state;
       on_terminal;
       frontier = None;
+      om = Option.map meters_of obs;
+      prog = progress;
     }
   in
-  if jobs = 1 then
-    if trail then begin
-      (* one private clone for the whole search: an abort-by-exception
-         from [on_terminal] skips the pending undos, which must not
-         corrupt the caller's machine *)
-      let sim = Sim.clone sim0 in
-      Sim.enable_trail sim;
-      go ctx sim 0 0 (init sim)
-    end
-    else go ctx sim0 0 0 (init sim0)
-  else begin
-    (* enough tasks that the longest subtree cannot dominate the makespan *)
-    let tasks = expand_frontier ~ctx ~target:(32 * jobs) ~init sim0 in
-    run_tasks ~ctx ~jobs tasks
-  end;
+  let t_start = if obs <> None || trace <> None then Obs.Clock.now_ns () else 0 in
+  (* the finally block runs on clean completion AND on abort-by-exception
+     (Found), so the stats mirror, the total timer, the trace span and
+     the final progress line reflect whatever was actually explored *)
+  let finish () =
+    (match obs with
+    | Some reg ->
+      let c name v = Obs.Metrics.Counter.add (Obs.Metrics.counter reg name) v in
+      c Obs.Names.explore_nodes ctx.stats.nodes;
+      c Obs.Names.explore_terminals ctx.stats.terminals;
+      c Obs.Names.explore_truncated ctx.stats.truncated;
+      c Obs.Names.explore_dedup_pruned ctx.stats.dup;
+      Obs.Metrics.Timer.add
+        (Obs.Metrics.timer reg Obs.Names.explore_time_total)
+        (Obs.Clock.now_ns () - t_start)
+    | None -> ());
+    (match trace with
+    | Some tr ->
+      Obs.Trace.span tr ~name:"explore.search" ~start_ns:t_start
+        ~dur_ns:(Obs.Clock.now_ns () - t_start)
+        [
+          ("jobs", Obs.Trace.Int jobs);
+          ("nodes", Obs.Trace.Int ctx.stats.nodes);
+          ("terminals", Obs.Trace.Int ctx.stats.terminals);
+          ("truncated", Obs.Trace.Int ctx.stats.truncated);
+          ("dup", Obs.Trace.Int ctx.stats.dup);
+        ]
+    | None -> ());
+    match progress with Some p -> Obs.Progress.finish p ~nodes:ctx.stats.nodes | None -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      if jobs = 1 then
+        if trail || obs <> None then begin
+          (* one private clone for the whole search: an abort-by-exception
+             from [on_terminal] skips the pending undos, which must not
+             corrupt the caller's machine — and counters attach to the
+             clone, never to the caller's machine *)
+          let sim = Sim.clone sim0 in
+          if trail then Sim.enable_trail sim;
+          Sim.set_obs sim obs;
+          go ctx sim 0 0 (init sim)
+        end
+        else go ctx sim0 0 0 (init sim0)
+      else begin
+        (* the expansion root is a clone: expansion-phase counting (clone
+           mode, coordinating domain) must not touch the caller's machine
+           or race with anything *)
+        let root = Sim.clone sim0 in
+        Sim.set_obs root obs;
+        (* enough tasks that the longest subtree cannot dominate the makespan *)
+        let te = if trace <> None then Obs.Clock.now_ns () else 0 in
+        let tasks = expand_frontier ~ctx ~target:(32 * jobs) ~init root in
+        (match obs with
+        | Some reg ->
+          Obs.Metrics.Counter.add
+            (Obs.Metrics.counter reg Obs.Names.explore_tasks)
+            (Array.length tasks)
+        | None -> ());
+        (match trace with
+        | Some tr ->
+          Obs.Trace.span tr ~name:"explore.expand" ~start_ns:te
+            ~dur_ns:(Obs.Clock.now_ns () - te)
+            [ ("tasks", Obs.Trace.Int (Array.length tasks)) ]
+        | None -> ());
+        (match progress with Some p -> Obs.Progress.set_tasks p (Array.length tasks) | None -> ());
+        run_tasks ~ctx ~jobs ~trace tasks
+      end);
   ctx.stats
 
 (** Depth-first enumeration of all schedules of [sim0] under [cfg],
@@ -389,8 +540,8 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~init ~step_state ~on_terminal sim0 =
     branches reaching a configuration whose fingerprint (including the
     crash budget spent) was already visited are pruned and counted in
     [stats.dup]. *)
-let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?on_step
-    ~on_terminal sim0 =
+let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs ?progress
+    ?trace ?on_step ~on_terminal sim0 =
   let step_state =
     match on_step with
     | None -> fun () _ -> ()
@@ -399,7 +550,7 @@ let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?on
         f sim;
         ()
   in
-  run_gen ~cfg ~jobs ~dedup ~trail ~init:(fun _ -> ()) ~step_state
+  run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init:(fun _ -> ()) ~step_state
     ~on_terminal:(fun () sim -> on_terminal sim)
     sim0
 
@@ -419,8 +570,8 @@ let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?on
     exists does not (and without [dedup], neither do the statistics).
     The returned machine is always an independent snapshot, whatever the
     branching discipline. *)
-let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true)
-    ?(check_mode = `Terminal) ~check sim0 =
+let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs
+    ?progress ?trace ?(check_mode = `Terminal) ~check sim0 =
   (* in trail mode the machine at a terminal is the search's working
      machine, about to be rewound: capture an independent snapshot *)
   let capture sim = if trail then Sim.clone sim else sim in
@@ -428,7 +579,7 @@ let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail 
     let stats =
       match (check_mode : check_mode) with
       | `Terminal ->
-        run_gen ~cfg ~jobs ~dedup ~trail
+        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace
           ~init:(fun _ -> ())
           ~step_state:(fun () _ -> ())
           ~on_terminal:(fun () sim ->
@@ -437,7 +588,7 @@ let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail 
             | None -> ())
           sim0
       | `Incremental (Path p) ->
-        run_gen ~cfg ~jobs ~dedup ~trail ~init:p.init ~step_state:p.step
+        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init:p.init ~step_state:p.step
           ~on_terminal:(fun st sim ->
             match p.terminal st sim with
             | Some reason -> raise (Found (capture sim, reason))
@@ -445,4 +596,8 @@ let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail 
           sim0
     in
     (None, stats)
-  with Found (sim, reason) -> (Some (sim, reason), zero_stats ())
+  with Found (sim, reason) ->
+    (match trace with
+    | Some tr -> Obs.Trace.event tr ~name:"explore.violation" [ ("reason", Obs.Trace.Str reason) ]
+    | None -> ());
+    (Some (sim, reason), zero_stats ())

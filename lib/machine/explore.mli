@@ -58,6 +58,7 @@ type stats = {
 }
 
 val zero_stats : unit -> stats
+(** A fresh all-zero counter record. *)
 
 val auto_jobs : unit -> int
 (** A fan-out matching the host: [Domain.recommended_domain_count ()]
@@ -93,6 +94,9 @@ val dfs :
   ?jobs:int ->
   ?dedup:bool ->
   ?trail:bool ->
+  ?obs:Obs.Metrics.t ->
+  ?progress:Obs.Progress.t ->
+  ?trace:Obs.Trace.t ->
   ?on_step:(Sim.t -> unit) ->
   on_terminal:(Sim.t -> unit) ->
   Sim.t ->
@@ -113,7 +117,23 @@ val dfs :
     their [Sim.t] argument, such as the NRL checkers, qualify).  [dedup]
     (default false) prunes branches whose configuration fingerprint —
     including the crash budget spent on the path — was already
-    visited. *)
+    visited.
+
+    {b Observability.}  [obs] attaches a metric registry ({!Obs.Names}
+    lists what lands in it): the search's machine counters, the
+    explorer's node/terminal/truncated/dup totals, per-phase timers and
+    the frontier task count.  With [jobs > 1] every worker counts into a
+    private registry, merged into [obs] at the join in worker order —
+    aggregated counters are exact sums and the engine-invariant ones
+    (see {!Obs.Names.engine_invariant}) are identical for every [jobs]
+    and [trail] setting.  Instrumentation adds no shared-memory
+    accesses: the only cross-domain state remains the stop flag, the
+    work index and (under [dedup]) the fingerprint store, exactly as
+    without [obs].  [progress] receives batched node ticks from every
+    worker and task-completion events (its output is throttled
+    wall-clock, see {!Obs.Progress}); [trace] receives span records —
+    [explore.search], [explore.expand], one [explore.worker] per domain
+    — written only from the coordinating domain. *)
 
 exception Found of Sim.t * string
 
@@ -122,6 +142,9 @@ val find_violation :
   ?jobs:int ->
   ?dedup:bool ->
   ?trail:bool ->
+  ?obs:Obs.Metrics.t ->
+  ?progress:Obs.Progress.t ->
+  ?trace:Obs.Trace.t ->
   ?check_mode:check_mode ->
   check:(Sim.t -> string option) ->
   Sim.t ->
@@ -140,4 +163,9 @@ val find_violation :
 
     With [jobs > 1], {e which} counterexample is returned may vary
     between runs; whether one exists does not, and without [dedup]
-    neither do the statistics. *)
+    neither do the statistics.
+
+    [obs], [progress] and [trace] as in {!dfs}; a violating run
+    additionally emits an [explore.violation] event to [trace], and its
+    [obs] totals cover the work done up to the abort (the returned
+    [stats] stay zero, as before). *)

@@ -59,6 +59,23 @@ type proc = {
   mutable crashes : int;
 }
 
+(** Pre-resolved metric handles for the machine's own counters: resolved
+    once in {!set_obs}, so the hot paths below pay one [option] match and
+    one field bump per event.  The counters are monotone and are {e not}
+    rolled back by {!undo_to} — they count work performed, and an
+    explorer visiting each tree edge exactly once therefore reads
+    engine-invariant totals from them (see {!Obs.Names}). *)
+type meters = {
+  sm_reg : Obs.Metrics.t;
+  sm_steps : Obs.Metrics.counter;
+  sm_invs : Obs.Metrics.counter;
+  sm_ress : Obs.Metrics.counter;
+  sm_crashes : Obs.Metrics.counter;
+  sm_recoveries : Obs.Metrics.counter;
+  sm_undos : Obs.Metrics.counter;
+  sm_undo_depth : Obs.Metrics.histogram;
+}
+
 type t = {
   mem : Nvm.Memory.t;
   reg : Objdef.registry;
@@ -71,6 +88,7 @@ type t = {
   mutable trail : Nvm.Trail.t option;
       (** when set, every machine mutation below logs an undo thunk (or is
           covered by a {!mark} snapshot), enabling in-place backtracking *)
+  mutable obs_m : meters option;
 }
 
 let create ?(seed = 1) ~nprocs () =
@@ -86,7 +104,26 @@ let create ?(seed = 1) ~nprocs () =
     next_call = 0;
     total_steps = 0;
     trail = None;
+    obs_m = None;
   }
+
+let set_obs t o =
+  t.obs_m <-
+    Option.map
+      (fun reg ->
+        {
+          sm_reg = reg;
+          sm_steps = Obs.Metrics.counter reg Obs.Names.sim_steps;
+          sm_invs = Obs.Metrics.counter reg Obs.Names.sim_invocations;
+          sm_ress = Obs.Metrics.counter reg Obs.Names.sim_responses;
+          sm_crashes = Obs.Metrics.counter reg Obs.Names.sim_crashes;
+          sm_recoveries = Obs.Metrics.counter reg Obs.Names.sim_recoveries;
+          sm_undos = Obs.Metrics.counter reg Obs.Names.trail_undos;
+          sm_undo_depth = Obs.Metrics.histogram reg Obs.Names.trail_undo_depth;
+        })
+      o
+
+let obs t = Option.map (fun m -> m.sm_reg) t.obs_m
 
 let mem t = t.mem
 let registry t = t.reg
@@ -217,6 +254,7 @@ let push_frame t pr (inst : Objdef.instance) opname args dst =
     let old_stack = pr.stack in
     Nvm.Trail.push tr (fun () -> pr.stack <- old_stack));
   pr.stack <- f :: pr.stack;
+  (match t.obs_m with Some m -> Obs.Metrics.Counter.incr m.sm_invs | None -> ());
   record t (Inv { pid = pr.pid; opref = Objdef.opref inst opname; args; call_id })
 
 (* Check Definition 1 instrumentation: did the operation persist its
@@ -258,6 +296,7 @@ let complete_op t pr (f : frame) ret =
       Nvm.Trail.push tr (fun () ->
           pr.stack <- old_stack;
           pr.results <- old_results)));
+  (match t.obs_m with Some m -> Obs.Metrics.Counter.incr m.sm_ress | None -> ());
   record t
     (Res
        {
@@ -360,6 +399,7 @@ let step t p =
   let pr = t.procs.(p) in
   if pr.status <> Ready then invalid_arg (Printf.sprintf "Sim.step: p%d is not ready" p);
   t.total_steps <- t.total_steps + 1;
+  (match t.obs_m with Some m -> Obs.Metrics.Counter.incr m.sm_steps | None -> ());
   match pr.stack with
   | f :: _ -> exec_instr t pr f
   | [] -> (
@@ -383,6 +423,7 @@ let crash t p =
   let pr = t.procs.(p) in
   if pr.status <> Ready then invalid_arg (Printf.sprintf "Sim.crash: p%d is not ready" p);
   t.total_steps <- t.total_steps + 1;
+  (match t.obs_m with Some m -> Obs.Metrics.Counter.incr m.sm_crashes | None -> ());
   (match t.trail with
   | None -> ()
   | Some tr ->
@@ -414,6 +455,7 @@ let recover t p =
   if pr.status <> Crashed then
     invalid_arg (Printf.sprintf "Sim.recover: p%d has not crashed" p);
   t.total_steps <- t.total_steps + 1;
+  (match t.obs_m with Some m -> Obs.Metrics.Counter.incr m.sm_recoveries | None -> ());
   (match t.trail with
   | None -> ()
   | Some tr -> (
@@ -494,9 +536,17 @@ let undo_to t m =
   match t.trail with
   | None -> invalid_arg "Sim.undo_to: trail not enabled"
   | Some tr ->
+    (* [Trail.depth] walks the whole trail, so it is read only while
+       observed (and only here, off the un-instrumented fast path) *)
+    let d0 = match t.obs_m with Some _ -> Nvm.Trail.depth tr | None -> 0 in
     (* structural state first (thunks may also rewind env junk draws),
        then the counters snapshotted by [mark] *)
     Nvm.Trail.undo_to tr m.mk_trail;
+    (match t.obs_m with
+    | Some om ->
+      Obs.Metrics.Counter.incr om.sm_undos;
+      Obs.Metrics.Histogram.observe om.sm_undo_depth (d0 - Nvm.Trail.depth tr)
+    | None -> ());
     t.hist_rev <- m.mk_hist;
     t.hist_len <- m.mk_hist_len;
     t.next_call <- m.mk_next_call;
@@ -545,6 +595,10 @@ let clone t =
     (* a clone is an independent snapshot: it never shares (or inherits) a
        trail — the explorer re-enables one per cloned frontier task *)
     trail = None;
+    (* metric handles ARE shared: a clone's work lands in the same
+       registry.  Parallel explorers re-point each task's machine at the
+       claiming worker's private registry via [set_obs]. *)
+    obs_m = t.obs_m;
   }
 
 (** Short description of a process state, for debugging and error reports. *)

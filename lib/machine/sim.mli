@@ -58,9 +58,33 @@ val create : ?seed:int -> nprocs:int -> unit -> t
 (** A fresh machine; [seed] drives the junk used to scramble locals. *)
 
 val mem : t -> Nvm.Memory.t
+(** The machine's simulated NVRAM. *)
+
 val registry : t -> Objdef.registry
+(** The object registry instances are allocated in. *)
+
 val nprocs : t -> int
+(** Number of processes the machine was created with. *)
+
 val total_steps : t -> int
+(** Machine steps executed so far — normal steps, crashes and
+    recoveries included; restored by {!undo_to}. *)
+
+val set_obs : t -> Obs.Metrics.t option -> unit
+(** Attach (or detach, with [None]) a metric registry: from now on the
+    machine counts its steps, invocations, responses, crashes,
+    recoveries and trail undos into it (names in {!Obs.Names}).  The
+    counters are monotone work counters — {!undo_to} does {e not} roll
+    them back — and instrumentation touches no memory shared between
+    domains, so attaching a registry never changes machine behaviour.
+    Handles are resolved here once; the per-event cost is one [option]
+    match and one field increment.  {!clone} shares the attachment
+    (clones count into the same registry until re-pointed). *)
+
+val obs : t -> Obs.Metrics.t option
+(** The registry attached with {!set_obs}, if any — how checker glue
+    (e.g. [Workload.Check]) finds where to count without new
+    parameters. *)
 
 val junk_state : t -> int
 (** State of the machine's junk generator (the source that scrambles
@@ -81,22 +105,35 @@ val history_suffix : t -> int -> History.Step.t list
     {!history_length} returned [n].  O(length of the suffix). *)
 
 val proc : t -> int -> proc
+(** The process record of pid [p] (shared mutable state — read-only use
+    intended). *)
+
 val status : t -> int -> status
+(** Whether the process is alive ([Ready]) or down ([Crashed]). *)
 
 val results : t -> int -> (string * Nvm.Value.t) list
 (** Completed top-level operations of a process, oldest first. *)
 
 val crash_count : t -> int -> int
+(** Number of crash steps injected into the process so far. *)
 
 val set_script : t -> int -> (Objdef.instance * string * arg_spec) list -> unit
+(** Install the process's script: top-level operations it will invoke in
+    order, each starting when the scheduler next steps an idle process. *)
+
 val append_script : t -> int -> (Objdef.instance * string * arg_spec) list -> unit
+(** Append operations to the process's remaining script. *)
 
 val enabled : t -> int -> bool
 (** The process is alive and has work (a pending operation or a script
     entry to start). *)
 
 val can_crash : ?mid_op_only:bool -> t -> int -> bool
+(** A crash step is allowed: the process is alive, and — with
+    [mid_op_only] — has a pending operation. *)
+
 val can_recover : t -> int -> bool
+(** A recovery step is allowed: the process is crashed. *)
 
 val next_is_local : t -> int -> bool
 (** The process's next transition touches no shared memory (including
@@ -155,6 +192,7 @@ val enable_trail : t -> unit
     trail-free machine. *)
 
 val trail_enabled : t -> bool
+(** Whether {!enable_trail} has been called on this machine. *)
 
 val mark : t -> mark
 (** O(1).  @raise Invalid_argument if the trail is not enabled. *)
@@ -167,5 +205,13 @@ val undo_to : t -> mark -> unit
     earlier mark). *)
 
 val current_program : frame -> Program.t
+(** The program the frame is executing: the operation's body, or its
+    recovery function while the frame is in the [Recovery] phase. *)
+
 val ctx_of : t -> frame -> int -> Program.ctx
+(** The evaluation context ([pid], [nprocs], arguments, [LI_p]) that
+    expressions of the frame's program are evaluated in. *)
+
 val pp_proc : proc Fmt.t
+(** Short description of a process state, for debugging and error
+    reports. *)

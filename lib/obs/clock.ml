@@ -1,0 +1,9 @@
+(* Relative-to-start readings: absolute epoch nanoseconds do not fit a
+   float's 53-bit mantissa, so anchoring at process start is what makes
+   [now_ns] exact (and keeps trace timestamps small and comparable). *)
+
+let t0 = Unix.gettimeofday ()
+
+let now_s () = Unix.gettimeofday () -. t0
+
+let now_ns () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)

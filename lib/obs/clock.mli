@@ -1,0 +1,21 @@
+(** The one clock every observability consumer shares.
+
+    Timestamps are nanoseconds {e relative to process start}, as an
+    [int]: absolute epoch nanoseconds exceed a float's 53-bit mantissa,
+    so subtracting two absolute readings taken close together loses the
+    very digits a span duration is made of.  Anchoring at process start
+    keeps every reading small enough to be exact, makes timestamps from
+    one process directly comparable, and gives NDJSON traces a stable,
+    documented origin ([t = 0] is process start).
+
+    The underlying source is [Unix.gettimeofday] — the only wall clock
+    the repo's baked-in dependencies offer — so readings are wall time,
+    not a hardware monotonic counter; a clock adjustment mid-run can in
+    principle move them backwards.  All uses here are coarse (phase
+    timers, progress lines, span durations), where this is acceptable. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since process start. *)
+
+val now_s : unit -> float
+(** Seconds since process start (same origin as {!now_ns}). *)

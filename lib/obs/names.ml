@@ -1,0 +1,75 @@
+type kind = Counter | Timer | Histogram
+
+let sim_steps = "sim.steps"
+let sim_invocations = "sim.invocations"
+let sim_responses = "sim.responses"
+let sim_crashes = "sim.crashes"
+let sim_recoveries = "sim.recoveries"
+
+let trail_undos = "trail.undos"
+let trail_undo_depth = "trail.undo.depth"
+
+let explore_nodes = "explore.nodes"
+let explore_terminals = "explore.terminals"
+let explore_truncated = "explore.truncated"
+let explore_dedup_pruned = "explore.dedup.pruned"
+let explore_tasks = "explore.tasks"
+let explore_time_step = "explore.time.step"
+let explore_time_check = "explore.time.check"
+let explore_time_dedup = "explore.time.dedup"
+let explore_time_total = "explore.time.total"
+
+let nrl_checks = "nrl.checks"
+let checker_object_checks = "checker.object_checks"
+let checker_memo_hits = "checker.memo.hits"
+let checker_memo_misses = "checker.memo.misses"
+
+let nrl_inc_steps = "nrl.inc.steps"
+let nrl_inc_res_transitions = "nrl.inc.res_transitions"
+let nrl_inc_memo_hits = "nrl.inc.memo.hits"
+let nrl_inc_memo_misses = "nrl.inc.memo.misses"
+
+let torture_ops = "torture.ops"
+let torture_crashes = "torture.crashes"
+let torture_retries = "torture.retries"
+
+(* (name, kind, engine-invariant, description); [all] below projects the
+   public triple, [engine_invariant] the flag. *)
+let catalogue =
+  [
+    (sim_steps, Counter, true, "machine steps executed (operation starts and instructions)");
+    (sim_invocations, Counter, true, "invocation (INV) steps recorded, nested included");
+    (sim_responses, Counter, true, "response (RES) steps recorded, nested included");
+    (sim_crashes, Counter, true, "crash steps injected");
+    (sim_recoveries, Counter, true, "recovery steps executed");
+    (trail_undos, Counter, false, "Sim.undo_to calls (backtracked edges in trail mode)");
+    (trail_undo_depth, Histogram, false, "trail entries reverted per Sim.undo_to");
+    (explore_nodes, Counter, true, "tree nodes processed (after dedup pruning)");
+    (explore_terminals, Counter, true, "complete executions reached");
+    (explore_truncated, Counter, true, "branches cut by the depth bound (or deadlocked)");
+    (explore_dedup_pruned, Counter, true, "branches pruned by state deduplication");
+    (explore_tasks, Counter, false, "frontier tasks fanned out to worker domains");
+    (explore_time_step, Timer, false, "wall time applying decisions (clone or mark/apply/undo)");
+    (explore_time_check, Timer, false, "wall time in checker callbacks");
+    (explore_time_dedup, Timer, false, "wall time fingerprinting and probing the visited store");
+    (explore_time_total, Timer, false, "wall time of the whole exploration");
+    (nrl_checks, Counter, true, "full NRL verdicts computed (Nrl.check calls)");
+    (checker_object_checks, Counter, true, "per-object WGL searches run");
+    (checker_memo_hits, Counter, true, "WGL search nodes skipped by the memo table");
+    (checker_memo_misses, Counter, true, "WGL search nodes expanded");
+    (nrl_inc_steps, Counter, true, "history steps folded into the incremental automaton");
+    (nrl_inc_res_transitions, Counter, true, "response-step closures run");
+    (nrl_inc_memo_hits, Counter, true, "closure nodes skipped by the per-event memo");
+    (nrl_inc_memo_misses, Counter, true, "closure nodes expanded");
+    (torture_ops, Counter, true, "operations started under Torture.with_crashes");
+    (torture_crashes, Counter, true, "armed crash points that fired");
+    (torture_retries, Counter, true, "recovery attempts (a crashed recovery is retried)");
+  ]
+
+let all = List.map (fun (n, k, _, d) -> (n, k, d)) catalogue
+
+let kind_of name =
+  List.find_map (fun (n, k, _, _) -> if String.equal n name then Some k else None) catalogue
+
+let engine_invariant name =
+  List.exists (fun (n, _, inv, _) -> inv && String.equal n name) catalogue

@@ -1,0 +1,133 @@
+(** The metric-name catalogue: the single source of truth for every
+    counter, timer and histogram the instrumented subsystems emit.
+
+    Instrumentation sites reference these constants instead of string
+    literals, so the catalogue below, the [--stats] report sections and
+    the tables in [docs/observability.md] cannot drift apart silently —
+    a metric that exists in code but not here shows up in tests (see
+    [test_obs.ml]).
+
+    {b Engine invariance.}  A metric is {e engine-invariant} when its
+    value depends only on the explored tree — not on [--jobs], [--trail]
+    or any other engine knob: those metrics increment once per tree edge
+    or per checker call, and the engines visit the same edges in every
+    configuration.  The rest measure the machinery itself (task fan-out,
+    undo traffic, wall time) and legitimately vary.  [--stats] prints
+    the two groups in separate sections, and the invariant section is
+    byte-identical across [--jobs] values — observability doubling as a
+    determinism check. *)
+
+type kind = Counter | Timer | Histogram
+
+(** {1 Simulated machine} *)
+
+val sim_steps : string
+(** Machine steps executed ({!Machine.Sim.step}: scripted-operation
+    starts and instruction executions). *)
+
+val sim_invocations : string
+(** Invocation (INV) steps recorded, nested invocations included. *)
+
+val sim_responses : string
+(** Response (RES) steps recorded, nested responses included. *)
+
+val sim_crashes : string
+(** Crash steps injected ({!Machine.Sim.crash}). *)
+
+val sim_recoveries : string
+(** Recovery steps executed ({!Machine.Sim.recover}). *)
+
+(** {1 Undo trail} *)
+
+val trail_undos : string
+(** {!Machine.Sim.undo_to} calls (one per backtracked edge in trail
+    mode).  Engine-dependent: parallel runs expand the shallow tree in
+    clone mode, so those edges are never undone. *)
+
+val trail_undo_depth : string
+(** Histogram of trail entries reverted per {!Machine.Sim.undo_to}. *)
+
+(** {1 Explorer} *)
+
+val explore_nodes : string
+(** Tree nodes processed (after dedup pruning). *)
+
+val explore_terminals : string
+(** Complete executions reached. *)
+
+val explore_truncated : string
+(** Branches cut by the depth bound (or deadlocked). *)
+
+val explore_dedup_pruned : string
+(** Branches pruned by state deduplication (0 unless [--dedup]). *)
+
+val explore_tasks : string
+(** Frontier tasks fanned out to worker domains (0 when [jobs = 1]). *)
+
+val explore_time_step : string
+(** Wall time applying decisions (clone or mark/apply/undo). *)
+
+val explore_time_check : string
+(** Wall time in checker callbacks (path-checker steps and terminal
+    verdicts). *)
+
+val explore_time_dedup : string
+(** Wall time fingerprinting and probing the visited store. *)
+
+val explore_time_total : string
+(** Wall time of the whole exploration, expansion and join included. *)
+
+(** {1 Linearizability checker (terminal mode)} *)
+
+val nrl_checks : string
+(** Full NRL verdicts computed ({!Linearize.Nrl.check} calls). *)
+
+val checker_object_checks : string
+(** Per-object WGL searches run ({!Linearize.Checker.check_object}). *)
+
+val checker_memo_hits : string
+(** WGL search nodes skipped because their (linearized-set, spec-state)
+    key was already visited. *)
+
+val checker_memo_misses : string
+(** WGL search nodes expanded (and, with memoisation on, added to the
+    memo table). *)
+
+(** {1 Incremental NRL automaton} *)
+
+val nrl_inc_steps : string
+(** History steps folded into {!Linearize.Nrl.Incremental}. *)
+
+val nrl_inc_res_transitions : string
+(** Response-step closures run (the automaton's only search). *)
+
+val nrl_inc_memo_hits : string
+(** Closure nodes skipped by the per-event memo table. *)
+
+val nrl_inc_memo_misses : string
+(** Closure nodes expanded. *)
+
+(** {1 Multicore torture harness} *)
+
+val torture_ops : string
+(** Operations started under {!Runtime.Torture.with_crashes}. *)
+
+val torture_crashes : string
+(** Armed crash points that fired (initial attempts and recoveries). *)
+
+val torture_retries : string
+(** Recovery attempts (≥ crashes of initial attempts; a recovery that
+    crashes again is retried and counted again). *)
+
+(** {1 The catalogue} *)
+
+val all : (string * kind * string) list
+(** Every metric above: name, kind, one-line description (the same text
+    [docs/observability.md] tabulates). *)
+
+val kind_of : string -> kind option
+(** Catalogue lookup; [None] for names not in the catalogue. *)
+
+val engine_invariant : string -> bool
+(** Whether the metric is engine-invariant (see above).  Names outside
+    the catalogue are conservatively reported as not invariant. *)

@@ -1,0 +1,69 @@
+type t = {
+  label : string;
+  out : out_channel;
+  interval_ns : int;
+  start_ns : int;
+  nodes : int Atomic.t;
+  tasks_total : int Atomic.t;  (* 0 = unknown / sequential *)
+  tasks_done : int Atomic.t;
+  last : int Atomic.t;  (* Clock.now_ns of the last printed line *)
+}
+
+let create ?(out = stderr) ?(interval = 1.0) ~label () =
+  let now = Clock.now_ns () in
+  {
+    label;
+    out;
+    interval_ns = int_of_float (interval *. 1e9);
+    start_ns = now;
+    nodes = Atomic.make 0;
+    tasks_total = Atomic.make 0;
+    tasks_done = Atomic.make 0;
+    last = Atomic.make now;
+  }
+
+let set_tasks t n = Atomic.set t.tasks_total n
+
+let task_done t = Atomic.incr t.tasks_done
+
+let rate nodes elapsed_ns =
+  if elapsed_ns <= 0 then "-"
+  else begin
+    let r = float_of_int nodes /. (float_of_int elapsed_ns /. 1e9) in
+    if r >= 1e6 then Printf.sprintf "%.1fM/s" (r /. 1e6)
+    else if r >= 1e3 then Printf.sprintf "%.1fk/s" (r /. 1e3)
+    else Printf.sprintf "%.0f/s" r
+  end
+
+let print_line t ~now ~final =
+  let nodes = Atomic.get t.nodes in
+  let elapsed = now - t.start_ns in
+  let b = Buffer.create 96 in
+  Printf.bprintf b "%s: %d nodes (%s), %.1fs" t.label nodes (rate nodes elapsed)
+    (float_of_int elapsed /. 1e9);
+  let total = Atomic.get t.tasks_total in
+  if total > 0 then begin
+    let done_ = min (Atomic.get t.tasks_done) total in
+    Printf.bprintf b ", tasks %d/%d" done_ total;
+    (* extrapolate from the task completion rate; subtree sizes vary
+       wildly, so this is an order-of-magnitude hint, not a promise *)
+    if (not final) && done_ > 0 && done_ < total then
+      Printf.bprintf b ", eta %.0fs"
+        (float_of_int elapsed /. 1e9 /. float_of_int done_ *. float_of_int (total - done_))
+  end;
+  if final then Buffer.add_string b ", done";
+  Buffer.add_char b '\n';
+  output_string t.out (Buffer.contents b);
+  flush t.out
+
+let tick t ~nodes =
+  ignore (Atomic.fetch_and_add t.nodes nodes);
+  let now = Clock.now_ns () in
+  let last = Atomic.get t.last in
+  (* the compare-and-set elects a single printer per interval *)
+  if now - last >= t.interval_ns && Atomic.compare_and_set t.last last now then
+    print_line t ~now ~final:false
+
+let finish t ~nodes =
+  Atomic.set t.nodes nodes;
+  print_line t ~now:(Clock.now_ns ()) ~final:true

@@ -1,0 +1,34 @@
+(** Periodic progress lines for long-running explorations.
+
+    One reporter is shared by every worker domain: node ticks land in an
+    atomic counter, and whichever domain crosses the reporting interval
+    claims (by compare-and-set on the last-report timestamp) the right
+    to print, so lines never interleave and the hot path is one atomic
+    add per {e batch} of nodes — callers tick in batches, keeping the
+    per-node cost at a single private increment.
+
+    The line shows nodes explored, the node rate, how many frontier
+    tasks remain (parallel runs), and an ETA extrapolated from the task
+    completion rate.  It goes to stderr by default, so it composes with
+    result output and with [--trace] on stdout-adjacent workflows. *)
+
+type t
+
+val create : ?out:out_channel -> ?interval:float -> label:string -> unit -> t
+(** A reporter printing at most every [interval] seconds (default 1.0)
+    to [out] (default [stderr]).  [label] prefixes every line. *)
+
+val set_tasks : t -> int -> unit
+(** Announce the frontier size (total task count) of a parallel run;
+    enables the [tasks] and [eta] fields. *)
+
+val task_done : t -> unit
+(** One frontier task finished (called by workers). *)
+
+val tick : t -> nodes:int -> unit
+(** Add [nodes] freshly explored nodes, printing a line if the interval
+    has elapsed.  Safe to call from any domain. *)
+
+val finish : t -> nodes:int -> unit
+(** Print the final line with the exact node total (tick batching means
+    the atomic counter may lag slightly behind). *)

@@ -1,0 +1,72 @@
+(* End-of-run rendering.  The "counters" section only contains
+   engine-invariant values (Names.engine_invariant), so its text is
+   byte-identical across --jobs values for the same workload; everything
+   engine-dependent lives in the sections below it. *)
+
+let si n =
+  if n >= 10_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fk" (float_of_int n /. 1e3)
+  else string_of_int n
+
+let seconds ns = float_of_int ns /. 1e9
+
+let pp_section ppf title rows =
+  if rows <> [] then begin
+    Fmt.pf ppf "%s:@." title;
+    List.iter (fun (name, v) -> Fmt.pf ppf "  %-28s %s@." name v) rows
+  end
+
+let pp_summary ppf reg =
+  let all = Metrics.to_list reg in
+  let counters, meters, histograms, timers =
+    List.fold_right
+      (fun (name, v) (cs, ms, hs, ts) ->
+        match (v : Metrics.view) with
+        | Metrics.Counter 0 -> (cs, ms, hs, ts)
+        | Metrics.Counter n ->
+          if Names.engine_invariant name then ((name, string_of_int n) :: cs, ms, hs, ts)
+          else (cs, (name, string_of_int n) :: ms, hs, ts)
+        | Metrics.Histogram { count = 0; _ } | Metrics.Timer { intervals = 0; _ } ->
+          (cs, ms, hs, ts)
+        | Metrics.Histogram { count; sum; max_value; _ } ->
+          let row =
+            Printf.sprintf "count=%d mean=%.1f max=%d" count
+              (float_of_int sum /. float_of_int count)
+              max_value
+          in
+          (cs, ms, (name, row) :: hs, ts)
+        | Metrics.Timer { ns; intervals } ->
+          (cs, ms, hs, (name, Printf.sprintf "%.3fs over %d intervals" (seconds ns) intervals) :: ts))
+      all ([], [], [], [])
+  in
+  pp_section ppf "counters" counters;
+  pp_section ppf "engine meters" meters;
+  pp_section ppf "histograms" histograms;
+  pp_section ppf "timers" timers;
+  (* derived rates, each shown only when its inputs are present *)
+  let cval name =
+    match Metrics.view reg name with Some (Metrics.Counter n) -> n | _ -> 0
+  in
+  let tval name =
+    match Metrics.view reg name with Some (Metrics.Timer { ns; _ }) -> ns | _ -> 0
+  in
+  let derived = ref [] in
+  let add name v = derived := (name, v) :: !derived in
+  let ratio name hits misses =
+    let total = hits + misses in
+    if total > 0 then add name (Printf.sprintf "%.1f%% (%s of %s)" (100. *. float_of_int hits /. float_of_int total) (si hits) (si total))
+  in
+  ratio "nrl.inc memo hit rate"
+    (cval Names.nrl_inc_memo_hits)
+    (cval Names.nrl_inc_memo_misses);
+  ratio "checker memo hit rate" (cval Names.checker_memo_hits) (cval Names.checker_memo_misses);
+  let pruned = cval Names.explore_dedup_pruned and nodes = cval Names.explore_nodes in
+  if pruned > 0 then
+    add "dedup hit rate"
+      (Printf.sprintf "%.1f%% (%s of %s probes)"
+         (100. *. float_of_int pruned /. float_of_int (pruned + nodes))
+         (si pruned) (si (pruned + nodes)));
+  let total_ns = tval Names.explore_time_total in
+  if nodes > 0 && total_ns > 0 then
+    add "nodes/s" (si (int_of_float (float_of_int nodes /. seconds total_ns)));
+  pp_section ppf "derived" (List.rev !derived)

@@ -1,0 +1,20 @@
+(** Human-readable end-of-run rendering of a metric registry — what
+    [nrlsim ... --stats] prints.
+
+    The output has up to five sections, each omitted when empty:
+
+    - {b counters}: engine-invariant counters (see {!Names}) — the
+      section is byte-identical across [--jobs] values and branching
+      disciplines for the same workload, which CI exploits as a
+      determinism check.  Zero-valued counters are skipped (identically
+      on every engine, since the values themselves are invariant).
+    - {b engine meters}: counters that measure the machinery (task
+      fan-out, undo traffic) and legitimately vary with [--jobs] and
+      [--trail].
+    - {b histograms}: count / mean / max per histogram.
+    - {b timers}: total seconds and interval counts.
+    - {b derived}: rates computed from the above — nodes/s, dedup hit
+      rate, memo hit rates, mean trail undo depth — each shown only
+      when its inputs are present and non-zero. *)
+
+val pp_summary : Metrics.t Fmt.t

@@ -32,11 +32,38 @@ let rng_int r n = if n <= 0 then 0 else rng_bits r mod n
 
 type stats = { mutable crashes : int; mutable ops : int }
 
+(* Metric handles resolved once per harness loop, not once per op.
+   Counters are plain mutable ints: in a multi-domain torture run each
+   domain must be given its own registry (merged afterwards with
+   {!Obs.Metrics.merge}), exactly like the parallel explorer's
+   per-worker registries. *)
+type meters = {
+  tm_ops : Obs.Metrics.counter;
+  tm_crashes : Obs.Metrics.counter;
+  tm_retries : Obs.Metrics.counter;
+}
+
+let meters_of reg =
+  {
+    tm_ops = Obs.Metrics.counter reg Obs.Names.torture_ops;
+    tm_crashes = Obs.Metrics.counter reg Obs.Names.torture_crashes;
+    tm_retries = Obs.Metrics.counter reg Obs.Names.torture_retries;
+  }
+
 (** Run [op] with a crash armed at a random position with probability
     [crash_prob]; on a crash, call [recover ~traversed] (which may itself
     crash again at a random position) until the operation completes.
-    Returns the operation's (or final recovery's) result. *)
-let with_crashes ~rng ~crash_prob ~stats ~op ~recover =
+    Returns the operation's (or final recovery's) result.
+
+    [obs] mirrors the harness activity into a metric registry:
+    [torture.ops] per wrapped operation, [torture.crashes] per injected
+    crash (initial or during recovery), [torture.retries] per recovery
+    attempt. *)
+let with_crashes ~rng ~crash_prob ~stats ?obs ~op ~recover () =
+  let om = Option.map meters_of obs in
+  let bump sel =
+    match om with Some m -> Obs.Metrics.Counter.incr (sel m) | None -> ()
+  in
   let cp = Crash.create () in
   let arm () =
     if rng_int rng 1000 < int_of_float (crash_prob *. 1000.) then
@@ -45,21 +72,25 @@ let with_crashes ~rng ~crash_prob ~stats ~op ~recover =
   in
   arm ();
   stats.ops <- stats.ops + 1;
+  bump (fun m -> m.tm_ops);
   match op ~cp with
   | v ->
     Crash.disarm cp;
     v
   | exception Crash.Crashed ->
     stats.crashes <- stats.crashes + 1;
+    bump (fun m -> m.tm_crashes);
     let rec retry () =
       let traversed = Crash.traversed cp in
       arm ();
+      bump (fun m -> m.tm_retries);
       match recover ~cp ~traversed with
       | v ->
         Crash.disarm cp;
         v
       | exception Crash.Crashed ->
         stats.crashes <- stats.crashes + 1;
+        bump (fun m -> m.tm_crashes);
         retry ()
     in
     retry ()
@@ -67,19 +98,20 @@ let with_crashes ~rng ~crash_prob ~stats ~op ~recover =
 (** A recoverable-register WRITE under random crashes.  The wrapper holds
     the argument (system metadata); any crash position is recovered by
     [Rrw.write_recover], which decides re-execution itself. *)
-let rrw_write ~rng ~crash_prob ~stats reg ~pid v =
-  with_crashes ~rng ~crash_prob ~stats
+let rrw_write ~rng ~crash_prob ~stats ?obs reg ~pid v =
+  with_crashes ~rng ~crash_prob ~stats ?obs
     ~op:(fun ~cp -> Rrw.write ~cp reg ~pid v)
     ~recover:(fun ~cp ~traversed ->
       ignore traversed;
       Rrw.write_recover ~cp reg ~pid v)
+    ()
 
 (** A recoverable-counter INC under random crashes.  The wrapper
     remembers the value the nested WRITE was invoked with (the system
     preserves nested-operation arguments), so a crash inside the WRITE
     first runs the register's recovery and then INC's, mirroring the
     cascade. *)
-let rcounter_inc ~rng ~crash_prob ~stats (c : Rcounter.t) ~pid =
+let rcounter_inc ~rng ~crash_prob ~stats ?obs (c : Rcounter.t) ~pid =
   let pending_write = ref None in
   let body ~cp =
     Crash.point cp;
@@ -100,21 +132,23 @@ let rcounter_inc ~rng ~crash_prob ~stats (c : Rcounter.t) ~pid =
          recovery linearizes it exactly once; INC then just returns *)
       Rrw.write_recover ~cp c.Rcounter.regs.(pid) ~pid v
   in
-  with_crashes ~rng ~crash_prob ~stats ~op:body ~recover
+  with_crashes ~rng ~crash_prob ~stats ?obs ~op:body ~recover ()
 
 (** A recoverable T&S under random crashes. *)
-let rtas ~rng ~crash_prob ~stats t ~pid =
-  with_crashes ~rng ~crash_prob ~stats
+let rtas ~rng ~crash_prob ~stats ?obs t ~pid =
+  with_crashes ~rng ~crash_prob ~stats ?obs
     ~op:(fun ~cp -> Rtas.test_and_set ~cp t ~pid)
     ~recover:(fun ~cp ~traversed ->
       ignore traversed;
       Rtas.recover ~cp t ~pid)
+    ()
 
 (** A recoverable CAS under random crashes; the wrapper holds [old] and
     [new_]. *)
-let rcas ~rng ~crash_prob ~stats c ~pid ~old ~new_ =
-  with_crashes ~rng ~crash_prob ~stats
+let rcas ~rng ~crash_prob ~stats ?obs c ~pid ~old ~new_ =
+  with_crashes ~rng ~crash_prob ~stats ?obs
     ~op:(fun ~cp -> Rcas.cas ~cp c ~pid ~old ~new_)
     ~recover:(fun ~cp ~traversed ->
       ignore traversed;
       Rcas.cas_recover ~cp c ~pid ~old ~new_)
+    ()

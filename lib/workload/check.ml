@@ -38,10 +38,14 @@ let spec_for sim o =
     Some (Linearize.Spec.slot_allocator ~k:(Nvm.Value.as_int inst.Machine.Objdef.init_value) ())
   | otype -> Linearize.Spec.of_otype otype
 
-(** Check the full NRL condition (Definition 4) on [sim]'s history. *)
+(** Check the full NRL condition (Definition 4) on [sim]'s history.
+    Counts land in the machine's attached metric registry, if any
+    ({!Machine.Sim.set_obs}) — under the parallel explorer each worker's
+    machine points at that worker's registry, so attribution follows the
+    machine automatically. *)
 let nrl sim =
-  Linearize.Nrl.check ~spec_for:(spec_for sim) ~nprocs:(Machine.Sim.nprocs sim)
-    (Machine.Sim.history sim)
+  Linearize.Nrl.check ?obs:(Machine.Sim.obs sim) ~spec_for:(spec_for sim)
+    ~nprocs:(Machine.Sim.nprocs sim) (Machine.Sim.history sim)
 
 (** [None] if the history satisfies NRL, [Some reason] otherwise. *)
 let nrl_violation sim =
@@ -67,10 +71,11 @@ let nrl_incremental () =
             Linearize.Nrl.Incremental.create ~spec_for:(spec_for sim)
               ~nprocs:(Machine.Sim.nprocs sim)
           in
-          Linearize.Nrl.Incremental.steps st (Machine.Sim.history_suffix sim 0));
+          Linearize.Nrl.Incremental.steps ?obs:(Machine.Sim.obs sim) st
+            (Machine.Sim.history_suffix sim 0));
       step =
         (fun st sim ->
-          Linearize.Nrl.Incremental.steps st
+          Linearize.Nrl.Incremental.steps ?obs:(Machine.Sim.obs sim) st
             (Machine.Sim.history_suffix sim (Linearize.Nrl.Incremental.consumed st)));
       terminal = (fun st _sim -> Linearize.Nrl.Incremental.violation st);
     }

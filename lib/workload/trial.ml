@@ -20,8 +20,9 @@ type result = {
 }
 
 let run ?(max_steps = 200_000) ?(crash_prob = 0.02) ?(recover_prob = 0.5)
-    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ~seed scenario =
+    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ?obs ~seed scenario =
   let sim = Machine.Sim.create ~seed ~nprocs:scenario.nprocs () in
+  Machine.Sim.set_obs sim obs;
   scenario.build sim;
   let policy =
     Machine.Schedule.random ~crash_prob ~recover_prob ~max_crashes ~system_crash_prob
@@ -60,7 +61,7 @@ type summary = {
 (** Run [trials] independent trials with seeds [base_seed .. base_seed +
     trials - 1] and summarise. *)
 let batch ?(max_steps = 200_000) ?(crash_prob = 0.02) ?(recover_prob = 0.5)
-    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ?(base_seed = 1) ~trials scenario =
+    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ?(base_seed = 1) ?obs ~trials scenario =
   let summary =
     ref
       {
@@ -76,7 +77,8 @@ let batch ?(max_steps = 200_000) ?(crash_prob = 0.02) ?(recover_prob = 0.5)
   for i = 0 to trials - 1 do
     let seed = base_seed + i in
     let _, r =
-      run ~max_steps ~crash_prob ~recover_prob ~max_crashes ~system_crash_prob ~seed scenario
+      run ~max_steps ~crash_prob ~recover_prob ~max_crashes ~system_crash_prob ?obs ~seed
+        scenario
     in
     let s = !summary in
     summary :=

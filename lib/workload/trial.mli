@@ -24,11 +24,14 @@ val run :
   ?recover_prob:float ->
   ?max_crashes:int ->
   ?system_crash_prob:float ->
+  ?obs:Obs.Metrics.t ->
   seed:int ->
   scenario ->
   Machine.Sim.t * result
 (** One seeded trial; returns the machine (with its history) and the
-    verdict. *)
+    verdict.  [obs] is attached to the trial's machine
+    ({!Machine.Sim.set_obs}) before it runs, so simulator and checker
+    counters for the trial accumulate there. *)
 
 type summary = {
   trials : int;
@@ -47,9 +50,11 @@ val batch :
   ?max_crashes:int ->
   ?system_crash_prob:float ->
   ?base_seed:int ->
+  ?obs:Obs.Metrics.t ->
   trials:int ->
   scenario ->
   summary
-(** Independent trials with seeds [base_seed .. base_seed + trials - 1]. *)
+(** Independent trials with seeds [base_seed .. base_seed + trials - 1].
+    [obs] accumulates across all trials of the batch. *)
 
 val pp_summary : summary Fmt.t

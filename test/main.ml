@@ -21,4 +21,5 @@ let () =
       ("impossibility", Test_impossibility.suite);
       ("runtime", Test_runtime.suite);
       ("runtime-ext", Test_runtime_extensions.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,311 @@
+(* The observability layer: registry semantics (merge is an exact sum),
+   the engine-invariance contract (counter values identical across
+   --jobs and --trail for the same workload), the NDJSON trace schema
+   (round-tripped through the same JSON reader that validates the bench
+   schema), the torture-harness counters, and catalogue coverage (a run
+   cannot emit a metric name the catalogue does not document). *)
+
+open Machine
+
+(* {1 Registry semantics} *)
+
+let test_counter_basics () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "x" in
+  Obs.Metrics.Counter.incr c;
+  Obs.Metrics.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Obs.Metrics.Counter.value c);
+  (* the handle is stable: a second lookup sees the same cell *)
+  Obs.Metrics.Counter.incr (Obs.Metrics.counter reg "x");
+  Alcotest.(check int) "shared cell" 6 (Obs.Metrics.Counter.value c);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.Metrics: x already exists as a counter (wanted a timer)")
+    (fun () -> ignore (Obs.Metrics.timer reg "x"))
+
+let test_histogram_buckets () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "h" in
+  List.iter (Obs.Metrics.Histogram.observe h) [ 0; 1; 2; 3; 4; 1000 ];
+  Alcotest.(check int) "count" 6 (Obs.Metrics.Histogram.count h);
+  Alcotest.(check int) "sum" 1010 (Obs.Metrics.Histogram.sum h);
+  Alcotest.(check int) "max" 1000 (Obs.Metrics.Histogram.max_value h);
+  match Obs.Metrics.view reg "h" with
+  | Some (Obs.Metrics.Histogram { buckets; _ }) ->
+    (* 0 -> le 0; 1 -> le 1; 2,3 -> le 3; 4 -> le 7; 1000 -> le 1023 *)
+    Alcotest.(check (list (pair int int)))
+      "buckets"
+      [ (0, 1); (1, 1); (3, 2); (7, 1); (1023, 1) ]
+      buckets
+  | _ -> Alcotest.fail "histogram view missing"
+
+let test_merge_is_exact_sum () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.Counter.add (Obs.Metrics.counter a "c") 3;
+  Obs.Metrics.Counter.add (Obs.Metrics.counter b "c") 4;
+  Obs.Metrics.Timer.add (Obs.Metrics.timer b "t") 100;
+  Obs.Metrics.Histogram.observe (Obs.Metrics.histogram a "h") 2;
+  Obs.Metrics.Histogram.observe (Obs.Metrics.histogram b "h") 9;
+  Obs.Metrics.merge ~into:a b;
+  (match Obs.Metrics.view a "c" with
+  | Some (Obs.Metrics.Counter n) -> Alcotest.(check int) "counter sum" 7 n
+  | _ -> Alcotest.fail "counter missing");
+  (match Obs.Metrics.view a "t" with
+  | Some (Obs.Metrics.Timer { ns; intervals }) ->
+    Alcotest.(check int) "timer ns" 100 ns;
+    Alcotest.(check int) "timer intervals" 1 intervals
+  | _ -> Alcotest.fail "timer missing");
+  (match Obs.Metrics.view a "h" with
+  | Some (Obs.Metrics.Histogram { count; sum; max_value; _ }) ->
+    Alcotest.(check int) "hist count" 2 count;
+    Alcotest.(check int) "hist sum" 11 sum;
+    Alcotest.(check int) "hist max" 9 max_value
+  | _ -> Alcotest.fail "histogram missing");
+  (* source unchanged *)
+  match Obs.Metrics.view b "c" with
+  | Some (Obs.Metrics.Counter n) -> Alcotest.(check int) "source intact" 4 n
+  | _ -> Alcotest.fail "source counter missing"
+
+(* {1 Engine invariance} *)
+
+let crashy_cfg =
+  { Explore.default_config with max_steps = 100; max_crashes = 1; crash_procs = [ 0 ] }
+
+let explore_registry ~jobs ~trail ~incremental () =
+  let reg = Obs.Metrics.create () in
+  let scen = Workload.Scenarios.register ~nprocs:2 ~ops:1 () in
+  let sim = Sim.create ~nprocs:2 () in
+  scen.Workload.Trial.build sim;
+  let check_mode =
+    if incremental then `Incremental (Workload.Check.nrl_incremental ()) else `Terminal
+  in
+  let viol, _ =
+    Explore.find_violation ~cfg:crashy_cfg ~jobs ~trail ~obs:reg ~check_mode
+      ~check:Workload.Check.nrl_violation sim
+  in
+  Alcotest.(check bool) "no violation" true (viol = None);
+  reg
+
+let invariant_counters reg =
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Obs.Metrics.Counter n when Obs.Names.engine_invariant name -> Some (name, n)
+      | _ -> None)
+    (Obs.Metrics.to_list reg)
+
+let test_counters_invariant_across_engines () =
+  List.iter
+    (fun incremental ->
+      let baseline =
+        invariant_counters (explore_registry ~jobs:1 ~trail:true ~incremental ())
+      in
+      Alcotest.(check bool) "baseline counts something" true (baseline <> []);
+      List.iter
+        (fun (jobs, trail) ->
+          let got = invariant_counters (explore_registry ~jobs ~trail ~incremental ()) in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "jobs=%d trail=%b incremental=%b" jobs trail incremental)
+            baseline got)
+        [ (1, false); (2, true); (2, false); (4, true); (4, false) ])
+    [ false; true ]
+
+(* {1 The NDJSON trace schema} *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let obj_field name j = Test_bench_json.field name j
+
+let test_trace_roundtrip () =
+  let path = Filename.temp_file "nrl_trace" ".ndjson" in
+  let tr = Obs.Trace.create ~path in
+  Obs.Trace.event tr ~name:"e"
+    [
+      ("i", Obs.Trace.Int 42);
+      ("s", Obs.Trace.Str "quote\"back\\slash");
+      ("b", Obs.Trace.Bool true);
+      ("nan", Obs.Trace.Float Float.nan);
+    ];
+  Obs.Trace.span tr ~name:"sp" ~start_ns:5 ~dur_ns:7 [ ("w", Obs.Trace.Int 0) ];
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.Counter.add (Obs.Metrics.counter reg Obs.Names.explore_nodes) 42;
+  Obs.Metrics.Timer.add (Obs.Metrics.timer reg Obs.Names.explore_time_total) 1234;
+  Obs.Metrics.Histogram.observe (Obs.Metrics.histogram reg Obs.Names.trail_undo_depth) 3;
+  Obs.Trace.metrics tr reg;
+  Obs.Trace.close tr;
+  Obs.Trace.close tr (* idempotent *);
+  let lines = read_lines path in
+  Sys.remove path;
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  (* every line is a standalone JSON object with a "type" field *)
+  let parsed = List.map Test_bench_json.parse lines in
+  let typ j = Test_bench_json.as_str (obj_field "type" j) in
+  (match parsed with
+  | meta :: rest ->
+    Alcotest.(check string) "meta first" "meta" (typ meta);
+    Alcotest.(check string) "schema tag" Obs.Trace.schema_version
+      (Test_bench_json.as_str (obj_field "schema" meta));
+    Alcotest.(check string) "clock contract" "ns-since-process-start"
+      (Test_bench_json.as_str (obj_field "clock" meta));
+    let event = List.find (fun j -> typ j = "event") rest in
+    let fields = obj_field "fields" event in
+    Alcotest.(check string) "event name" "e"
+      (Test_bench_json.as_str (obj_field "name" event));
+    Alcotest.(check bool) "event has timestamp" true
+      (Test_bench_json.as_num (obj_field "ts_ns" event) >= 0.);
+    Alcotest.(check (float 0.)) "int field" 42. (Test_bench_json.as_num (obj_field "i" fields));
+    Alcotest.(check string) "escaped string survives" "quote\"back\\slash"
+      (Test_bench_json.as_str (obj_field "s" fields));
+    Alcotest.(check bool) "bool field" true
+      (Test_bench_json.as_bool (obj_field "b" fields));
+    (match obj_field "nan" fields with
+    | Test_bench_json.Null -> ()
+    | _ -> Alcotest.fail "nan must serialise as null");
+    let span = List.find (fun j -> typ j = "span") rest in
+    Alcotest.(check (float 0.)) "span start" 5. (Test_bench_json.as_num (obj_field "start_ns" span));
+    Alcotest.(check (float 0.)) "span duration" 7. (Test_bench_json.as_num (obj_field "dur_ns" span));
+    let counter = List.find (fun j -> typ j = "counter") rest in
+    Alcotest.(check string) "counter name" Obs.Names.explore_nodes
+      (Test_bench_json.as_str (obj_field "name" counter));
+    Alcotest.(check (float 0.)) "counter value" 42.
+      (Test_bench_json.as_num (obj_field "value" counter));
+    let timer = List.find (fun j -> typ j = "timer") rest in
+    Alcotest.(check (float 0.)) "timer ns" 1234. (Test_bench_json.as_num (obj_field "ns" timer));
+    let hist = List.find (fun j -> typ j = "histogram") rest in
+    (match obj_field "buckets" hist with
+    | Test_bench_json.Arr [ b ] ->
+      Alcotest.(check (float 0.)) "bucket le" 3. (Test_bench_json.as_num (obj_field "le" b));
+      Alcotest.(check (float 0.)) "bucket n" 1. (Test_bench_json.as_num (obj_field "n" b))
+    | _ -> Alcotest.fail "histogram buckets malformed")
+  | [] -> Alcotest.fail "empty trace")
+
+let test_explore_trace_is_schema_valid () =
+  let path = Filename.temp_file "nrl_explore_trace" ".ndjson" in
+  let tr = Obs.Trace.create ~path in
+  let reg = Obs.Metrics.create () in
+  let scen = Workload.Scenarios.register ~nprocs:2 ~ops:1 () in
+  let sim = Sim.create ~nprocs:2 () in
+  scen.Workload.Trial.build sim;
+  let _ =
+    Explore.find_violation ~cfg:crashy_cfg ~jobs:2 ~obs:reg ~trace:tr
+      ~check:Workload.Check.nrl_violation sim
+  in
+  Obs.Trace.metrics tr reg;
+  Obs.Trace.close tr;
+  let lines = read_lines path in
+  Sys.remove path;
+  Alcotest.(check bool) "trace non-trivial" true (List.length lines > 3);
+  List.iteri
+    (fun i line ->
+      let j = Test_bench_json.parse line in
+      let typ = Test_bench_json.as_str (obj_field "type" j) in
+      if i = 0 then Alcotest.(check string) "meta first" "meta" typ
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "line %d has a known type (%s)" i typ)
+          true
+          (List.mem typ [ "event"; "span"; "counter"; "timer"; "histogram" ]))
+    lines
+
+(* {1 Catalogue coverage} *)
+
+let test_run_emits_only_catalogued_names () =
+  let reg = explore_registry ~jobs:2 ~trail:true ~incremental:true () in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is catalogued" name)
+        true
+        (Obs.Names.kind_of name <> None))
+    (Obs.Metrics.to_list reg)
+
+let test_catalogue_kinds_match_registry () =
+  let reg = explore_registry ~jobs:1 ~trail:true ~incremental:false () in
+  List.iter
+    (fun (name, v) ->
+      let kind =
+        match (v : Obs.Metrics.view) with
+        | Obs.Metrics.Counter _ -> Obs.Names.Counter
+        | Obs.Metrics.Timer _ -> Obs.Names.Timer
+        | Obs.Metrics.Histogram _ -> Obs.Names.Histogram
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s kind matches catalogue" name)
+        true
+        (Obs.Names.kind_of name = Some kind))
+    (Obs.Metrics.to_list reg)
+
+(* {1 Torture-harness counters} *)
+
+let test_torture_counters () =
+  let reg = Obs.Metrics.create () in
+  let c = Runtime.Rcounter.create ~nprocs:1 in
+  let stats = { Runtime.Torture.crashes = 0; ops = 0 } in
+  let rng = Runtime.Torture.rng_create 42 in
+  let n = 500 in
+  for _ = 1 to n do
+    Runtime.Torture.rcounter_inc ~rng ~crash_prob:0.3 ~stats ~obs:reg c ~pid:0
+  done;
+  let cval name =
+    match Obs.Metrics.view reg name with Some (Obs.Metrics.Counter v) -> v | _ -> 0
+  in
+  Alcotest.(check int) "ops mirrors stats" stats.Runtime.Torture.ops
+    (cval Obs.Names.torture_ops);
+  Alcotest.(check int) "ops count" n (cval Obs.Names.torture_ops);
+  Alcotest.(check int) "crashes mirrors stats" stats.Runtime.Torture.crashes
+    (cval Obs.Names.torture_crashes);
+  Alcotest.(check bool) "crash injection exercised" true
+    (cval Obs.Names.torture_crashes > 0);
+  Alcotest.(check bool) "every crash is retried" true
+    (cval Obs.Names.torture_retries >= cval Obs.Names.torture_crashes
+    && cval Obs.Names.torture_retries > 0)
+
+(* {1 Progress reporter} *)
+
+let test_progress_final_line () =
+  let path = Filename.temp_file "nrl_progress" ".txt" in
+  let oc = open_out path in
+  let p = Obs.Progress.create ~out:oc ~interval:3600.0 ~label:"t" () in
+  Obs.Progress.set_tasks p 4;
+  Obs.Progress.task_done p;
+  Obs.Progress.tick p ~nodes:100 (* interval not elapsed: stays silent *);
+  Obs.Progress.finish p ~nodes:123;
+  close_out oc;
+  let lines = read_lines path in
+  Sys.remove path;
+  match lines with
+  | [ line ] ->
+    Alcotest.(check bool) "exact node total" true
+      (let has sub =
+         let n = String.length line and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+         go 0
+       in
+       has "123 nodes" && has "tasks 1/4" && has "done")
+  | l -> Alcotest.fail (Printf.sprintf "expected exactly the final line, got %d" (List.length l))
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "merge is an exact sum" `Quick test_merge_is_exact_sum;
+    Alcotest.test_case "counters invariant across jobs and trail" `Slow
+      test_counters_invariant_across_engines;
+    Alcotest.test_case "trace round-trips through the JSON reader" `Quick test_trace_roundtrip;
+    Alcotest.test_case "explorer trace is schema-valid" `Quick
+      test_explore_trace_is_schema_valid;
+    Alcotest.test_case "runs emit only catalogued names" `Quick
+      test_run_emits_only_catalogued_names;
+    Alcotest.test_case "catalogue kinds match the registry" `Quick
+      test_catalogue_kinds_match_registry;
+    Alcotest.test_case "torture counters" `Quick test_torture_counters;
+    Alcotest.test_case "progress final line" `Quick test_progress_final_line;
+  ]
