@@ -114,7 +114,16 @@ let run_cmd =
   let trials_arg =
     Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Number of trials.")
   in
-  let run name nprocs ops trials seed crash_prob max_crashes system_crash_prob stats trace =
+  let junk_arg =
+    let choices = List.map (fun s -> (s, s)) Machine.Junk.strategy_names in
+    Arg.(
+      value
+      & opt (Arg.enum choices) "scramble"
+      & info [ "junk" ] ~docv:"STRATEGY"
+          ~doc:"Adversarial junk strategy for crash-scrambled locals (see docs/resilience.md).")
+  in
+  let run name nprocs ops trials seed crash_prob max_crashes system_crash_prob stats trace
+      junk =
     let scen = scenario_of_name name ~nprocs ~ops in
     let obs = obs_of ~stats ~trace in
     let tracer = Option.map (fun path -> Obs.Trace.create ~path) trace in
@@ -134,7 +143,7 @@ let run_cmd =
     let t0 = Obs.Clock.now_ns () in
     let s =
       Workload.Trial.batch ~base_seed:seed ~crash_prob ~max_crashes
-        ~system_crash_prob ?obs ~trials scen
+        ~system_crash_prob ~junk ?obs ~trials scen
     in
     Option.iter
       (fun tr ->
@@ -154,7 +163,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Randomized crash-torture batch with NRL checking")
     Term.(
       const run $ scenario_arg $ nprocs_arg $ ops_arg $ trials_arg $ seed_arg
-      $ crash_prob_arg $ max_crashes_arg $ system_crash_arg $ stats_arg $ trace_arg)
+      $ crash_prob_arg $ max_crashes_arg $ system_crash_arg $ stats_arg $ trace_arg
+      $ junk_arg)
 
 (* check *)
 let check_cmd =
@@ -249,20 +259,87 @@ let explore_cmd =
              (fingerprint of memory + per-process control state).  Violations found are \
              real; a clean sweep certifies one representative prefix per configuration.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget.  When it runs out the search stops with a structured \
+             partial verdict (exit code 3) instead of running to completion.")
+  in
+  let max_nodes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Node budget: stop (exit code 3) after processing $(docv) schedule-tree nodes.")
+  in
+  let max_visited_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-visited" ] ~docv:"N"
+          ~doc:
+            "Cap the $(b,--dedup) visited store at $(docv) fingerprints.  Exceeding the \
+             cap is a degradation, not an abort: the store is dropped and the sweep \
+             continues without pruning.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically save resumable progress to $(docv) (schema nrl-checkpoint/1, \
+             atomic write-then-rename; see docs/resilience.md).  On SIGINT/SIGTERM the \
+             run checkpoints and exits 3 instead of losing its work.")
+  in
+  let checkpoint_interval_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "checkpoint-interval" ] ~docv:"SECS"
+          ~doc:"Minimum seconds between periodic checkpoint saves.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by $(b,--checkpoint).  The command line \
+             must rebuild the same scenario (same scenario, sizes, bounds, junk \
+             strategy); the stamp recorded in the file is checked.  Saving continues to \
+             the same file unless $(b,--checkpoint) overrides it.")
+  in
+  let junk_arg =
+    let choices = List.map (fun s -> (s, s)) (Machine.Junk.strategy_names @ [ "all" ]) in
+    Arg.(
+      value
+      & opt (Arg.enum choices) "scramble"
+      & info [ "junk" ] ~docv:"STRATEGY"
+          ~doc:
+            (Printf.sprintf
+               "Adversarial junk strategy for crash-scrambled locals: %s, or $(b,all) to \
+                run a campaign sweeping every strategy and comparing verdicts."
+               (String.concat ", " Machine.Junk.strategy_names)))
+  in
   let explore name nprocs ops max_steps max_crashes jobs trail check_mode dedup stats_flag
-      trace progress =
+      trace progress deadline max_nodes max_visited checkpoint checkpoint_interval resume
+      junk =
     let jobs = match jobs with `Auto -> Machine.Explore.auto_jobs () | `Jobs j -> j in
     let check_mode_name =
       match check_mode with `Terminal -> "terminal" | `Incremental -> "incremental"
     in
-    let check_mode =
+    let mk_check_mode () =
       match check_mode with
       | `Terminal -> `Terminal
       | `Incremental -> `Incremental (Workload.Check.nrl_incremental ())
     in
-    let build () =
+    let build junk_strategy =
       let sim = Machine.Sim.create ~nprocs () in
       (scenario_of_name name ~nprocs ~ops).Workload.Trial.build sim;
+      if junk_strategy <> "scramble" then Machine.Sim.apply_junk_strategy sim junk_strategy;
       sim
     in
     let cfg =
@@ -283,37 +360,195 @@ let explore_cmd =
             ("trail", Obs.Trace.Bool trail);
             ("dedup", Obs.Trace.Bool dedup);
             ("check_mode", Obs.Trace.Str check_mode_name);
+            ("junk", Obs.Trace.Str junk);
           ])
       tracer;
     let prog =
       if progress then Some (Obs.Progress.create ~label:"explore" ()) else None
     in
-    let t0 = Obs.Clock.now_s () in
-    let viol, stats =
-      Machine.Explore.find_violation ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog
-        ?trace:tracer ~check_mode ~check:Workload.Check.nrl_violation (build ())
+    let budget =
+      { Machine.Explore.deadline_s = deadline; max_nodes; max_visited }
     in
-    (match viol with
-    | Some (sim, reason) ->
-      obs_finish ~stats:stats_flag ~tracer obs;
-      Format.printf "VIOLATION: %s@.history:@.%a@." reason History.pp
-        (Machine.Sim.history sim);
-      exit 2
-    | None ->
+    let resilient =
+      deadline <> None || max_nodes <> None || max_visited <> None || checkpoint <> None
+      || resume <> None
+    in
+    let t0 = Obs.Clock.now_s () in
+    let print_clean stats =
       Format.printf
         "no violation: %d complete executions checked (%d truncated, %d nodes, %d deduped, \
          %d jobs, %.1fs)@."
         stats.Machine.Explore.terminals stats.Machine.Explore.truncated
         stats.Machine.Explore.nodes stats.Machine.Explore.dup jobs
-        (Obs.Clock.now_s () -. t0);
-      obs_finish ~stats:stats_flag ~tracer obs)
+        (Obs.Clock.now_s () -. t0)
+    in
+    if junk = "all" then begin
+      (* campaign mode: one budgeted sweep per strategy, verdicts compared *)
+      if checkpoint <> None || resume <> None then begin
+        Format.eprintf
+          "nrlsim: --junk all is a campaign over independent runs; it cannot be \
+           checkpointed or resumed.  Pick one strategy.@.";
+        exit 124
+      end;
+      let verdicts =
+        List.map
+          (fun strategy ->
+            let outcome, stats =
+              Machine.Explore.sweep ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog
+                ?trace:tracer ~budget ~check_mode:(mk_check_mode ())
+                ~check:Workload.Check.nrl_violation (build strategy)
+            in
+            let verdict =
+              match outcome with
+              | Machine.Explore.Clean -> "clean"
+              | Machine.Explore.Violation (_, reason) -> "VIOLATION: " ^ reason
+              | Machine.Explore.Exhausted e ->
+                "exhausted (" ^ Machine.Explore.exhaust_reason_name e.Machine.Explore.ex_reason
+                ^ ")"
+            in
+            Format.printf "junk=%-8s %s (%d terminals, %d nodes)@." strategy verdict
+              stats.Machine.Explore.terminals stats.Machine.Explore.nodes;
+            (strategy, verdict, outcome))
+          Machine.Junk.strategy_names
+      in
+      obs_finish ~stats:stats_flag ~tracer obs;
+      let heads = List.map (fun (_, v, _) -> v) verdicts in
+      (match heads with
+      | v0 :: rest when List.exists (fun v -> v <> v0) rest ->
+        Format.printf
+          "WARNING: verdict differs across junk strategies — the algorithm's recovery \
+           depends on the junk the crash produced.@."
+      | _ -> ());
+      let any p = List.exists (fun (_, _, o) -> p o) verdicts in
+      if any (function Machine.Explore.Violation _ -> true | _ -> false) then exit 2
+      else if any (function Machine.Explore.Exhausted _ -> true | _ -> false) then exit 3
+    end
+    else if resilient then begin
+      (* budgeted / checkpointed / resumable path: Explore.sweep with a
+         graceful-kill hook on SIGINT and SIGTERM *)
+      let stamp =
+        [
+          ("scenario", name);
+          ("nprocs", string_of_int nprocs);
+          ("ops", string_of_int ops);
+          ("max_steps", string_of_int max_steps);
+          ("max_crashes", string_of_int max_crashes);
+          ("dedup", string_of_bool dedup);
+          ("check_mode", check_mode_name);
+          ("junk", junk);
+        ]
+      in
+      let ck_resume =
+        match resume with
+        | None -> None
+        | Some path -> (
+          match Machine.Checkpoint.load path with
+          | Error msg ->
+            Format.eprintf "nrlsim: cannot resume from %s: %s@." path msg;
+            exit 124
+          | Ok ck -> (
+            match ck.Machine.Checkpoint.result with
+            | Some (verdict, detail) ->
+              (* the previous run finished; report its verdict, do not re-run *)
+              Format.printf "checkpoint %s is final: %s%s@." path verdict
+                (if detail = "" then "" else " (" ^ detail ^ ")");
+              exit (if verdict = "violation" then 2 else 0)
+            | None ->
+              if
+                List.sort compare ck.Machine.Checkpoint.scenario
+                <> List.sort compare stamp
+              then begin
+                Format.eprintf
+                  "nrlsim: checkpoint %s was taken from a different scenario@.  saved:   \
+                   %s@.  current: %s@."
+                  path
+                  (String.concat ", "
+                     (List.map (fun (k, v) -> k ^ "=" ^ v) ck.Machine.Checkpoint.scenario))
+                  (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) stamp));
+                exit 124
+              end;
+              Some ck))
+      in
+      let ck_path =
+        match checkpoint, resume with
+        | Some p, _ -> Some p
+        | None, Some p -> Some p (* keep saving where we resumed from *)
+        | None, None -> None
+      in
+      let ck_spec =
+        Option.map
+          (fun cp_path ->
+            {
+              Machine.Explore.cp_path;
+              cp_interval_s = checkpoint_interval;
+              cp_scenario = stamp;
+            })
+          ck_path
+      in
+      let stop = Atomic.make false in
+      let graceful _ = Atomic.set stop true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+      let outcome, stats =
+        Machine.Explore.sweep ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog ?trace:tracer
+          ~budget
+          ~should_stop:(fun () -> Atomic.get stop)
+          ?checkpoint:ck_spec ?resume:ck_resume ~check_mode:(mk_check_mode ())
+          ~check:Workload.Check.nrl_violation (build junk)
+      in
+      match outcome with
+      | Machine.Explore.Violation (sim, reason) ->
+        obs_finish ~stats:stats_flag ~tracer obs;
+        Format.printf "VIOLATION: %s@.history:@.%a@." reason History.pp
+          (Machine.Sim.history sim);
+        exit 2
+      | Machine.Explore.Clean ->
+        print_clean stats;
+        obs_finish ~stats:stats_flag ~tracer obs
+      | Machine.Explore.Exhausted e ->
+        Format.printf
+          "exhausted (%s): %d complete executions checked so far (%d truncated, %d nodes, \
+           %d deduped, %d tasks pending, %.1fs)%s@."
+          (Machine.Explore.exhaust_reason_name e.Machine.Explore.ex_reason)
+          stats.Machine.Explore.terminals stats.Machine.Explore.truncated
+          stats.Machine.Explore.nodes stats.Machine.Explore.dup
+          e.Machine.Explore.ex_frontier
+          (Obs.Clock.now_s () -. t0)
+          (match e.Machine.Explore.ex_degraded with
+          | [] -> ""
+          | ds -> "; degraded: " ^ String.concat ", " ds);
+        (match ck_path with
+        | Some p when Sys.file_exists p ->
+          Format.printf "resume with: --resume %s@." p
+        | _ -> ());
+        obs_finish ~stats:stats_flag ~tracer obs;
+        exit 3
+    end
+    else begin
+      (* historical unbounded path, untouched semantics *)
+      let viol, stats =
+        Machine.Explore.find_violation ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog
+          ?trace:tracer ~check_mode:(mk_check_mode ())
+          ~check:Workload.Check.nrl_violation (build junk)
+      in
+      match viol with
+      | Some (sim, reason) ->
+        obs_finish ~stats:stats_flag ~tracer obs;
+        Format.printf "VIOLATION: %s@.history:@.%a@." reason History.pp
+          (Machine.Sim.history sim);
+        exit 2
+      | None ->
+        print_clean stats;
+        obs_finish ~stats:stats_flag ~tracer obs
+    end
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Bounded exhaustive schedule exploration (use small instances)")
     Term.(
       const explore $ scenario_arg $ nprocs_arg $ ops_arg $ steps_arg $ crashes_arg
       $ jobs_arg $ trail_arg $ check_mode_arg $ dedup_arg $ stats_arg $ trace_arg
-      $ progress_arg)
+      $ progress_arg $ deadline_arg $ max_nodes_arg $ max_visited_arg $ checkpoint_arg
+      $ checkpoint_interval_arg $ resume_arg $ junk_arg)
 
 (* theorem *)
 let theorem_cmd =

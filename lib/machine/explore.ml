@@ -168,6 +168,105 @@ type path_checker =
 
 type check_mode = [ `Terminal | `Incremental of path_checker ]
 
+(** {1 Budgets}
+
+    Resource bounds on a search.  Budgets make long-running verification
+    degrade instead of dying: exceeding the visited-store cap drops the
+    dedup store (a degradation — the search keeps going, unpruned) while
+    exceeding the deadline or the node budget aborts with a structured
+    partial verdict rather than an exception or an unbounded run. *)
+type budget = {
+  deadline_s : float option;  (** wall-clock bound, seconds from the start of the call *)
+  max_nodes : int option;  (** bound on nodes processed (across all domains) *)
+  max_visited : int option;
+      (** cap on the dedup visited store, in fingerprints; past it, the
+          store is dropped (degradation, not abort) *)
+}
+
+let no_budget = { deadline_s = None; max_nodes = None; max_visited = None }
+
+type exhaust_reason = [ `Deadline | `Nodes | `Interrupted ]
+
+let exhaust_reason_name = function
+  | `Deadline -> "deadline"
+  | `Nodes -> "max-nodes"
+  | `Interrupted -> "interrupted"
+
+(** A budget-exhausted partial verdict.  The coverage achieved is the
+    [stats] value returned alongside: everything counted there was really
+    explored and judged. *)
+type exhausted = {
+  ex_reason : exhaust_reason;
+  ex_frontier : int;
+      (** independent subtree tasks not yet completed (0 when the search
+          was not partitioned) *)
+  ex_degraded : string list;
+      (** degradation steps taken before giving up, oldest first *)
+}
+
+(** Verdict of a budgeted, resumable search ({!sweep}). *)
+type outcome =
+  | Clean  (** every schedule within the bounds explored, no violation *)
+  | Violation of Sim.t * string
+  | Exhausted of exhausted
+
+exception Out_of_budget of exhaust_reason
+(* internal: unwinds workers when a budget trips; never escapes the
+   public entry points *)
+
+(* Budget enforcement state shared by every traversal of one search.
+   The node count is a single atomic across domains, so [max_nodes] cuts
+   at the same global count wherever the work landed; the deadline and
+   the stop callback are polled every [poll_mask + 1] nodes. *)
+type limits = {
+  l_deadline_ns : int;  (** absolute Clock reading; [max_int] = none *)
+  l_max_nodes : int;  (** [max_int] = none *)
+  l_nodes : int Atomic.t;
+  l_max_visited : int;  (** [max_int] = none *)
+  l_dedup_on : bool Atomic.t;
+  l_degraded : string list Atomic.t;
+  l_should_stop : unit -> bool;
+}
+
+let poll_mask = 63
+
+let limits_of ~budget ~should_stop =
+  match (budget, should_stop) with
+  | { deadline_s = None; max_nodes = None; max_visited = None }, None -> None
+  | _ ->
+    Some
+      {
+        l_deadline_ns =
+          (match budget.deadline_s with
+          | None -> max_int
+          | Some s -> Obs.Clock.now_ns () + int_of_float (s *. 1e9));
+        l_max_nodes = Option.value budget.max_nodes ~default:max_int;
+        l_nodes = Atomic.make 0;
+        l_max_visited = Option.value budget.max_visited ~default:max_int;
+        l_dedup_on = Atomic.make true;
+        l_degraded = Atomic.make [];
+        l_should_stop = Option.value should_stop ~default:(fun () -> false);
+      }
+
+(* Per-processed-node budget check.  With dedup on, the visited store
+   holds exactly one fingerprint per processed node, so the global node
+   counter doubles as the store-size reading — no locked cardinality
+   scans on the hot path. *)
+let check_limits l =
+  let n = Atomic.fetch_and_add l.l_nodes 1 + 1 in
+  if n > l.l_max_nodes then raise (Out_of_budget `Nodes);
+  if
+    n > l.l_max_visited
+    && Atomic.get l.l_dedup_on
+    && Atomic.compare_and_set l.l_dedup_on true false
+  then
+    Atomic.set l.l_degraded
+      (Atomic.get l.l_degraded @ [ "dedup-store-dropped:visited-cap" ]);
+  if n land poll_mask = 0 then begin
+    if Obs.Clock.now_ns () > l.l_deadline_ns then raise (Out_of_budget `Deadline);
+    if l.l_should_stop () then raise (Out_of_budget `Interrupted)
+  end
+
 (* Pre-resolved handles for the explorer's per-phase timers.  Each
    traversal context owns its meters — the parallel engine gives every
    worker a private registry (merged at the join, in worker order), so
@@ -201,8 +300,17 @@ let lap om sel t0 =
 let tick_batch = 8192
 
 (** A pending subtree: a machine owned by the task plus the depth, crash
-    count and path-checker state at its root. *)
-type 'st task = { t_sim : Sim.t; t_depth : int; t_crashes : int; t_state : 'st }
+    count and path-checker state at its root.  [t_path] is the decision
+    path from the search root (newest first); it is threaded only by the
+    frontier expansion of checkpointing searches and stays [[]]
+    otherwise. *)
+type 'st task = {
+  t_sim : Sim.t;
+  t_depth : int;
+  t_crashes : int;
+  t_state : 'st;
+  t_path : Schedule.decision list;
+}
 
 (** Everything one traversal needs.  [frontier = Some (d, emit)] turns
     recursion at depth [>= d] into task emission — the frontier-expansion
@@ -220,6 +328,11 @@ type 'st ctx = {
   frontier : (int * ('st task -> unit)) option;
   om : meters option;  (** this traversal's private phase timers *)
   prog : Obs.Progress.t option;  (** shared across workers; tick-batched *)
+  limits : limits option;  (** budget enforcement; [None] costs nothing *)
+  cur_dec : Schedule.decision option ref;
+      (** the decision [branch] is currently under — written only while a
+          frontier is active (single-domain expansion), read by the emit
+          hook to reconstruct task paths *)
 }
 
 let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
@@ -227,16 +340,20 @@ let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
   if ctx.stop () then raise Stopped;
   match ctx.frontier with
   | Some (fd, emit) when depth >= fd ->
-    emit { t_sim = sim; t_depth = depth; t_crashes = crashes; t_state = st }
+    emit { t_sim = sim; t_depth = depth; t_crashes = crashes; t_state = st; t_path = [] }
   | _ ->
     let fresh =
       match ctx.seen with
       | None -> true
-      | Some store ->
+      | Some store
+        when match ctx.limits with
+             | Some l -> Atomic.get l.l_dedup_on
+             | None -> true ->
         let t0 = now_if ctx.om in
         let r = Fingerprint.Store.add store (Fingerprint.of_sim ~extra:crashes sim) in
         lap ctx.om (fun m -> m.m_dedup) t0;
         r
+      | Some _ -> (* dedup store dropped by budget degradation *) true
     in
     if not fresh then
       (* an equivalent configuration (same remaining crash budget) was
@@ -246,6 +363,7 @@ let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
     else begin
       let stats = ctx.stats in
       stats.nodes <- stats.nodes + 1;
+      (match ctx.limits with Some l -> check_limits l | None -> ());
       (match ctx.prog with
       | Some p when stats.nodes land (tick_batch - 1) = 0 -> Obs.Progress.tick p ~nodes:tick_batch
       | _ -> ());
@@ -298,6 +416,9 @@ and branch : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> Schedule.decision -> 
  fun ctx sim depth crashes st d ->
   (* the [now_if]/[lap] pairs compile to nothing when unobserved; the
      recursive [go] call is never inside a timed interval *)
+  (match ctx.frontier with
+  | Some _ -> ctx.cur_dec := Some d (* expansion is single-domain; see [expand_frontier] *)
+  | None -> ());
   if ctx.trail then begin
     let t0 = now_if ctx.om in
     let m = Sim.mark sim in
@@ -335,11 +456,21 @@ let never_stop () = false
     that survives past the expansion loop. *)
 let expand_frontier ~ctx ~target ~init sim0 =
   let q = Queue.create () in
-  Queue.push { t_sim = sim0; t_depth = 0; t_crashes = 0; t_state = init sim0 } q;
+  Queue.push { t_sim = sim0; t_depth = 0; t_crashes = 0; t_state = init sim0; t_path = [] } q;
   while (not (Queue.is_empty q)) && Queue.length q < target do
     let t = Queue.pop q in
+    (* [cur_dec] is the decision the expansion traversal is currently
+       branching under; combined with the popped task's own path it gives
+       every emitted child its full decision path from the root.  The
+       expansion loop is single-domain and one BFS level deep, so one
+       cell per popped task suffices. *)
+    let cur = ref None in
+    let emit t' =
+      let t_path = match !cur with Some d -> d :: t.t_path | None -> t.t_path in
+      Queue.push { t' with t_path } q
+    in
     let ctx =
-      { ctx with trail = false; frontier = Some (t.t_depth + 1, fun t' -> Queue.push t' q) }
+      { ctx with trail = false; frontier = Some (t.t_depth + 1, emit); cur_dec = cur }
     in
     go ctx t.t_sim t.t_depth t.t_crashes t.t_state
   done;
@@ -353,8 +484,9 @@ let expand_frontier ~ctx ~target ~init sim0 =
     catch {!Found} publishes it and flips the stop flag; any other
     exception is also published and re-raised in the caller, so
     [on_terminal]'s abort-by-exception contract survives parallelism. *)
-let run_tasks ~ctx ~jobs ~trace tasks =
+let run_tasks ~ctx ~jobs ~trace ~pending tasks =
   let n = Array.length tasks in
+  let completed = Atomic.make 0 in
   if n > 0 then begin
     let next = Atomic.make 0 in
     let stop_flag = Atomic.make false in
@@ -398,6 +530,7 @@ let run_tasks ~ctx ~jobs ~trace tasks =
              | Some m -> Sim.set_obs t.t_sim (Some m.m_reg)
              | None -> ());
              go wctx t.t_sim t.t_depth t.t_crashes t.t_state;
+             Atomic.incr completed;
              match ctx.prog with Some p -> Obs.Progress.task_done p | None -> ()
            end
          done
@@ -427,13 +560,16 @@ let run_tasks ~ctx ~jobs ~trace tasks =
             ])
         worker_span
     | None -> ());
+    (* recorded before the re-raise so budget aborts can report how much
+       of the partition was left *)
+    pending := n - Atomic.get completed;
     match Atomic.get failure with Some e -> raise e | None -> ()
   end
 
 (** The generic engine all public entry points share: a DFS threading
     ['st] down the path. *)
-let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init ~step_state ~on_terminal
-    sim0 =
+let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init ~step_state
+    ~on_terminal sim0 =
   let jobs = max 1 jobs in
   let ctx =
     {
@@ -447,8 +583,12 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init ~step_state ~on
       frontier = None;
       om = Option.map meters_of obs;
       prog = progress;
+      limits;
+      cur_dec = ref None;
     }
   in
+  let frontier_pending = ref 0 in
+  let exhaust = ref None in
   let t_start = if obs <> None || trace <> None then Obs.Clock.now_ns () else 0 in
   (* the finally block runs on clean completion AND on abort-by-exception
      (Found), so the stats mirror, the total timer, the trace span and
@@ -480,43 +620,64 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init ~step_state ~on
     match progress with Some p -> Obs.Progress.finish p ~nodes:ctx.stats.nodes | None -> ()
   in
   Fun.protect ~finally:finish (fun () ->
-      if jobs = 1 then
-        if trail || obs <> None then begin
-          (* one private clone for the whole search: an abort-by-exception
-             from [on_terminal] skips the pending undos, which must not
-             corrupt the caller's machine — and counters attach to the
-             clone, never to the caller's machine *)
-          let sim = Sim.clone sim0 in
-          if trail then Sim.enable_trail sim;
-          Sim.set_obs sim obs;
-          go ctx sim 0 0 (init sim)
+      try
+        if jobs = 1 then
+          if trail || obs <> None then begin
+            (* one private clone for the whole search: an abort-by-exception
+               from [on_terminal] skips the pending undos, which must not
+               corrupt the caller's machine — and counters attach to the
+               clone, never to the caller's machine *)
+            let sim = Sim.clone sim0 in
+            if trail then Sim.enable_trail sim;
+            Sim.set_obs sim obs;
+            go ctx sim 0 0 (init sim)
+          end
+          else go ctx sim0 0 0 (init sim0)
+        else begin
+          (* the expansion root is a clone: expansion-phase counting (clone
+             mode, coordinating domain) must not touch the caller's machine
+             or race with anything *)
+          let root = Sim.clone sim0 in
+          Sim.set_obs root obs;
+          (* enough tasks that the longest subtree cannot dominate the makespan *)
+          let te = if trace <> None then Obs.Clock.now_ns () else 0 in
+          let tasks = expand_frontier ~ctx ~target:(32 * jobs) ~init root in
+          (match obs with
+          | Some reg ->
+            Obs.Metrics.Counter.add
+              (Obs.Metrics.counter reg Obs.Names.explore_tasks)
+              (Array.length tasks)
+          | None -> ());
+          (match trace with
+          | Some tr ->
+            Obs.Trace.span tr ~name:"explore.expand" ~start_ns:te
+              ~dur_ns:(Obs.Clock.now_ns () - te)
+              [ ("tasks", Obs.Trace.Int (Array.length tasks)) ]
+          | None -> ());
+          (match progress with Some p -> Obs.Progress.set_tasks p (Array.length tasks) | None -> ());
+          run_tasks ~ctx ~jobs ~trace ~pending:frontier_pending tasks
         end
-        else go ctx sim0 0 0 (init sim0)
-      else begin
-        (* the expansion root is a clone: expansion-phase counting (clone
-           mode, coordinating domain) must not touch the caller's machine
-           or race with anything *)
-        let root = Sim.clone sim0 in
-        Sim.set_obs root obs;
-        (* enough tasks that the longest subtree cannot dominate the makespan *)
-        let te = if trace <> None then Obs.Clock.now_ns () else 0 in
-        let tasks = expand_frontier ~ctx ~target:(32 * jobs) ~init root in
-        (match obs with
-        | Some reg ->
-          Obs.Metrics.Counter.add
-            (Obs.Metrics.counter reg Obs.Names.explore_tasks)
-            (Array.length tasks)
-        | None -> ());
+      with Out_of_budget reason ->
+        (* budget aborts are verdicts, not failures: the stats accumulated
+           so far (partial worker stats included, merged by [run_tasks])
+           describe real coverage *)
+        exhaust :=
+          Some
+            {
+              ex_reason = reason;
+              ex_frontier = !frontier_pending;
+              ex_degraded =
+                (match limits with Some l -> Atomic.get l.l_degraded | None -> []);
+            };
         (match trace with
         | Some tr ->
-          Obs.Trace.span tr ~name:"explore.expand" ~start_ns:te
-            ~dur_ns:(Obs.Clock.now_ns () - te)
-            [ ("tasks", Obs.Trace.Int (Array.length tasks)) ]
-        | None -> ());
-        (match progress with Some p -> Obs.Progress.set_tasks p (Array.length tasks) | None -> ());
-        run_tasks ~ctx ~jobs ~trace tasks
-      end);
-  ctx.stats
+          Obs.Trace.event tr ~name:"explore.exhausted"
+            [
+              ("reason", Obs.Trace.Str (exhaust_reason_name reason));
+              ("frontier", Obs.Trace.Int !frontier_pending);
+            ]
+        | None -> ()));
+  (ctx.stats, !exhaust)
 
 (** Depth-first enumeration of all schedules of [sim0] under [cfg],
     calling [on_terminal] on every completed execution.  Returns the
@@ -541,7 +702,7 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init ~step_state ~on
     crash budget spent) was already visited are pruned and counted in
     [stats.dup]. *)
 let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs ?progress
-    ?trace ?on_step ~on_terminal sim0 =
+    ?trace ?(budget = no_budget) ?should_stop ?on_exhausted ?on_step ~on_terminal sim0 =
   let step_state =
     match on_step with
     | None -> fun () _ -> ()
@@ -550,9 +711,15 @@ let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?ob
         f sim;
         ()
   in
-  run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init:(fun _ -> ()) ~step_state
-    ~on_terminal:(fun () sim -> on_terminal sim)
-    sim0
+  let limits = limits_of ~budget ~should_stop in
+  let stats, exhaust =
+    run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init:(fun _ -> ())
+      ~step_state
+      ~on_terminal:(fun () sim -> on_terminal sim)
+      sim0
+  in
+  (match (exhaust, on_exhausted) with Some e, Some f -> f e | _ -> ());
+  stats
 
 (** Search for the first terminal execution that fails the check.
     Returns the violating machine (with its full history) if one exists,
@@ -571,15 +738,17 @@ let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?ob
     The returned machine is always an independent snapshot, whatever the
     branching discipline. *)
 let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs
-    ?progress ?trace ?(check_mode = `Terminal) ~check sim0 =
+    ?progress ?trace ?(budget = no_budget) ?should_stop ?on_exhausted
+    ?(check_mode = `Terminal) ~check sim0 =
   (* in trail mode the machine at a terminal is the search's working
      machine, about to be rewound: capture an independent snapshot *)
   let capture sim = if trail then Sim.clone sim else sim in
+  let limits = limits_of ~budget ~should_stop in
   try
-    let stats =
+    let stats, exhaust =
       match (check_mode : check_mode) with
       | `Terminal ->
-        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace
+        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits
           ~init:(fun _ -> ())
           ~step_state:(fun () _ -> ())
           ~on_terminal:(fun () sim ->
@@ -588,16 +757,364 @@ let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail 
             | None -> ())
           sim0
       | `Incremental (Path p) ->
-        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~init:p.init ~step_state:p.step
+        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init:p.init
+          ~step_state:p.step
           ~on_terminal:(fun st sim ->
             match p.terminal st sim with
             | Some reason -> raise (Found (capture sim, reason))
             | None -> ())
           sim0
     in
+    (match (exhaust, on_exhausted) with Some e, Some f -> f e | _ -> ());
     (None, stats)
   with Found (sim, reason) ->
     (match trace with
     | Some tr -> Obs.Trace.event tr ~name:"explore.violation" [ ("reason", Obs.Trace.Str reason) ]
     | None -> ());
     (Some (sim, reason), zero_stats ())
+
+(* {1 The resilient engine: task-partitioned, budgeted, checkpointable} *)
+
+(** Where and how often to checkpoint; see {!sweep}. *)
+type checkpoint_spec = {
+  cp_path : string;
+  cp_interval_s : float;  (** minimum seconds between periodic saves *)
+  cp_scenario : (string * string) list;
+      (** stamp persisted into the checkpoint; a resume must present an
+          equal stamp (the CLI enforces this) *)
+}
+
+(** The resilient search: always partitions the tree into frontier tasks
+    (even at [jobs = 1] — by the engine-invariance property the
+    statistics do not depend on the partition), processes them on a
+    worker pool that folds each {e completed} task's statistics and
+    metrics into an accumulator, and (with [checkpoint]) persists the
+    accumulator plus per-task completion flags atomically — periodically
+    and at every outcome.  In-flight tasks are discarded by a kill and
+    re-run from their recorded decision paths on [resume], which is what
+    makes a resumed run's verdict and counters exactly equal to an
+    uninterrupted run's (the one exception is [dedup]: the visited store
+    is rebuilt from scratch on resume, so dup/node counts can shift —
+    verdicts remain sound either way).
+
+    Returns the outcome and the coverage achieved.  Unlike
+    {!find_violation}, the statistics are returned for every outcome,
+    including [Violation] (they describe the work done up to the
+    abort). *)
+let sweep ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs
+    ?progress ?trace ?(budget = no_budget) ?should_stop ?checkpoint ?resume
+    ?(check_mode = `Terminal) ~check sim0 =
+  let jobs = max 1 jobs in
+  (match resume with
+  | Some ck when ck.Checkpoint.result <> None ->
+    invalid_arg "Explore.sweep: checkpoint is already finalized (it carries a verdict)"
+  | _ -> ());
+  let run (type st) (init : Sim.t -> st) (step : st -> Sim.t -> st)
+      (term : st -> Sim.t -> string option) =
+    let t_start = Obs.Clock.now_ns () in
+    let limits = limits_of ~budget ~should_stop in
+    (* the accumulator registry exists whenever anyone will read metrics —
+       the caller ([obs]) or a checkpoint file *)
+    let obs_on = obs <> None || checkpoint <> None || resume <> None in
+    let acc = zero_stats () in
+    let acc_reg = if obs_on then Some (Obs.Metrics.create ()) else None in
+    let acc_mutex = Mutex.create () in
+    let capture sim = if trail then Sim.clone sim else sim in
+    let ctx0 =
+      {
+        cfg;
+        stats = acc;
+        stop = never_stop;
+        seen = (if dedup then Some (Fingerprint.Store.create ()) else None);
+        trail;
+        step_state = step;
+        on_terminal =
+          (fun st sim ->
+            match term st sim with
+            | Some reason -> raise (Found (capture sim, reason))
+            | None -> ());
+        frontier = None;
+        om = Option.map meters_of acc_reg;
+        prog = progress;
+        limits;
+        cur_dec = ref None;
+      }
+    in
+    (* ---- partition: expand afresh, or replay the checkpointed tasks ---- *)
+    let partition () =
+      match resume with
+      | Some ck ->
+        let all_meta =
+          Array.map (fun t -> (t.Checkpoint.ck_path, t.Checkpoint.ck_crashes)) ck.Checkpoint.tasks
+        in
+        let done_flags = Array.map (fun t -> t.Checkpoint.ck_done) ck.Checkpoint.tasks in
+        (* adopt the persisted accumulations: totals and metrics cover
+           expansion plus the tasks already completed *)
+        acc.nodes <- ck.Checkpoint.totals.Checkpoint.ck_nodes;
+        acc.terminals <- ck.Checkpoint.totals.Checkpoint.ck_terminals;
+        acc.truncated <- ck.Checkpoint.totals.Checkpoint.ck_truncated;
+        acc.dup <- ck.Checkpoint.totals.Checkpoint.ck_dup;
+        (match acc_reg with
+        | Some reg ->
+          List.iter (fun (n, v) -> Obs.Metrics.absorb ~into:reg n v) ck.Checkpoint.metrics
+        | None -> ());
+        let pending = ref [] in
+        Array.iteri
+          (fun i (path, crashes) ->
+            if not done_flags.(i) then begin
+              (* replay the decision path on a fresh clone; replayed work
+                 is reconstruction, not exploration, so it must count
+                 nothing (the expansion that first built this task was
+                 already accounted — and persisted) *)
+              let sim = Sim.clone sim0 in
+              Sim.set_obs sim None;
+              let st = ref (init sim) in
+              List.iter
+                (fun d ->
+                  Schedule.apply sim d;
+                  st := step !st sim)
+                path;
+              pending :=
+                ( i,
+                  {
+                    t_sim = sim;
+                    t_depth = List.length path;
+                    t_crashes = crashes;
+                    t_state = !st;
+                    t_path = [];
+                  } )
+                :: !pending
+            end)
+          all_meta;
+        (match trace with
+        | Some tr ->
+          Obs.Trace.event tr ~name:"explore.resume"
+            [
+              ("tasks", Obs.Trace.Int (Array.length all_meta));
+              ("pending", Obs.Trace.Int (List.length !pending));
+            ]
+        | None -> ());
+        (all_meta, done_flags, Array.of_list (List.rev !pending))
+      | None ->
+        let root = Sim.clone sim0 in
+        Sim.set_obs root acc_reg;
+        let te = if trace <> None then Obs.Clock.now_ns () else 0 in
+        let tasks = expand_frontier ~ctx:ctx0 ~target:(32 * jobs) ~init root in
+        (match acc_reg with
+        | Some reg ->
+          Obs.Metrics.Counter.add
+            (Obs.Metrics.counter reg Obs.Names.explore_tasks)
+            (Array.length tasks)
+        | None -> ());
+        (match trace with
+        | Some tr ->
+          Obs.Trace.span tr ~name:"explore.expand" ~start_ns:te
+            ~dur_ns:(Obs.Clock.now_ns () - te)
+            [ ("tasks", Obs.Trace.Int (Array.length tasks)) ]
+        | None -> ());
+        let all_meta =
+          Array.map (fun t -> (List.rev t.t_path, t.t_crashes)) tasks
+        in
+        let done_flags = Array.make (Array.length tasks) false in
+        (all_meta, done_flags, Array.mapi (fun i t -> (i, t)) tasks)
+    in
+    let finish_obs () =
+      (match obs with
+      | Some reg ->
+        (match acc_reg with Some a -> Obs.Metrics.merge ~into:reg a | None -> ());
+        let c name v = Obs.Metrics.Counter.add (Obs.Metrics.counter reg name) v in
+        c Obs.Names.explore_nodes acc.nodes;
+        c Obs.Names.explore_terminals acc.terminals;
+        c Obs.Names.explore_truncated acc.truncated;
+        c Obs.Names.explore_dedup_pruned acc.dup;
+        Obs.Metrics.Timer.add
+          (Obs.Metrics.timer reg Obs.Names.explore_time_total)
+          (Obs.Clock.now_ns () - t_start)
+      | None -> ());
+      (match trace with
+      | Some tr ->
+        Obs.Trace.span tr ~name:"explore.search" ~start_ns:t_start
+          ~dur_ns:(Obs.Clock.now_ns () - t_start)
+          [
+            ("jobs", Obs.Trace.Int jobs);
+            ("nodes", Obs.Trace.Int acc.nodes);
+            ("terminals", Obs.Trace.Int acc.terminals);
+            ("truncated", Obs.Trace.Int acc.truncated);
+            ("dup", Obs.Trace.Int acc.dup);
+          ]
+      | None -> ());
+      match progress with Some p -> Obs.Progress.finish p ~nodes:acc.nodes | None -> ()
+    in
+    match partition () with
+    | exception Found (sim, reason) ->
+      (* the expansion phase itself hit a violating terminal — possible on
+         shallow trees whose whole frontier fits in the expansion; there is
+         no task list yet, so nothing to checkpoint (a violation ends the
+         search for good anyway) *)
+      (match trace with
+      | Some tr ->
+        Obs.Trace.event tr ~name:"explore.violation" [ ("reason", Obs.Trace.Str reason) ]
+      | None -> ());
+      finish_obs ();
+      (Violation (sim, reason), acc)
+    | exception Out_of_budget reason ->
+      (* exhausted before the partition existed: nothing to checkpoint *)
+      let ex =
+        {
+          ex_reason = reason;
+          ex_frontier = 0;
+          ex_degraded = (match limits with Some l -> Atomic.get l.l_degraded | None -> []);
+        }
+      in
+      finish_obs ();
+      (Exhausted ex, acc)
+    | all_meta, done_flags, pending ->
+      let last_save = ref (Obs.Clock.now_ns ()) in
+      (* call only while holding [acc_mutex] (or after the join) *)
+      let save_ck ~result () =
+        match checkpoint with
+        | None -> ()
+        | Some spec ->
+          let tasks =
+            Array.mapi
+              (fun i (path, crashes) ->
+                { Checkpoint.ck_path = path; ck_crashes = crashes; ck_done = done_flags.(i) })
+              all_meta
+          in
+          Checkpoint.save ~path:spec.cp_path
+            {
+              Checkpoint.scenario = spec.cp_scenario;
+              tasks;
+              totals =
+                {
+                  Checkpoint.ck_nodes = acc.nodes;
+                  ck_terminals = acc.terminals;
+                  ck_truncated = acc.truncated;
+                  ck_dup = acc.dup;
+                };
+              metrics = (match acc_reg with Some r -> Obs.Metrics.to_list r | None -> []);
+              result;
+            };
+          (match trace with
+          | Some tr ->
+            Obs.Trace.event tr ~name:"explore.checkpoint.save"
+              [
+                ("tasks", Obs.Trace.Int (Array.length all_meta));
+                ("done", Obs.Trace.Int (Array.fold_left (fun a d -> if d then a + 1 else a) 0 done_flags));
+                ("final", Obs.Trace.Bool (result <> None));
+              ]
+          | None -> ())
+      in
+      (* an initial save right after partitioning: a kill during early
+         processing can already resume without re-expanding *)
+      save_ck ~result:None ();
+      (match progress with
+      | Some p -> Obs.Progress.set_tasks p (Array.length pending)
+      | None -> ());
+      (* ---- the worker pool: merge per completed task ---- *)
+      let n = Array.length pending in
+      let next = Atomic.make 0 in
+      let stop_flag = Atomic.make false in
+      let failure : exn option Atomic.t = Atomic.make None in
+      let publish e =
+        if Atomic.compare_and_set failure None (Some e) then ();
+        Atomic.set stop_flag true
+      in
+      let worker _w () =
+        try
+          let continue = ref true in
+          while !continue do
+            if Atomic.get stop_flag then continue := false
+            else begin
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= n then continue := false
+              else begin
+                let gid, t = pending.(i) in
+                let wstats = zero_stats () in
+                let wreg = if obs_on then Some (Obs.Metrics.create ()) else None in
+                let wctx =
+                  {
+                    ctx0 with
+                    stats = wstats;
+                    stop = (fun () -> Atomic.get stop_flag);
+                    om = Option.map meters_of wreg;
+                    cur_dec = ref None;
+                  }
+                in
+                if trail then Sim.enable_trail t.t_sim;
+                Sim.set_obs t.t_sim wreg;
+                go wctx t.t_sim t.t_depth t.t_crashes t.t_state;
+                (* the task completed: fold it into the accumulator.  A
+                   task cut short by Found/Out_of_budget never reaches
+                   this point — its partial work is discarded, so the
+                   accumulator (and any checkpoint of it) stays exact *)
+                Mutex.lock acc_mutex;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock acc_mutex)
+                  (fun () ->
+                    add_stats acc wstats;
+                    (match (acc_reg, wreg) with
+                    | Some a, Some w -> Obs.Metrics.merge ~into:a w
+                    | _ -> ());
+                    done_flags.(gid) <- true;
+                    match checkpoint with
+                    | Some spec ->
+                      let now = Obs.Clock.now_ns () in
+                      if float_of_int (now - !last_save) >= spec.cp_interval_s *. 1e9 then begin
+                        last_save := now;
+                        save_ck ~result:None ()
+                      end
+                    | None -> ());
+                match progress with Some p -> Obs.Progress.task_done p | None -> ()
+              end
+            end
+          done
+        with
+        | Stopped -> ()
+        | e -> publish e
+      in
+      let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+      worker 0 ();
+      List.iter Domain.join domains;
+      let frontier_left =
+        Array.fold_left (fun a d -> if d then a else a + 1) 0 done_flags
+      in
+      let outcome =
+        match Atomic.get failure with
+        | Some (Found (sim, reason)) ->
+          (match trace with
+          | Some tr ->
+            Obs.Trace.event tr ~name:"explore.violation" [ ("reason", Obs.Trace.Str reason) ]
+          | None -> ());
+          save_ck ~result:(Some ("violation", reason)) ();
+          Violation (sim, reason)
+        | Some (Out_of_budget reason) ->
+          save_ck ~result:None ();
+          let ex =
+            {
+              ex_reason = reason;
+              ex_frontier = frontier_left;
+              ex_degraded =
+                (match limits with Some l -> Atomic.get l.l_degraded | None -> []);
+            }
+          in
+          (match trace with
+          | Some tr ->
+            Obs.Trace.event tr ~name:"explore.exhausted"
+              [
+                ("reason", Obs.Trace.Str (exhaust_reason_name reason));
+                ("frontier", Obs.Trace.Int frontier_left);
+              ]
+          | None -> ());
+          Exhausted ex
+        | Some e -> raise e
+        | None ->
+          save_ck ~result:(Some ("clean", "")) ();
+          Clean
+      in
+      finish_obs ();
+      (outcome, acc)
+  in
+  match (check_mode : check_mode) with
+  | `Terminal -> run (fun _ -> ()) (fun () _ -> ()) (fun () sim -> check sim)
+  | `Incremental (Path p) -> run p.init p.step p.terminal

@@ -89,6 +89,47 @@ type path_checker =
 
 type check_mode = [ `Terminal | `Incremental of path_checker ]
 
+(** {1 Budgets and partial verdicts}
+
+    A budget bounds a search's resources so long-running verification
+    degrades gracefully instead of dying: the visited-store cap triggers
+    a degradation (the dedup store is dropped and the search continues
+    unpruned), while the deadline and node budgets abort the search with
+    a structured partial verdict.  Everything counted in the returned
+    {!stats} was really explored and judged — a budget abort reports the
+    coverage achieved, it never fabricates a clean verdict. *)
+
+type budget = {
+  deadline_s : float option;  (** wall-clock bound, seconds from the start of the call *)
+  max_nodes : int option;  (** bound on nodes processed (global across domains) *)
+  max_visited : int option;
+      (** cap on the dedup visited store, in fingerprints; exceeding it
+          drops the store (degradation, not abort) *)
+}
+
+val no_budget : budget
+(** All bounds off — the historical unbounded behaviour. *)
+
+type exhaust_reason = [ `Deadline | `Interrupted | `Nodes ]
+
+val exhaust_reason_name : exhaust_reason -> string
+(** ["deadline"], ["max-nodes"] or ["interrupted"]. *)
+
+type exhausted = {
+  ex_reason : exhaust_reason;
+  ex_frontier : int;
+      (** independent subtree tasks not yet completed when the search was
+          cut (0 for unpartitioned searches) *)
+  ex_degraded : string list;
+      (** degradation steps taken before giving up, oldest first *)
+}
+
+(** Verdict of a budgeted, resumable search ({!sweep}). *)
+type outcome =
+  | Clean  (** every schedule within the bounds explored, no violation found *)
+  | Violation of Sim.t * string
+  | Exhausted of exhausted
+
 val dfs :
   ?cfg:config ->
   ?jobs:int ->
@@ -97,6 +138,9 @@ val dfs :
   ?obs:Obs.Metrics.t ->
   ?progress:Obs.Progress.t ->
   ?trace:Obs.Trace.t ->
+  ?budget:budget ->
+  ?should_stop:(unit -> bool) ->
+  ?on_exhausted:(exhausted -> unit) ->
   ?on_step:(Sim.t -> unit) ->
   on_terminal:(Sim.t -> unit) ->
   Sim.t ->
@@ -133,7 +177,17 @@ val dfs :
     worker and task-completion events (its output is throttled
     wall-clock, see {!Obs.Progress}); [trace] receives span records —
     [explore.search], [explore.expand], one [explore.worker] per domain
-    — written only from the coordinating domain. *)
+    — written only from the coordinating domain.
+
+    {b Budgets.}  [budget] bounds the search (see {!budget});
+    [should_stop] is polled every few dozen processed nodes and cuts the
+    search cooperatively (the hook a signal handler's flag plugs into).
+    When a bound trips, the returned statistics cover the work actually
+    done (partial subtrees included) and [on_exhausted] — if given —
+    receives the structured partial verdict; an [explore.exhausted]
+    event goes to [trace].  Exceeding [max_visited] never aborts: the
+    dedup store is dropped (recorded in {!exhausted.ex_degraded} if a
+    later bound trips) and the search continues unpruned. *)
 
 exception Found of Sim.t * string
 
@@ -145,6 +199,9 @@ val find_violation :
   ?obs:Obs.Metrics.t ->
   ?progress:Obs.Progress.t ->
   ?trace:Obs.Trace.t ->
+  ?budget:budget ->
+  ?should_stop:(unit -> bool) ->
+  ?on_exhausted:(exhausted -> unit) ->
   ?check_mode:check_mode ->
   check:(Sim.t -> string option) ->
   Sim.t ->
@@ -168,4 +225,70 @@ val find_violation :
     [obs], [progress] and [trace] as in {!dfs}; a violating run
     additionally emits an [explore.violation] event to [trace], and its
     [obs] totals cover the work done up to the abort (the returned
-    [stats] stay zero, as before). *)
+    [stats] stay zero, as before).  [budget], [should_stop] and
+    [on_exhausted] as in {!dfs}: a budget-cut search that found no
+    violation returns [(None, partial_stats)] and reports the cut
+    through [on_exhausted] — it is a coverage statement, not a clean
+    certificate. *)
+
+(** {1 The resilient engine}
+
+    {!sweep} is the budgeted, checkpointable, resumable front door: it
+    always splits the search into frontier tasks (statistics are
+    partition-invariant, so this changes no counter), folds each
+    completed task into an accumulator, and can persist the accumulator
+    plus the task list to a {!Checkpoint} file — periodically, and at
+    every outcome.  A killed sweep resumed from its checkpoint re-runs
+    exactly the tasks that had not completed (in-flight partial work is
+    discarded on purpose), which makes the resumed verdict {e and} all
+    engine-invariant counters byte-identical to an uninterrupted run —
+    except under [dedup], whose visited store restarts empty on resume
+    (verdicts stay sound; dup/node splits may shift). *)
+
+type checkpoint_spec = {
+  cp_path : string;  (** file to write (atomically: temp + rename) *)
+  cp_interval_s : float;  (** minimum seconds between periodic saves *)
+  cp_scenario : (string * string) list;
+      (** printable stamp persisted into the file; a resume must present
+          an equal stamp (the CLI enforces this) *)
+}
+
+val sweep :
+  ?cfg:config ->
+  ?jobs:int ->
+  ?dedup:bool ->
+  ?trail:bool ->
+  ?obs:Obs.Metrics.t ->
+  ?progress:Obs.Progress.t ->
+  ?trace:Obs.Trace.t ->
+  ?budget:budget ->
+  ?should_stop:(unit -> bool) ->
+  ?checkpoint:checkpoint_spec ->
+  ?resume:Checkpoint.t ->
+  ?check_mode:check_mode ->
+  check:(Sim.t -> string option) ->
+  Sim.t ->
+  outcome * stats
+(** Budgeted, resumable violation search.  The returned statistics are
+    the coverage achieved and accompany {e every} outcome (unlike
+    {!find_violation}, a [Violation] outcome reports the work done up to
+    the abort rather than zeros).
+
+    [checkpoint] persists progress: once right after partitioning, then
+    at task-completion granularity every [cp_interval_s] seconds, and
+    finally at the outcome (a finished search writes its verdict into
+    the file; {!Checkpoint.t.result}).  [resume] restores a previously
+    saved, unfinalized checkpoint: completed tasks are adopted from the
+    accumulator, pending ones are reconstructed by replaying their
+    decision paths on clones of [sim0] — the caller must rebuild the
+    {e same} scenario machine and pass equal parameters (validate with
+    {!Checkpoint.t.scenario}).  @raise Invalid_argument if the
+    checkpoint is already finalized.
+
+    [should_stop] is the kill hook: when it flips (e.g. from a
+    SIGTERM/SIGINT handler), workers stop at the next node, the
+    in-flight tasks are discarded, a final checkpoint is saved and the
+    outcome is [Exhausted {ex_reason = `Interrupted; _}].
+
+    Trace events beyond {!dfs}'s: [explore.checkpoint.save] per save,
+    [explore.resume] on restore, [explore.exhausted] on budget cuts. *)

@@ -1,14 +1,48 @@
 (** Deterministic, clonable generator of arbitrary values used to scramble
     the volatile local variables of a process when it incurs a
     crash-failure.  Keeping the generator state explicit makes whole-machine
-    cloning (for exhaustive schedule exploration) and replay possible. *)
+    cloning (for exhaustive schedule exploration) and replay possible.
 
-type t = { mutable s : int }
+    The generator is parameterized by an adversarial {e strategy}: the
+    default [Scramble] draws from a seeded xorshift stream, the constant
+    strategies plant values chosen to trip algorithms that trust their
+    locals after a crash, and [Lure] replays values that already exist in
+    the system (the hardest junk to tell apart from legitimate state).
+    Every strategy advances the same underlying state on every draw, so
+    trail undo ({!set_state}) and fingerprinting ({!state}) are
+    strategy-oblivious. *)
 
-let create seed = { s = (if seed = 0 then 0x9e3779b9 else seed land max_int) }
-let copy t = { s = t.s }
+type strategy =
+  | Scramble  (** seeded pseudo-random values (the historical default) *)
+  | Zeros  (** every local becomes [Int 0] *)
+  | Ones  (** every local becomes [Int (-1)] (all bits set) *)
+  | MaxInt  (** every local becomes [Int max_int] *)
+  | Lure of Nvm.Value.t array
+      (** draw (pseudo-randomly) from a pool of plausible values — e.g. the
+          values currently stored in NVRAM *)
+
+type t = { mutable s : int; mutable strategy : strategy }
+
+let create ?(strategy = Scramble) seed =
+  { s = (if seed = 0 then 0x9e3779b9 else seed land max_int); strategy }
+
+let copy t = { s = t.s; strategy = t.strategy }
 let state t = t.s
 let set_state t s = t.s <- s
+let strategy t = t.strategy
+let set_strategy t strategy = t.strategy <- strategy
+
+let strategy_name = function
+  | Scramble -> "scramble"
+  | Zeros -> "zeros"
+  | Ones -> "ones"
+  | MaxInt -> "maxint"
+  | Lure _ -> "lure"
+
+let constant_strategies =
+  [ ("scramble", Scramble); ("zeros", Zeros); ("ones", Ones); ("maxint", MaxInt) ]
+
+let strategy_names = List.map fst constant_strategies @ [ "lure" ]
 
 let bits t =
   let s = t.s in
@@ -18,7 +52,10 @@ let bits t =
   t.s <- s land max_int;
   t.s
 
-let next t : Nvm.Value.t =
+(* the historical stream; every strategy drives the state through this
+   exact draw (variable bits consumed), so state traces — and with them
+   undo trails and fingerprints — are identical whatever the strategy *)
+let scramble_next t : Nvm.Value.t =
   match bits t mod 6 with
   | 0 -> Null
   | 1 -> Bool (bits t land 1 = 0)
@@ -26,3 +63,14 @@ let next t : Nvm.Value.t =
   | 3 -> Pid (bits t mod 16)
   | 4 -> Str "junk"
   | _ -> Pair (Int (bits t mod 64), Bool (bits t land 1 = 0))
+
+let next t : Nvm.Value.t =
+  let v = scramble_next t in
+  match t.strategy with
+  | Scramble -> v
+  | Zeros -> Int 0
+  | Ones -> Int (-1)
+  | MaxInt -> Int max_int
+  | Lure pool ->
+    let n = Array.length pool in
+    if n = 0 then Int 0 else pool.(t.s mod n)

@@ -1,13 +1,34 @@
 (** Deterministic, clonable generator of arbitrary values used to scramble
     volatile local variables on a crash-failure.  Explicit state makes
-    whole-machine cloning and replay of failing executions possible. *)
+    whole-machine cloning and replay of failing executions possible.
+
+    The value distribution is pluggable ({!strategy}): the paper only
+    requires post-crash locals to hold {e arbitrary} values, so an
+    adversarial checker should try several shapes of arbitrariness —
+    random bits, constants an algorithm might treat as sentinels, and
+    "lures" indistinguishable from legitimate data.  Whatever the
+    strategy, every draw advances the same generator state, so undo
+    trails and fingerprints are unaffected by the choice. *)
+
+type strategy =
+  | Scramble  (** seeded pseudo-random values (the historical default) *)
+  | Zeros  (** every local becomes [Int 0] *)
+  | Ones  (** every local becomes [Int (-1)] (all bits set) *)
+  | MaxInt  (** every local becomes [Int max_int] *)
+  | Lure of Nvm.Value.t array
+      (** draw (pseudo-randomly) from a pool of plausible values — e.g. the
+          values currently stored in NVRAM.  An empty pool degenerates to
+          [Int 0]. *)
 
 type t
 
-val create : int -> t
-(** [create seed] — the stream is a pure function of the seed. *)
+val create : ?strategy:strategy -> int -> t
+(** [create seed] — the stream is a pure function of the seed and the
+    strategy (default [Scramble], byte-compatible with the historical
+    generator). *)
 
 val copy : t -> t
+(** Independent copy with the same state and strategy. *)
 
 val state : t -> int
 (** The current generator state, without advancing it.  Two generators
@@ -19,8 +40,23 @@ val set_state : t -> int -> unit
     with {!state}.  Used by undo trails to revert junk draws on
     backtrack. *)
 
+val strategy : t -> strategy
+val set_strategy : t -> strategy -> unit
+
+val strategy_name : strategy -> string
+(** Stable lowercase name: ["scramble"], ["zeros"], ["ones"], ["maxint"],
+    ["lure"]. *)
+
+val constant_strategies : (string * strategy) list
+(** The strategies that need no pool, by name — everything but [Lure]. *)
+
+val strategy_names : string list
+(** All strategy names, for CLI help and campaign sweeps. *)
+
 val next : t -> Nvm.Value.t
-(** The next arbitrary value; advances the state. *)
+(** The next arbitrary value per the current strategy; always advances
+    the state (even for constant strategies, so schedules replay
+    identically whatever the strategy). *)
 
 val bits : t -> int
 (** Raw generator output (non-negative); advances the state. *)

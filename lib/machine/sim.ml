@@ -146,6 +146,26 @@ let history_suffix t n =
   take (t.hist_len - n) t.hist_rev []
 
 let junk_state t = Junk.state t.junk
+let junk_strategy t = Junk.strategy t.junk
+let set_junk_strategy t s = Junk.set_strategy t.junk s
+
+(** The distinct values currently stored in NVRAM, sorted — the pool a
+    [Junk.Lure] adversary draws from.  Take it after scenario setup so
+    initial object state is represented. *)
+let lure_pool t =
+  Nvm.Memory.snapshot t.mem |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+
+let apply_junk_strategy t name =
+  match name with
+  | "lure" -> set_junk_strategy t (Junk.Lure (lure_pool t))
+  | _ -> (
+    match List.assoc_opt name Junk.constant_strategies with
+    | Some s -> set_junk_strategy t s
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Sim.apply_junk_strategy: unknown strategy %S (expected one of %s)"
+           name
+           (String.concat ", " Junk.strategy_names)))
 
 let proc t p = t.procs.(p)
 let status t p = t.procs.(p).status

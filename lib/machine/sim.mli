@@ -91,6 +91,25 @@ val junk_state : t -> int
     locals on a crash); included in configuration fingerprints because it
     determines the values future crashes produce. *)
 
+val junk_strategy : t -> Junk.strategy
+(** The adversarial junk strategy in force (default {!Junk.Scramble}). *)
+
+val set_junk_strategy : t -> Junk.strategy -> unit
+(** Choose how crashed locals are scrambled (see {!Junk.strategy}).  Set
+    after scenario setup and before exploration; the choice survives
+    {!clone} but is {e not} part of the fingerprint (a run uses one
+    strategy throughout). *)
+
+val lure_pool : t -> Nvm.Value.t array
+(** The distinct values currently stored in the machine's NVRAM, sorted —
+    a ready-made pool for {!Junk.Lure}: junk indistinguishable from
+    legitimate persistent data. *)
+
+val apply_junk_strategy : t -> string -> unit
+(** Set the strategy by its {!Junk.strategy_name}; ["lure"] builds its
+    pool from {!lure_pool} at call time.
+    @raise Invalid_argument on an unknown name. *)
+
 val history : t -> History.t
 (** The history recorded so far (invocation, response, crash and recovery
     steps, in order). *)

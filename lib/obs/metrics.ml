@@ -121,6 +121,28 @@ let to_list t =
   Hashtbl.fold (fun name m acc -> (name, view_of m) :: acc) t.tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Inverse of [bucket_le]: a serialized upper bound [2^i - 1] has bit
+   length [i], so [bucket_of le] recovers the bucket index exactly.  Out
+   of range (a future format with more buckets) clamps like [bucket_of]
+   does. *)
+let absorb ~into name (v : view) =
+  match v with
+  | Counter n -> Counter.add (counter into name) n
+  | Timer { ns; intervals } ->
+    let d = timer into name in
+    d.t_ns <- d.t_ns + ns;
+    d.t_n <- d.t_n + intervals
+  | Histogram { count; sum; max_value; buckets } ->
+    let d = histogram into name in
+    d.h_count <- d.h_count + count;
+    d.h_sum <- d.h_sum + sum;
+    if max_value > d.h_max then d.h_max <- max_value;
+    List.iter
+      (fun (le, n) ->
+        let i = bucket_of le in
+        d.h_buckets.(i) <- d.h_buckets.(i) + n)
+      buckets
+
 let merge ~into src =
   (* iterate in sorted order so creations in [into] are deterministic *)
   let entries =

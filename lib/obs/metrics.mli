@@ -85,3 +85,12 @@ val merge : into:t -> t -> unit
     (and take the max of maxima).  The source is left unchanged.
     @raise Invalid_argument on a name present in both with different
     kinds. *)
+
+val absorb : into:t -> string -> view -> unit
+(** Add one metric snapshot into the registry — the deserialising
+    counterpart of {!merge}: absorbing every [(name, view)] of
+    {!to_list} into a fresh registry reproduces the original exactly
+    (histogram bucket bounds round-trip because they are the buckets'
+    exact upper bounds).  Used to restore persisted metrics from a
+    checkpoint.
+    @raise Invalid_argument if [name] exists with a different kind. *)

@@ -32,6 +32,8 @@ let nrl_inc_memo_misses = "nrl.inc.memo.misses"
 let torture_ops = "torture.ops"
 let torture_crashes = "torture.crashes"
 let torture_retries = "torture.retries"
+let torture_livelocks = "torture.livelocks"
+let torture_aborted_recoveries = "torture.aborted_recoveries"
 
 (* (name, kind, engine-invariant, description); [all] below projects the
    public triple, [engine_invariant] the flag. *)
@@ -63,7 +65,9 @@ let catalogue =
     (nrl_inc_memo_misses, Counter, true, "closure nodes expanded");
     (torture_ops, Counter, true, "operations started under Torture.with_crashes");
     (torture_crashes, Counter, true, "armed crash points that fired");
-    (torture_retries, Counter, true, "recovery attempts (a crashed recovery is retried)");
+    (torture_retries, Counter, true, "recovery attempts (crashes = retries + aborted_recoveries)");
+    (torture_livelocks, Counter, true, "recoveries aborted by the traversal-fuse livelock detector");
+    (torture_aborted_recoveries, Counter, true, "recoveries abandoned after the retry budget");
   ]
 
 let all = List.map (fun (n, k, _, d) -> (n, k, d)) catalogue

@@ -116,8 +116,21 @@ val torture_crashes : string
 (** Armed crash points that fired (initial attempts and recoveries). *)
 
 val torture_retries : string
-(** Recovery attempts (≥ crashes of initial attempts; a recovery that
-    crashes again is retried and counted again). *)
+(** Recovery attempts, crashes {e during} recovery included: every
+    re-invocation of [recover] counts once, so the pinned relation is
+    [crashes = retries + aborted_recoveries] (each fired crash point
+    leads to either one more recovery attempt or an abandoned
+    recovery). *)
+
+val torture_livelocks : string
+(** Recoveries aborted by the livelock detector: the attempt traversed
+    more crash points than the watchdog's fuse allows without completing
+    (see {!Runtime.Torture.watchdog}). *)
+
+val torture_aborted_recoveries : string
+(** Recoveries abandoned because the watchdog's retry budget was
+    exhausted — the harness reports {!Runtime.Torture.Recovery_stuck}
+    instead of retrying forever. *)
 
 (** {1 The catalogue} *)
 

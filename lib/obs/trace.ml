@@ -35,21 +35,39 @@ let fields_str fs =
   String.concat ","
     (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (value_str v)) fs)
 
+(* Flush after every record: the sink's guarantee is that a run killed at
+   any point — including by an uncatchable SIGKILL — leaves a parseable
+   NDJSON prefix on disk, never a line cut mid-record by stdlib
+   buffering. *)
 let line t s =
   Mutex.lock t.m;
   if not t.closed then begin
     output_string t.oc s;
-    output_char t.oc '\n'
+    output_char t.oc '\n';
+    flush t.oc
   end;
   Mutex.unlock t.m
 
-let create ~path =
+let rec create ~path =
   let oc = open_out path in
   let t = { oc; m = Mutex.create (); closed = false } in
+  (* Belt and braces for catchable exits: flush-per-line already bounds
+     loss to the record being written, but a clean [at_exit] close also
+     releases the descriptor on normal termination paths that forget to
+     call {!close}. *)
+  at_exit (fun () -> close t);
   line t
     (Printf.sprintf "{\"schema\":\"%s\",\"type\":\"meta\",\"clock\":\"ns-since-process-start\"}"
        schema_version);
   t
+
+and close t =
+  Mutex.lock t.m;
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end;
+  Mutex.unlock t.m
 
 let event ?ts_ns t ~name fs =
   let ts = match ts_ns with Some ts -> ts | None -> Clock.now_ns () in
@@ -85,10 +103,3 @@ let metrics t reg =
              name count sum max_value bs))
     (Metrics.to_list reg)
 
-let close t =
-  Mutex.lock t.m;
-  if not t.closed then begin
-    t.closed <- true;
-    close_out t.oc
-  end;
-  Mutex.unlock t.m

@@ -15,7 +15,13 @@
     A sink serialises its writers with a mutex, so any domain may emit;
     the explorer nevertheless emits only from the coordinating domain
     (worker spans are recorded at the join), keeping hot loops free of
-    even uncontended locks. *)
+    even uncontended locks.
+
+    {b Durability.}  Every record is flushed to the operating system as
+    it is written, and {!create} registers an [at_exit] close: a run
+    killed at any point — SIGTERM, SIGKILL, power loss of the test box —
+    leaves a parseable NDJSON prefix, losing at most the record being
+    written at the instant of death.  See docs/observability.md. *)
 
 type t
 

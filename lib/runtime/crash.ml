@@ -9,16 +9,24 @@
     registers; the "NVRAM" ([Atomic] cells) keeps its contents.  The
     harness then invokes the recovery function, as the system would.
 
-    A [t] with [armed = None] never fires, so production use costs one
-    branch per access. *)
+    A [t] with [armed = None] and no fuse never fires, so production use
+    costs one branch per access.
+
+    The {e fuse} is the livelock detector's probe: when set to [n > 0],
+    an attempt (the span between two [arm]/[disarm] calls) that traverses
+    more than [n] crash points without completing raises {!Livelock} —
+    a recovery spinning on state it will never observe change trips the
+    fuse instead of hanging the harness (cf. Theorem 4's bounded-recovery
+    concern and the abortable-RME line of work). *)
 
 exception Crashed
+exception Livelock
 
-type t = { mutable armed : int option; mutable next : int }
+type t = { mutable armed : int option; mutable next : int; mutable fuse : int }
 
-let none = { armed = None; next = 0 }
+let none = { armed = None; next = 0; fuse = 0 }
 
-let create () = { armed = None; next = 0 }
+let create () = { armed = None; next = 0; fuse = 0 }
 
 (** Arm: crash when crash point [k] (0-based) is reached. *)
 let arm t k =
@@ -29,14 +37,23 @@ let disarm t =
   t.armed <- None;
   t.next <- 0
 
-(** Mark a crash point; raises {!Crashed} if armed for this index. *)
+let set_fuse t n = t.fuse <- n
+let fuse t = t.fuse
+
+(** Mark a crash point; raises {!Crashed} if armed for this index,
+    {!Livelock} if the attempt overran the fuse. *)
 let point t =
   match t.armed with
-  | None -> ()
+  | None ->
+    if t.fuse > 0 then begin
+      t.next <- t.next + 1;
+      if t.next > t.fuse then raise Livelock
+    end
   | Some k ->
     let i = t.next in
     t.next <- i + 1;
-    if i = k then raise Crashed
+    if i = k then raise Crashed;
+    if t.fuse > 0 && t.next > t.fuse then raise Livelock
 
 (** Number of crash points traversed since the last [arm]/[disarm]. *)
 let traversed t = t.next

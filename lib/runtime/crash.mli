@@ -5,14 +5,22 @@
     "NVRAM" ([Atomic] cells) keeps its contents; the harness then invokes
     the algorithm's recovery function, as the system would.  Each shared
     access in an operation is preceded by a {!point} with an increasing
-    index.  An unarmed [t] costs one branch per access. *)
+    index.  An unarmed, fuseless [t] costs one branch per access. *)
 
 exception Crashed
+
+exception Livelock
+(** Raised by {!point} when the current attempt traversed more crash
+    points than the {!set_fuse} bound without completing — the probe the
+    torture harness's watchdog uses to detect a non-terminating
+    recovery. *)
 
 type t
 
 val none : t
-(** A shared never-firing instance (the default of the [?cp] arguments). *)
+(** A shared never-firing instance (the default of the [?cp] arguments).
+    Never arm it or set its fuse: it is shared between domains precisely
+    because it is immutable in its default state. *)
 
 val create : unit -> t
 
@@ -21,9 +29,18 @@ val arm : t -> int -> unit
 
 val disarm : t -> unit
 
+val set_fuse : t -> int -> unit
+(** [set_fuse t n] bounds every attempt to [n] crash-point traversals
+    ([n <= 0] disables the fuse, the default).  The bound applies whether
+    or not the instance is armed, and resets at each {!arm}/{!disarm}. *)
+
+val fuse : t -> int
+(** The current fuse bound (0 when disabled). *)
+
 val point : t -> unit
 (** Mark a crash point.
-    @raise Crashed if armed for this index. *)
+    @raise Crashed if armed for this index.
+    @raise Livelock if the attempt overran the fuse. *)
 
 val traversed : t -> int
 (** Crash points passed since the last {!arm}/{!disarm}. *)

@@ -6,7 +6,11 @@
     armed crash point fires, consults how far the operation got
     ({!Crash.traversed}) to invoke the right recovery function, exactly
     as the model's [LI_p] does.  Crashes can hit the recovery functions
-    too (repeated failures), and recovery is retried until it completes.
+    too (repeated failures); recovery is retried under a {e watchdog}:
+    bounded retries with deterministic backoff, plus a traversal fuse
+    that converts a non-terminating recovery — exactly the failure mode
+    Theorem 4 warns about — into a reported {!Recovery_stuck} failure
+    instead of a hung test suite.
 
     This gives genuinely parallel executions (OCaml domains) in which
     operations abort at random shared-access boundaries and recover,
@@ -30,7 +34,77 @@ let rng_bits r =
 
 let rng_int r n = if n <= 0 then 0 else rng_bits r mod n
 
-type stats = { mutable crashes : int; mutable ops : int }
+(** Harness counters.  Pinned relation (the regression tests check it):
+    [crashes = retries + aborted_recoveries] — every fired crash point
+    leads to exactly one more recovery attempt, except the one that
+    exhausts the retry budget.  Livelocked attempts add to [livelocks]
+    without adding a crash. *)
+type stats = {
+  mutable crashes : int;
+  mutable ops : int;
+  mutable retries : int;
+  mutable livelocks : int;
+  mutable aborted_recoveries : int;
+}
+
+let stats_zero () =
+  { crashes = 0; ops = 0; retries = 0; livelocks = 0; aborted_recoveries = 0 }
+
+(** The recovery watchdog.  [wd_max_retries] bounds how often a crashed
+    operation's recovery is re-invoked; [wd_max_traversed] is the
+    per-attempt crash-point fuse ({!Crash.set_fuse}) that detects an
+    attempt spinning without progress; [wd_backoff] runs between retries
+    with the attempt number (1-based) — deterministic, so seeded runs
+    replay. *)
+type watchdog = {
+  wd_max_retries : int;
+  wd_max_traversed : int;
+  wd_backoff : int -> unit;
+}
+
+(* Exponential spin backoff: cheap, deterministic, and it keeps the
+   domain out of the contended lines while others make progress. *)
+let backoff_spin ?(base = 16) attempt =
+  let n = base * (1 lsl min attempt 10) in
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+let default_watchdog =
+  { wd_max_retries = 1_000; wd_max_traversed = 100_000; wd_backoff = (fun _ -> ()) }
+
+(** A recovery the watchdog gave up on.  [stuck_attempts] counts the
+    recovery attempts made; [stuck_traversed] how far the last attempt
+    got (crash points). *)
+exception
+  Recovery_stuck of {
+    stuck_kind : [ `Livelock | `Retries_exhausted ];
+    stuck_attempts : int;
+    stuck_traversed : int;
+  }
+
+let pp_stuck ppf = function
+  | Recovery_stuck { stuck_kind; stuck_attempts; stuck_traversed } ->
+    Format.fprintf ppf "recovery %s after %d attempt(s), %d crash point(s) traversed"
+      (match stuck_kind with
+      | `Livelock -> "livelocked (traversal fuse blown)"
+      | `Retries_exhausted -> "abandoned (retry budget exhausted)")
+      stuck_attempts stuck_traversed
+  | e -> raise (Invalid_argument ("Torture.pp_stuck: " ^ Printexc.to_string e))
+
+(** Per-domain heartbeats: each worker bumps its slot as it makes
+    progress (the harness beats once per wrapped operation and once per
+    recovery attempt); a monitor snapshots the array and calls a domain
+    stalled when its beat count did not advance between snapshots. *)
+type heartbeat = int Atomic.t array
+
+let heartbeat ~domains = Array.init (max 1 domains) (fun _ -> Atomic.make 0)
+let beat hb pid = if pid >= 0 && pid < Array.length hb then Atomic.incr hb.(pid)
+let beats hb = Array.map Atomic.get hb
+
+let stalled ~prev hb =
+  let n = min (Array.length prev) (Array.length hb) in
+  List.filter (fun i -> Atomic.get hb.(i) <= prev.(i)) (List.init n Fun.id)
 
 (* Metric handles resolved once per harness loop, not once per op.
    Counters are plain mutable ints: in a multi-domain torture run each
@@ -41,6 +115,8 @@ type meters = {
   tm_ops : Obs.Metrics.counter;
   tm_crashes : Obs.Metrics.counter;
   tm_retries : Obs.Metrics.counter;
+  tm_livelocks : Obs.Metrics.counter;
+  tm_aborted : Obs.Metrics.counter;
 }
 
 let meters_of reg =
@@ -48,58 +124,96 @@ let meters_of reg =
     tm_ops = Obs.Metrics.counter reg Obs.Names.torture_ops;
     tm_crashes = Obs.Metrics.counter reg Obs.Names.torture_crashes;
     tm_retries = Obs.Metrics.counter reg Obs.Names.torture_retries;
+    tm_livelocks = Obs.Metrics.counter reg Obs.Names.torture_livelocks;
+    tm_aborted = Obs.Metrics.counter reg Obs.Names.torture_aborted_recoveries;
   }
 
 (** Run [op] with a crash armed at a random position with probability
     [crash_prob]; on a crash, call [recover ~traversed] (which may itself
-    crash again at a random position) until the operation completes.
-    Returns the operation's (or final recovery's) result.
+    crash again at a random position) until the operation completes or
+    the [watchdog] gives up ({!Recovery_stuck}).  Returns the operation's
+    (or final recovery's) result.
+
+    [hb] is an optional [(heartbeat, slot)] pair beaten once per wrapped
+    operation and once per recovery attempt.
 
     [obs] mirrors the harness activity into a metric registry:
     [torture.ops] per wrapped operation, [torture.crashes] per injected
     crash (initial or during recovery), [torture.retries] per recovery
-    attempt. *)
-let with_crashes ~rng ~crash_prob ~stats ?obs ~op ~recover () =
+    attempt, [torture.livelocks] / [torture.aborted_recoveries] per
+    watchdog intervention — always in lockstep with [stats]. *)
+let with_crashes ~rng ~crash_prob ~stats ?obs ?(watchdog = default_watchdog) ?hb ~op
+    ~recover () =
   let om = Option.map meters_of obs in
   let bump sel =
     match om with Some m -> Obs.Metrics.Counter.incr (sel m) | None -> ()
   in
+  let pulse () = match hb with Some (h, slot) -> beat h slot | None -> () in
   let cp = Crash.create () in
+  Crash.set_fuse cp watchdog.wd_max_traversed;
   let arm () =
     if rng_int rng 1000 < int_of_float (crash_prob *. 1000.) then
       Crash.arm cp (rng_int rng 12)
     else Crash.disarm cp
   in
+  let livelocked ~attempts () =
+    stats.livelocks <- stats.livelocks + 1;
+    bump (fun m -> m.tm_livelocks);
+    raise
+      (Recovery_stuck
+         {
+           stuck_kind = `Livelock;
+           stuck_attempts = attempts;
+           stuck_traversed = Crash.traversed cp;
+         })
+  in
   arm ();
+  pulse ();
   stats.ops <- stats.ops + 1;
   bump (fun m -> m.tm_ops);
   match op ~cp with
   | v ->
     Crash.disarm cp;
     v
+  | exception Crash.Livelock -> livelocked ~attempts:0 ()
   | exception Crash.Crashed ->
     stats.crashes <- stats.crashes + 1;
     bump (fun m -> m.tm_crashes);
-    let rec retry () =
+    let rec retry attempt =
+      if attempt > watchdog.wd_max_retries then begin
+        stats.aborted_recoveries <- stats.aborted_recoveries + 1;
+        bump (fun m -> m.tm_aborted);
+        raise
+          (Recovery_stuck
+             {
+               stuck_kind = `Retries_exhausted;
+               stuck_attempts = attempt - 1;
+               stuck_traversed = Crash.traversed cp;
+             })
+      end;
       let traversed = Crash.traversed cp in
+      watchdog.wd_backoff attempt;
       arm ();
+      pulse ();
+      stats.retries <- stats.retries + 1;
       bump (fun m -> m.tm_retries);
       match recover ~cp ~traversed with
       | v ->
         Crash.disarm cp;
         v
+      | exception Crash.Livelock -> livelocked ~attempts:attempt ()
       | exception Crash.Crashed ->
         stats.crashes <- stats.crashes + 1;
         bump (fun m -> m.tm_crashes);
-        retry ()
+        retry (attempt + 1)
     in
-    retry ()
+    retry 1
 
 (** A recoverable-register WRITE under random crashes.  The wrapper holds
     the argument (system metadata); any crash position is recovered by
     [Rrw.write_recover], which decides re-execution itself. *)
-let rrw_write ~rng ~crash_prob ~stats ?obs reg ~pid v =
-  with_crashes ~rng ~crash_prob ~stats ?obs
+let rrw_write ~rng ~crash_prob ~stats ?obs ?watchdog ?hb reg ~pid v =
+  with_crashes ~rng ~crash_prob ~stats ?obs ?watchdog ?hb
     ~op:(fun ~cp -> Rrw.write ~cp reg ~pid v)
     ~recover:(fun ~cp ~traversed ->
       ignore traversed;
@@ -111,7 +225,7 @@ let rrw_write ~rng ~crash_prob ~stats ?obs reg ~pid v =
     preserves nested-operation arguments), so a crash inside the WRITE
     first runs the register's recovery and then INC's, mirroring the
     cascade. *)
-let rcounter_inc ~rng ~crash_prob ~stats ?obs (c : Rcounter.t) ~pid =
+let rcounter_inc ~rng ~crash_prob ~stats ?obs ?watchdog ?hb (c : Rcounter.t) ~pid =
   let pending_write = ref None in
   let body ~cp =
     Crash.point cp;
@@ -132,11 +246,11 @@ let rcounter_inc ~rng ~crash_prob ~stats ?obs (c : Rcounter.t) ~pid =
          recovery linearizes it exactly once; INC then just returns *)
       Rrw.write_recover ~cp c.Rcounter.regs.(pid) ~pid v
   in
-  with_crashes ~rng ~crash_prob ~stats ?obs ~op:body ~recover ()
+  with_crashes ~rng ~crash_prob ~stats ?obs ?watchdog ?hb ~op:body ~recover ()
 
 (** A recoverable T&S under random crashes. *)
-let rtas ~rng ~crash_prob ~stats ?obs t ~pid =
-  with_crashes ~rng ~crash_prob ~stats ?obs
+let rtas ~rng ~crash_prob ~stats ?obs ?watchdog ?hb t ~pid =
+  with_crashes ~rng ~crash_prob ~stats ?obs ?watchdog ?hb
     ~op:(fun ~cp -> Rtas.test_and_set ~cp t ~pid)
     ~recover:(fun ~cp ~traversed ->
       ignore traversed;
@@ -145,8 +259,8 @@ let rtas ~rng ~crash_prob ~stats ?obs t ~pid =
 
 (** A recoverable CAS under random crashes; the wrapper holds [old] and
     [new_]. *)
-let rcas ~rng ~crash_prob ~stats ?obs c ~pid ~old ~new_ =
-  with_crashes ~rng ~crash_prob ~stats ?obs
+let rcas ~rng ~crash_prob ~stats ?obs ?watchdog ?hb c ~pid ~old ~new_ =
+  with_crashes ~rng ~crash_prob ~stats ?obs ?watchdog ?hb
     ~op:(fun ~cp -> Rcas.cas ~cp c ~pid ~old ~new_)
     ~recover:(fun ~cp ~traversed ->
       ignore traversed;

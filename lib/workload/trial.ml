@@ -20,10 +20,13 @@ type result = {
 }
 
 let run ?(max_steps = 200_000) ?(crash_prob = 0.02) ?(recover_prob = 0.5)
-    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ?obs ~seed scenario =
+    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ?junk ?obs ~seed scenario =
   let sim = Machine.Sim.create ~seed ~nprocs:scenario.nprocs () in
   Machine.Sim.set_obs sim obs;
   scenario.build sim;
+  (* after [build]: the lure strategy draws its pool from the NVRAM the
+     scenario just initialised *)
+  Option.iter (Machine.Sim.apply_junk_strategy sim) junk;
   let policy =
     Machine.Schedule.random ~crash_prob ~recover_prob ~max_crashes ~system_crash_prob
       ~seed:(seed * 7919 + 13) ()
@@ -61,7 +64,8 @@ type summary = {
 (** Run [trials] independent trials with seeds [base_seed .. base_seed +
     trials - 1] and summarise. *)
 let batch ?(max_steps = 200_000) ?(crash_prob = 0.02) ?(recover_prob = 0.5)
-    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ?(base_seed = 1) ?obs ~trials scenario =
+    ?(max_crashes = 8) ?(system_crash_prob = 0.0) ?(base_seed = 1) ?junk ?obs ~trials
+    scenario =
   let summary =
     ref
       {
@@ -77,8 +81,8 @@ let batch ?(max_steps = 200_000) ?(crash_prob = 0.02) ?(recover_prob = 0.5)
   for i = 0 to trials - 1 do
     let seed = base_seed + i in
     let _, r =
-      run ~max_steps ~crash_prob ~recover_prob ~max_crashes ~system_crash_prob ?obs ~seed
-        scenario
+      run ~max_steps ~crash_prob ~recover_prob ~max_crashes ~system_crash_prob ?junk ?obs
+        ~seed scenario
     in
     let s = !summary in
     summary :=

@@ -24,6 +24,7 @@ val run :
   ?recover_prob:float ->
   ?max_crashes:int ->
   ?system_crash_prob:float ->
+  ?junk:string ->
   ?obs:Obs.Metrics.t ->
   seed:int ->
   scenario ->
@@ -31,7 +32,10 @@ val run :
 (** One seeded trial; returns the machine (with its history) and the
     verdict.  [obs] is attached to the trial's machine
     ({!Machine.Sim.set_obs}) before it runs, so simulator and checker
-    counters for the trial accumulate there. *)
+    counters for the trial accumulate there.  [junk] selects the
+    adversarial junk strategy by name
+    ({!Machine.Sim.apply_junk_strategy}, applied after the scenario is
+    built); defaults to the seeded scramble. *)
 
 type summary = {
   trials : int;
@@ -50,6 +54,7 @@ val batch :
   ?max_crashes:int ->
   ?system_crash_prob:float ->
   ?base_seed:int ->
+  ?junk:string ->
   ?obs:Obs.Metrics.t ->
   trials:int ->
   scenario ->

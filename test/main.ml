@@ -22,4 +22,5 @@ let () =
       ("runtime", Test_runtime.suite);
       ("runtime-ext", Test_runtime_extensions.suite);
       ("obs", Test_obs.suite);
+      ("resilience", Test_resilience.suite);
     ]

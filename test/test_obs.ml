@@ -109,6 +109,67 @@ let test_counters_invariant_across_engines () =
         [ (1, false); (2, true); (2, false); (4, true); (4, false) ])
     [ false; true ]
 
+(* the resume axis of the matrix: a sweep interrupted by a node budget
+   and resumed from its checkpoint must report the same invariant
+   counters as an uninterrupted sweep, for every engine configuration *)
+let sweep_registry ~jobs ~trail ~incremental ~interrupt () =
+  let reg = Obs.Metrics.create () in
+  let scen = Workload.Scenarios.register ~nprocs:2 ~ops:1 () in
+  let build () =
+    let sim = Sim.create ~nprocs:2 () in
+    scen.Workload.Trial.build sim;
+    sim
+  in
+  let check_mode () =
+    if incremental then `Incremental (Workload.Check.nrl_incremental ()) else `Terminal
+  in
+  let outcome =
+    if not interrupt then
+      fst
+        (Explore.sweep ~cfg:crashy_cfg ~jobs ~trail ~obs:reg ~check_mode:(check_mode ())
+           ~check:Workload.Check.nrl_violation (build ()))
+    else begin
+      let path = Filename.temp_file "nrl_obs_resume" ".ndjson" in
+      let spec = { Explore.cp_path = path; cp_interval_s = 0.0; cp_scenario = [] } in
+      (match
+         Explore.sweep ~cfg:crashy_cfg ~jobs ~trail
+           ~budget:{ Explore.no_budget with max_nodes = Some 2_000 }
+           ~checkpoint:spec ~check_mode:(check_mode ())
+           ~check:Workload.Check.nrl_violation (build ())
+       with
+      | Explore.Exhausted _, _ -> ()
+      | _ -> Alcotest.fail "budget should have cut the sweep");
+      let ck =
+        match Checkpoint.load path with Ok ck -> ck | Error e -> Alcotest.fail e
+      in
+      Sys.remove path;
+      fst
+        (Explore.sweep ~cfg:crashy_cfg ~jobs ~trail ~obs:reg ~resume:ck
+           ~check_mode:(check_mode ()) ~check:Workload.Check.nrl_violation (build ()))
+    end
+  in
+  Alcotest.(check bool) "clean sweep" true (outcome = Explore.Clean);
+  reg
+
+let test_counters_invariant_across_resume () =
+  List.iter
+    (fun incremental ->
+      let baseline =
+        invariant_counters
+          (sweep_registry ~jobs:1 ~trail:true ~incremental ~interrupt:false ())
+      in
+      Alcotest.(check bool) "baseline counts something" true (baseline <> []);
+      List.iter
+        (fun (jobs, trail) ->
+          let got =
+            invariant_counters (sweep_registry ~jobs ~trail ~incremental ~interrupt:true ())
+          in
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "resumed jobs=%d trail=%b incremental=%b" jobs trail incremental)
+            baseline got)
+        [ (1, true); (1, false); (2, true) ])
+    [ false; true ]
+
 (* {1 The NDJSON trace schema} *)
 
 let read_lines path =
@@ -248,7 +309,7 @@ let test_catalogue_kinds_match_registry () =
 let test_torture_counters () =
   let reg = Obs.Metrics.create () in
   let c = Runtime.Rcounter.create ~nprocs:1 in
-  let stats = { Runtime.Torture.crashes = 0; ops = 0 } in
+  let stats = Runtime.Torture.stats_zero () in
   let rng = Runtime.Torture.rng_create 42 in
   let n = 500 in
   for _ = 1 to n do
@@ -264,9 +325,14 @@ let test_torture_counters () =
     (cval Obs.Names.torture_crashes);
   Alcotest.(check bool) "crash injection exercised" true
     (cval Obs.Names.torture_crashes > 0);
-  Alcotest.(check bool) "every crash is retried" true
-    (cval Obs.Names.torture_retries >= cval Obs.Names.torture_crashes
-    && cval Obs.Names.torture_retries > 0)
+  Alcotest.(check int) "retries mirrors stats" stats.Runtime.Torture.retries
+    (cval Obs.Names.torture_retries);
+  Alcotest.(check bool) "crashes are retried" true (cval Obs.Names.torture_retries > 0);
+  (* the pinned harness relation: every fired crash point leads to
+     exactly one more recovery attempt, unless the watchdog aborted *)
+  Alcotest.(check int) "crashes = retries + aborted_recoveries"
+    (cval Obs.Names.torture_crashes)
+    (cval Obs.Names.torture_retries + cval Obs.Names.torture_aborted_recoveries)
 
 (* {1 Progress reporter} *)
 
@@ -299,6 +365,8 @@ let suite =
     Alcotest.test_case "merge is an exact sum" `Quick test_merge_is_exact_sum;
     Alcotest.test_case "counters invariant across jobs and trail" `Slow
       test_counters_invariant_across_engines;
+    Alcotest.test_case "counters invariant across kill-and-resume" `Slow
+      test_counters_invariant_across_resume;
     Alcotest.test_case "trace round-trips through the JSON reader" `Quick test_trace_roundtrip;
     Alcotest.test_case "explorer trace is schema-valid" `Quick
       test_explore_trace_is_schema_valid;

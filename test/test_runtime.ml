@@ -176,7 +176,7 @@ let test_parallel_counter_crash_torture () =
   let domains = min 4 (Par.max_domains ()) in
   let iters = 2_000 in
   let c = Rcounter.create ~nprocs:domains in
-  let stats = Array.init domains (fun _ -> { Torture.crashes = 0; ops = 0 }) in
+  let stats = Array.init domains (fun _ -> Torture.stats_zero ()) in
   let _ =
     Par.run ~domains ~iters (fun ~pid ~i ->
         ignore i;
@@ -195,7 +195,7 @@ let test_parallel_tas_crash_torture () =
     let domains = min 4 (Par.max_domains ()) in
     let t = Rtas.create ~nprocs:domains in
     let wins = Atomic.make 0 in
-    let stats = Array.init domains (fun _ -> { Torture.crashes = 0; ops = 0 }) in
+    let stats = Array.init domains (fun _ -> Torture.stats_zero ()) in
     let _ =
       Par.run ~domains ~iters:1 (fun ~pid ~i ->
           ignore i;
@@ -212,7 +212,7 @@ let test_parallel_rrw_crash_torture () =
   let domains = min 4 (Par.max_domains ()) in
   let iters = 2_000 in
   let r = Rrw.create ~nprocs:domains (-1, -1) in
-  let stats = Array.init domains (fun _ -> { Torture.crashes = 0; ops = 0 }) in
+  let stats = Array.init domains (fun _ -> Torture.stats_zero ()) in
   let _ =
     Par.run ~domains ~iters (fun ~pid ~i ->
         let rng = Torture.rng_create ((pid * 31) + i + 1) in
