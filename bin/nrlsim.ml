@@ -4,6 +4,7 @@
      run      - randomized crash-torture batches over a scenario
      check    - one seeded run with the full history and NRL verdict
      explore  - bounded exhaustive schedule exploration of a small instance
+     fuzz     - coverage-guided scenario fuzzing with shrinking and the bug zoo
      theorem  - the Theorem 4 analysis (valency, critical configs, refutation)
      list     - available scenarios *)
 
@@ -550,6 +551,225 @@ let explore_cmd =
       $ progress_arg $ deadline_arg $ max_nodes_arg $ max_visited_arg $ checkpoint_arg
       $ checkpoint_interval_arg $ resume_arg $ junk_arg)
 
+(* fuzz *)
+let fuzz_cmd =
+  let kinds_arg =
+    Arg.(
+      value
+      & opt (list string) Fuzz.Gen.base_kinds
+      & info [ "kinds" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated scenario kinds to fuzz: the base algorithms (register, cas, \
+             tas, counter) and/or zoo mutant names (see $(b,--zoo)).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seed indices to run (the campaign's size).")
+  in
+  let budget_arg =
+    (* a duration: plain seconds, or with an s/m/h suffix ("120s", "2m") *)
+    let budget_conv =
+      let parse s =
+        let num, scale =
+          match String.length s with
+          | 0 -> ("", 0.0)
+          | n -> (
+            match s.[n - 1] with
+            | 's' -> (String.sub s 0 (n - 1), 1.0)
+            | 'm' -> (String.sub s 0 (n - 1), 60.0)
+            | 'h' -> (String.sub s 0 (n - 1), 3600.0)
+            | _ -> (s, 1.0))
+        in
+        match float_of_string_opt num with
+        | Some f when f > 0.0 && scale > 0.0 -> Ok (f *. scale)
+        | _ -> Error (`Msg (Printf.sprintf "expected a duration like 30, 120s or 2m, got %S" s))
+      and print ppf secs = Format.fprintf ppf "%gs" secs in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some budget_conv) None
+      & info [ "budget" ] ~docv:"DURATION"
+          ~doc:
+            "Wall-clock budget (e.g. $(b,120s), $(b,2m)).  When it runs out the campaign \
+             saves a resumable corpus and exits 3.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "Persist the campaign to $(docv) (NDJSON, schema nrl-corpus/1, atomic \
+             write-then-rename; see docs/fuzzing.md): coverage-increasing seeds, \
+             violations with shrunk reproducers, and resumable progress.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the corpus in $(b,--corpus) if it exists (its stamp must match \
+             this campaign's base seed and kinds).  A finished campaign extends if \
+             $(b,--seeds) is larger than what it already ran.")
+  in
+  let shrink_arg =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "shrink" ] ~docv:"BOOL"
+          ~doc:
+            "Minimise every violating scenario by greedy delta-debugging (drop processes, \
+             shorten scripts, remove crash points, shorten schedules) before reporting it.")
+  in
+  let zoo_arg =
+    Arg.(
+      value & flag
+      & info [ "zoo" ]
+          ~doc:
+            "Measure detection power instead of hunting: fuzz each mutation-zoo variant \
+             of Algorithms 1-4 until it is caught or the per-mutant seed budget runs \
+             out.  Exits 0 only when every mutant is detected.")
+  in
+  let zoo_budget_arg =
+    Arg.(
+      value
+      & opt int Fuzz.Campaign.default_zoo_budget
+      & info [ "zoo-budget" ] ~docv:"N" ~doc:"Seed budget per zoo mutant.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DESC"
+          ~doc:
+            "Re-run one scenario descriptor (the kind=...,n=...,seed=... form printed for \
+             every reproducer) and report its verdict.  Exits 2 if it violates.")
+  in
+  let fuzz kinds seeds base_seed budget corpus resume shrink zoo zoo_budget replay
+      stats_flag trace progress =
+    let obs = obs_of ~stats:stats_flag ~trace in
+    let tracer = Option.map (fun path -> Obs.Trace.create ~path) trace in
+    let finish () = obs_finish ~stats:stats_flag ~tracer obs in
+    let bad fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.eprintf "nrlsim: %s@." m;
+          Option.iter Obs.Trace.close tracer;
+          exit 124)
+        fmt
+    in
+    let stop = Atomic.make false in
+    let graceful _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+    let deadline = Option.map (fun b -> Obs.Clock.now_s () +. b) budget in
+    let should_stop () =
+      Atomic.get stop
+      || match deadline with Some d -> Obs.Clock.now_s () > d | None -> false
+    in
+    Option.iter
+      (fun tr ->
+        Obs.Trace.event tr ~name:"fuzz.config"
+          [
+            ("kinds", Obs.Trace.Str (String.concat "," kinds));
+            ("seeds", Obs.Trace.Int seeds);
+            ("base_seed", Obs.Trace.Int base_seed);
+            ("zoo", Obs.Trace.Bool zoo);
+            ("shrink", Obs.Trace.Bool shrink);
+          ])
+      tracer;
+    match replay with
+    | Some desc_s -> (
+      match Fuzz.Gen.of_string desc_s with
+      | Error m -> bad "%s" m
+      | Ok d -> (
+        let v = Fuzz.Gen.run ?obs d in
+        Format.printf "outcome: %s, %d steps@."
+          (match v.Fuzz.Gen.v_outcome with
+          | Machine.Schedule.Completed -> "completed"
+          | Machine.Schedule.Halted -> "halted"
+          | Machine.Schedule.Out_of_steps -> "out of steps")
+          v.Fuzz.Gen.v_steps;
+        match v.Fuzz.Gen.v_violation with
+        | Some reason ->
+          Format.printf "VIOLATION: %s@." reason;
+          finish ();
+          exit 2
+        | None ->
+          Format.printf "no violation@.";
+          finish ()))
+    | None ->
+      let invalid = List.filter (fun k -> not (List.mem k Fuzz.Gen.all_kinds)) kinds in
+      if invalid <> [] then
+        bad "unknown kind(s): %s (known: %s)" (String.concat ", " invalid)
+          (String.concat ", " Fuzz.Gen.all_kinds);
+      if zoo then begin
+        let dets =
+          Fuzz.Campaign.zoo ?obs ?trace:tracer ~should_stop ~shrink
+            ~budget_seeds:zoo_budget ~base_seed ()
+        in
+        List.iter (fun d -> Format.printf "%a@." Fuzz.Campaign.pp_detection d) dets;
+        let missed =
+          List.filter (fun d -> d.Fuzz.Campaign.z_found = None) dets |> List.length
+        in
+        Format.printf "%d/%d mutants detected@." (List.length dets - missed)
+          (List.length dets);
+        finish ();
+        if should_stop () && missed > 0 then exit 3 else if missed > 0 then exit 2
+      end
+      else begin
+        let prog = if progress then Some (Obs.Progress.create ~label:"fuzz" ()) else None in
+        let cfg =
+          {
+            Fuzz.Campaign.base_seed;
+            seeds;
+            kinds;
+            shrink;
+            corpus_path = corpus;
+            resume;
+          }
+        in
+        match Fuzz.Campaign.run ?obs ?trace:tracer ?progress:prog ~should_stop cfg with
+        | Error m -> bad "%s" m
+        | Ok r ->
+          let s = r.Fuzz.Campaign.r_stats in
+          Format.printf
+            "%s: %d runs, %d new fingerprints, %d corpus entries, %d violations%s@."
+            (if r.Fuzz.Campaign.r_finished then "finished" else "stopped")
+            s.Fuzz.Corpus.runs s.Fuzz.Corpus.new_coverage s.Fuzz.Corpus.corpus_entries
+            s.Fuzz.Corpus.violations
+            (if s.Fuzz.Corpus.shrink_steps > 0 then
+               Printf.sprintf " (%d shrink steps)" s.Fuzz.Corpus.shrink_steps
+             else "");
+          List.iter
+            (fun x ->
+              Format.printf "violation at seed %d: %s@.  %s@." x.Fuzz.Corpus.x_index
+                x.Fuzz.Corpus.x_reason x.Fuzz.Corpus.x_desc;
+              Option.iter
+                (fun shrunk ->
+                  Format.printf "  shrunk: %s@.  replay with: nrlsim fuzz --replay '%s'@."
+                    shrunk shrunk)
+                x.Fuzz.Corpus.x_shrunk)
+            r.Fuzz.Campaign.r_violations;
+          (if (not r.Fuzz.Campaign.r_finished) && corpus <> None then
+             match corpus with
+             | Some p -> Format.printf "resume with: --corpus %s --resume@." p
+             | None -> ());
+          finish ();
+          if r.Fuzz.Campaign.r_violations <> [] then exit 2
+          else if not r.Fuzz.Campaign.r_finished then exit 3
+      end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Coverage-guided scenario fuzzing with counterexample shrinking")
+    Term.(
+      const fuzz $ kinds_arg $ seeds_arg $ seed_arg $ budget_arg $ corpus_arg $ resume_arg
+      $ shrink_arg $ zoo_arg $ zoo_budget_arg $ replay_arg $ stats_arg $ trace_arg
+      $ progress_arg)
+
 (* theorem *)
 let theorem_cmd =
   let run () =
@@ -572,4 +792,5 @@ let () =
   let doc = "Nesting-safe recoverable linearizability: simulator and checkers" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "nrlsim" ~doc) [ run_cmd; check_cmd; explore_cmd; theorem_cmd; list_cmd ]))
+       (Cmd.group (Cmd.info "nrlsim" ~doc)
+          [ run_cmd; check_cmd; explore_cmd; fuzz_cmd; theorem_cmd; list_cmd ]))

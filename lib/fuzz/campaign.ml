@@ -1,0 +1,313 @@
+(** Coverage-guided fuzzing campaigns over scenario descriptors.
+
+    A campaign runs descriptors sampled at seed indices [0 .. seeds-1];
+    index [i]'s descriptor is a pure function of [(base_seed, i)], so the
+    campaign is deterministic, restartable at any index, and extensible
+    (the corpus stamp excludes the seed count — re-running with a larger
+    budget resumes where the last run stopped).  Coverage is the set of
+    configuration fingerprints seen after any applied decision of any
+    run; a seed that discovers new fingerprints is kept in the corpus
+    together with the hashes it discovered, which is what lets a resume
+    rebuild the exact coverage set and the final corpus come out
+    byte-identical to an uninterrupted run's. *)
+
+module Prng = Machine.Schedule.Prng
+
+type cfg = {
+  base_seed : int;
+  seeds : int;  (** seed indices to run: [0 .. seeds - 1] *)
+  kinds : string list;
+  shrink : bool;
+  corpus_path : string option;
+  resume : bool;
+}
+
+let default_cfg =
+  {
+    base_seed = 1;
+    seeds = 100;
+    kinds = Gen.base_kinds;
+    shrink = true;
+    corpus_path = None;
+    resume = false;
+  }
+
+let stamp cfg =
+  [
+    ("what", "fuzz-campaign");
+    ("base_seed", string_of_int cfg.base_seed);
+    ("kinds", String.concat "+" cfg.kinds);
+  ]
+
+(* Index [i]'s descriptor seed: a fixed odd-constant mix so neighbouring
+   indices land far apart in the PRNG's state space. *)
+let index_seed base i = ((base * 1_000_003) + (i * 8191) + 1) land max_int
+
+let descriptor cfg i = Gen.sample ~rng:(Prng.create (index_seed cfg.base_seed i)) ~kinds:cfg.kinds
+
+type report = {
+  r_stats : Corpus.stats;
+  r_entries : Corpus.entry list;
+  r_violations : Corpus.violation list;
+  r_finished : bool;  (** ran the whole seed budget (vs stopped early) *)
+}
+
+type counters = {
+  c_runs : Obs.Metrics.counter option;
+  c_cov : Obs.Metrics.counter option;
+  c_viol : Obs.Metrics.counter option;
+  c_entries : Obs.Metrics.counter option;
+}
+
+let counters_of obs =
+  let c name = Option.map (fun o -> Obs.Metrics.counter o name) obs in
+  {
+    c_runs = c Obs.Names.fuzz_runs;
+    c_cov = c Obs.Names.fuzz_new_coverage;
+    c_viol = c Obs.Names.fuzz_violations;
+    c_entries = c Obs.Names.fuzz_corpus_entries;
+  }
+
+let bump c = Option.iter Obs.Metrics.Counter.incr c
+let bump_by c n = Option.iter (fun c -> Obs.Metrics.Counter.add c n) c
+
+let tr_event trace name fields =
+  Option.iter (fun t -> Obs.Trace.event t ~name fields) trace
+
+(* One seed index: sample, run with coverage collection, judge, shrink.
+   Returns the corpus records to append and the stats delta. *)
+let run_index ?obs ?trace ~shrink ~coverage cfg i =
+  let cs = counters_of obs in
+  let d = descriptor cfg i in
+  let fresh = ref [] in
+  let collect h =
+    if not (Hashtbl.mem coverage h) then begin
+      Hashtbl.replace coverage h ();
+      fresh := h :: !fresh
+    end
+  in
+  let verdict = Gen.run ?obs ~collect d in
+  bump cs.c_runs;
+  let cov = List.rev !fresh in
+  bump_by cs.c_cov (List.length cov);
+  let entry =
+    if cov = [] then None
+    else begin
+      bump cs.c_entries;
+      tr_event trace "fuzz.new_coverage"
+        [
+          ("index", Obs.Trace.Int i);
+          ("desc", Obs.Trace.Str (Gen.to_string d));
+          ("fingerprints", Obs.Trace.Int (List.length cov));
+        ];
+      Some { Corpus.e_index = i; e_desc = Gen.to_string d; e_cov = cov }
+    end
+  in
+  let violation =
+    match verdict.Gen.v_violation with
+    | None -> None
+    | Some reason ->
+      bump cs.c_viol;
+      tr_event trace "fuzz.violation"
+        [
+          ("index", Obs.Trace.Int i);
+          ("desc", Obs.Trace.Str (Gen.to_string d));
+          ("reason", Obs.Trace.Str reason);
+        ];
+      let shrunk, shrunk_reason, steps =
+        if shrink then begin
+          let o = Shrink.minimize ?obs d ~reason in
+          tr_event trace "fuzz.shrunk"
+            [
+              ("index", Obs.Trace.Int i);
+              ("desc", Obs.Trace.Str (Gen.to_string o.Shrink.s_desc));
+              ("steps", Obs.Trace.Int o.Shrink.s_steps);
+            ];
+          (Some (Gen.to_string o.Shrink.s_desc), Some o.Shrink.s_reason, o.Shrink.s_steps)
+        end
+        else (None, None, 0)
+      in
+      Some
+        {
+          Corpus.x_index = i;
+          x_desc = Gen.to_string d;
+          x_reason = reason;
+          x_shrunk = shrunk;
+          x_shrunk_reason = shrunk_reason;
+          x_shrink_steps = steps;
+        }
+  in
+  (entry, violation)
+
+let save_cadence = 16
+
+let run ?obs ?trace ?progress ?(should_stop = fun () -> false) cfg =
+  let coverage = Hashtbl.create 4096 in
+  let start =
+    match cfg.corpus_path with
+    | Some path when cfg.resume && Sys.file_exists path -> (
+      match Corpus.load path with
+      | Error m -> Error m
+      | Ok c ->
+        if c.Corpus.stamp <> stamp cfg then
+          Error
+            (Printf.sprintf "%s: corpus stamp does not match this campaign (was: %s)" path
+               (String.concat ", "
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) c.Corpus.stamp)))
+        else begin
+          List.iter
+            (fun e -> List.iter (fun h -> Hashtbl.replace coverage h ()) e.Corpus.e_cov)
+            c.Corpus.entries;
+          Ok c
+        end)
+    | _ ->
+      Ok
+        {
+          Corpus.stamp = stamp cfg;
+          entries = [];
+          violations = [];
+          next = 0;
+          stats = Corpus.zero_stats;
+          result = None;
+        }
+  in
+  match start with
+  | Error m -> Error m
+  | Ok c0 ->
+    (* accumulate in reverse, serialise in discovery order *)
+    let entries = ref (List.rev c0.Corpus.entries) in
+    let violations = ref (List.rev c0.Corpus.violations) in
+    let stats = ref c0.Corpus.stats in
+    let snapshot ~next ~result =
+      {
+        Corpus.stamp = stamp cfg;
+        entries = List.rev !entries;
+        violations = List.rev !violations;
+        next;
+        stats = !stats;
+        result;
+      }
+    in
+    let save ~next ~result =
+      Option.iter (fun path -> Corpus.save ~path (snapshot ~next ~result)) cfg.corpus_path
+    in
+    let stopped = ref false in
+    let i = ref c0.Corpus.next in
+    let dirty = ref false in
+    Option.iter (fun p -> Obs.Progress.set_tasks p (cfg.seeds - !i)) progress;
+    while (not !stopped) && !i < cfg.seeds do
+      if should_stop () then stopped := true
+      else begin
+        let entry, violation =
+          run_index ?obs ?trace ~shrink:cfg.shrink ~coverage cfg !i
+        in
+        let s = !stats in
+        stats :=
+          {
+            Corpus.runs = s.Corpus.runs + 1;
+            new_coverage =
+              (s.Corpus.new_coverage
+              + match entry with Some e -> List.length e.Corpus.e_cov | None -> 0);
+            violations = (s.Corpus.violations + if violation = None then 0 else 1);
+            shrink_steps =
+              (s.Corpus.shrink_steps
+              + match violation with Some x -> x.Corpus.x_shrink_steps | None -> 0);
+            corpus_entries = (s.Corpus.corpus_entries + if entry = None then 0 else 1);
+          };
+        Option.iter (fun e -> entries := e :: !entries) entry;
+        Option.iter (fun x -> violations := x :: !violations) violation;
+        dirty := !dirty || entry <> None || violation <> None;
+        incr i;
+        Option.iter
+          (fun p ->
+            Obs.Progress.task_done p;
+            Obs.Progress.tick p ~nodes:1)
+          progress;
+        if !dirty || !i mod save_cadence = 0 then begin
+          save ~next:!i ~result:None;
+          dirty := false
+        end
+      end
+    done;
+    let finished = !i >= cfg.seeds in
+    let result =
+      if not finished then None
+      else
+        match List.rev !violations with
+        | [] -> Some ("clean", "")
+        | x :: _ -> Some ("violation", x.Corpus.x_reason)
+    in
+    save ~next:!i ~result;
+    Ok
+      {
+        r_stats = !stats;
+        r_entries = List.rev !entries;
+        r_violations = List.rev !violations;
+        r_finished = finished;
+      }
+
+(* {2 Zoo detection} *)
+
+type detection = {
+  z_mutant : Objects.Zoo.mutant;
+  z_seeds_tried : int;
+  z_found : (Gen.t * string) option;  (** first violating descriptor and why *)
+  z_shrunk : Shrink.outcome option;
+}
+
+let default_zoo_budget = 150
+
+let zoo ?obs ?trace ?(should_stop = fun () -> false) ?(shrink = true)
+    ?(budget_seeds = default_zoo_budget) ?(mutants = Objects.Zoo.all) ~base_seed () =
+  let cs = counters_of obs in
+  List.map
+    (fun m ->
+      let mutant_base = base_seed lxor Hashtbl.hash m.Objects.Zoo.m_name in
+      let kinds = [ m.Objects.Zoo.m_name ] in
+      let rec hunt i =
+        if i >= budget_seeds || should_stop () then (i, None)
+        else begin
+          let d = Gen.sample ~rng:(Prng.create (index_seed mutant_base i)) ~kinds in
+          let verdict = Gen.run ?obs d in
+          bump cs.c_runs;
+          match verdict.Gen.v_violation with
+          | Some reason -> (i + 1, Some (d, reason))
+          | None -> hunt (i + 1)
+        end
+      in
+      let tried, found = hunt 0 in
+      (match found with
+      | Some (d, reason) ->
+        bump cs.c_viol;
+        tr_event trace "fuzz.zoo.detected"
+          [
+            ("mutant", Obs.Trace.Str m.Objects.Zoo.m_name);
+            ("seeds", Obs.Trace.Int tried);
+            ("desc", Obs.Trace.Str (Gen.to_string d));
+            ("reason", Obs.Trace.Str reason);
+          ]
+      | None ->
+        tr_event trace "fuzz.zoo.missed"
+          [
+            ("mutant", Obs.Trace.Str m.Objects.Zoo.m_name);
+            ("seeds", Obs.Trace.Int tried);
+          ]);
+      let shrunk =
+        match found with
+        | Some (d, reason) when shrink -> Some (Shrink.minimize ?obs d ~reason)
+        | _ -> None
+      in
+      { z_mutant = m; z_seeds_tried = tried; z_found = found; z_shrunk = shrunk })
+    mutants
+
+let pp_detection ppf z =
+  match z.z_found with
+  | None ->
+    Fmt.pf ppf "%-26s MISSED after %d seeds" z.z_mutant.Objects.Zoo.m_name z.z_seeds_tried
+  | Some (_, reason) ->
+    Fmt.pf ppf "%-26s detected at seed %d%a: %s" z.z_mutant.Objects.Zoo.m_name
+      (z.z_seeds_tried - 1)
+      Fmt.(
+        option (fun ppf (o : Shrink.outcome) ->
+            Fmt.pf ppf " (shrunk in %d runs)" o.Shrink.s_steps))
+      z.z_shrunk reason

@@ -1,0 +1,60 @@
+(** Counterexample shrinking: greedy delta-debugging over descriptors.
+
+    Given a violating descriptor, repeatedly propose structurally smaller
+    variants — fewer processes, shorter scripts, fewer crash points,
+    shorter schedules, simpler junk — re-run the checker on each, adopt
+    the first variant that still violates (any violation counts: the
+    minimal reproducer need not fail for the original reason), and loop
+    to a fixpoint.  Every attempt is one full machine run, counted into
+    [fuzz.shrink_steps]. *)
+
+(* Smaller-first candidate moves.  Halving moves come before decrements so
+   big descriptors collapse in O(log) adopted steps; each move must
+   strictly shrink some component or it would loop. *)
+let candidates (d : Gen.t) =
+  List.filter_map
+    (fun x -> x)
+    [
+      (if d.nprocs > 2 then Some { d with nprocs = d.nprocs - 1 } else None);
+      (if d.ops > 1 && d.ops / 2 < d.ops then Some { d with ops = max 1 (d.ops / 2) } else None);
+      (if d.ops > 1 then Some { d with ops = d.ops - 1 } else None);
+      (if d.max_crashes > 1 && d.max_crashes / 2 < d.max_crashes then
+         Some { d with max_crashes = max 1 (d.max_crashes / 2) }
+       else None);
+      (if d.max_crashes > 1 then Some { d with max_crashes = d.max_crashes - 1 } else None);
+      (if d.max_steps > 100 then Some { d with max_steps = max 100 (d.max_steps / 2) } else None);
+      (if d.system_pm > 0 then Some { d with system_pm = 0 } else None);
+      (if d.junk <> "zeros" then Some { d with junk = "zeros" } else None);
+    ]
+
+type outcome = {
+  s_desc : Gen.t;  (** the minimised descriptor (possibly the input) *)
+  s_reason : string;  (** why the minimised descriptor still violates *)
+  s_steps : int;  (** candidate runs executed *)
+}
+
+let default_max_attempts = 400
+
+let minimize ?(max_attempts = default_max_attempts) ?obs d ~reason =
+  let steps = ref 0 in
+  let shrink_steps = Option.map (fun o -> Obs.Metrics.counter o Obs.Names.fuzz_shrink_steps) obs in
+  let runs = Option.map (fun o -> Obs.Metrics.counter o Obs.Names.fuzz_runs) obs in
+  let try_one c =
+    incr steps;
+    Option.iter Obs.Metrics.Counter.incr shrink_steps;
+    Option.iter Obs.Metrics.Counter.incr runs;
+    (Gen.run ?obs c).v_violation
+  in
+  let rec fixpoint d reason =
+    let rec first = function
+      | [] -> (d, reason)
+      | c :: rest when !steps < max_attempts -> (
+        match try_one c with
+        | Some r -> fixpoint c r
+        | None -> first rest)
+      | _ -> (d, reason)
+    in
+    if !steps >= max_attempts then (d, reason) else first (candidates d)
+  in
+  let s_desc, s_reason = fixpoint d reason in
+  { s_desc; s_reason; s_steps = !steps }

@@ -1,0 +1,30 @@
+(** Counterexample shrinking: greedy delta-debugging over descriptors.
+
+    Starting from a violating descriptor, propose structurally smaller
+    variants — drop a process, halve or shorten the per-process script,
+    halve the crash budget, shorten the schedule, zero the system-crash
+    probability, simplify the junk strategy — re-run the full checker on
+    each candidate, adopt the first that still violates (any violation
+    counts, not necessarily the original reason), and iterate to a
+    fixpoint.  Deterministic: candidates are proposed in a fixed order
+    and each candidate run is a pure function of its descriptor. *)
+
+val candidates : Gen.t -> Gen.t list
+(** The shrinking moves applicable to a descriptor, smaller-first
+    (halvings before decrements).  Every candidate is strictly smaller in
+    some component, so adopting candidates terminates. *)
+
+type outcome = {
+  s_desc : Gen.t;  (** the minimised descriptor (possibly the input) *)
+  s_reason : string;  (** why the minimised descriptor still violates *)
+  s_steps : int;  (** candidate runs executed *)
+}
+
+val default_max_attempts : int
+(** 400. *)
+
+val minimize : ?max_attempts:int -> ?obs:Obs.Metrics.t -> Gen.t -> reason:string -> outcome
+(** Shrink a violating descriptor.  [reason] is the violation the input
+    is known to exhibit (returned unchanged if nothing smaller
+    violates).  Each candidate run bumps [fuzz.shrink_steps] and
+    [fuzz.runs] in [obs]. *)

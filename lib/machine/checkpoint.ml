@@ -195,7 +195,7 @@ module Json = struct
 end
 
 (* Same escaping discipline as Obs.Trace. *)
-let escape s =
+let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
     (fun c ->
@@ -272,7 +272,7 @@ type t = {
 }
 
 let view_line name (v : Obs.Metrics.view) =
-  let name = escape name in
+  let name = json_escape name in
   match v with
   | Obs.Metrics.Counter n ->
     Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}" name n
@@ -293,20 +293,20 @@ let save ~path t =
   let oc = open_out tmp in
   let line fmt = Printf.ksprintf (fun s -> output_string oc s; output_char oc '\n') fmt in
   line "{\"schema\":\"%s\",\"type\":\"meta\"}" schema_version;
-  List.iter (fun (k, v) -> line "{\"type\":\"scenario\",\"k\":\"%s\",\"v\":\"%s\"}" (escape k) (escape v)) t.scenario;
+  List.iter (fun (k, v) -> line "{\"type\":\"scenario\",\"k\":\"%s\",\"v\":\"%s\"}" (json_escape k) (json_escape v)) t.scenario;
   line "{\"type\":\"totals\",\"nodes\":%d,\"terminals\":%d,\"truncated\":%d,\"dup\":%d}"
     t.totals.ck_nodes t.totals.ck_terminals t.totals.ck_truncated t.totals.ck_dup;
   Array.iter
     (fun task ->
       line "{\"type\":\"task\",\"path\":\"%s\",\"crashes\":%d,\"done\":%b}"
-        (escape (path_to_string task.ck_path))
+        (json_escape (path_to_string task.ck_path))
         task.ck_crashes task.ck_done)
     t.tasks;
   List.iter (fun (name, v) -> line "%s" (view_line name v)) t.metrics;
   (match t.result with
   | Some (verdict, detail) ->
-    line "{\"type\":\"result\",\"verdict\":\"%s\",\"reason\":\"%s\"}" (escape verdict)
-      (escape detail)
+    line "{\"type\":\"result\",\"verdict\":\"%s\",\"reason\":\"%s\"}" (json_escape verdict)
+      (json_escape detail)
   | None -> ());
   (* flush application and OS buffers before the rename makes it visible *)
   close_out oc;

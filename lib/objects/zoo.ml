@@ -1,0 +1,491 @@
+(** The mutation bug zoo: deliberately broken variants of Algorithms 1-4.
+
+    Each mutant removes or reorders {e one} line of a paper algorithm —
+    exactly the class of subtle recovery bugs the detectability
+    literature catalogues (lost response values, sequence bumps that
+    outrun their persist, skipped helping announcements).  The zoo is
+    the measuring stick for the fuzzer: a checker that "passes our
+    scenarios" proves little, a checker that {e catches every zoo
+    mutant within a pinned seed budget} has measured detection power.
+
+    Every mutant keeps its base algorithm's object type, so the NRL
+    checker judges it against the same sequential specification, and
+    keeps the same strictness registration, so a skipped response
+    persist is a Definition 1 violation rather than silent dead code.
+
+    The catalogue is data ({!all}), so tests and the CLI iterate over it
+    rather than hand-listing names. *)
+
+open Machine.Program
+
+type mutant = {
+  m_name : string;  (** zoo-wide unique, usable as a scenario kind *)
+  m_algo : string;
+      (** base algorithm's scenario kind: ["register"], ["cas"],
+          ["tas"] or ["counter"] — selects the workload shape *)
+  m_doc : string;  (** the mutation, and why it is unsound *)
+}
+
+let all =
+  [
+    {
+      m_name = "rw-skip-log";
+      m_algo = "register";
+      m_doc =
+        "Alg 1 WRITE skips line 3 (S_p <- <1,temp>): a crash between the write \
+         to R and the persist of S_p re-executes a write that already took \
+         effect (value resurrection).";
+    };
+    {
+      m_name = "rw-recover-skip-read";
+      m_algo = "register";
+      m_doc =
+        "Alg 1 WRITE.RECOVER skips line 14's re-read of R: a crash between \
+         lines 3 and 4 is treated as a completed write, losing the write \
+         entirely.";
+    };
+    {
+      m_name = "cas-skip-announce";
+      m_algo = "cas";
+      m_doc =
+        "Alg 2 CAS skips line 6 (the helping write R[id][p] <- val): a winner \
+         that crashed before returning finds neither C = <p,new> nor new in \
+         its row, re-executes, and reports false for a CAS everyone saw.";
+    };
+    {
+      m_name = "cas-recover-skip-rowscan";
+      m_algo = "cas";
+      m_doc =
+        "Alg 2 CAS.RECOVER checks only C = <p,new> and skips the row scan of \
+         line 13: a helped completion is missed and the CAS is re-executed \
+         after its effect became visible.";
+    };
+    {
+      m_name = "tas-res-after-state";
+      m_algo = "tas";
+      m_doc =
+        "Alg 3 T&S bumps the state to 3 (line 12) before persisting the \
+         response in Res_p (line 11): a crash between them makes recovery \
+         read and return the unwritten Res_p.";
+    };
+    {
+      m_name = "tas-skip-res";
+      m_algo = "tas";
+      m_doc =
+        "Alg 3 T&S never persists its response in Res_p (line 11 dropped) \
+         although the operation is registered strict: every completed T&S \
+         violates Definition 1, and recovery after state 3 returns junk.";
+    };
+    {
+      m_name = "counter-recover-reexec";
+      m_algo = "counter";
+      m_doc =
+        "Alg 4 INC.RECOVER tests LI_p < 5 instead of LI_p < 4: a crash inside \
+         the nested recoverable WRITE re-executes INC although the write's \
+         NRL guarantee already linearized it — a double increment.";
+    };
+    {
+      m_name = "counter-read-skip-persist";
+      m_algo = "counter";
+      m_doc =
+        "Alg 4 READ skips line 15 (Res_p <- val) while staying registered \
+         strict: every completed READ returns a response that was never \
+         persisted (Definition 1 violation).";
+    };
+  ]
+
+let find name = List.find_opt (fun m -> m.m_name = name) all
+
+let reg_op sim ~otype ~name ?init_value ?strict_cells ?subobjects ops =
+  Machine.Objdef.register (Machine.Sim.registry sim) ~otype ~name ?init_value
+    ?strict_cells ?subobjects ops
+
+let op ~name body recover = (name, { Machine.Objdef.op_name = name; body; recover })
+
+(* {2 Algorithm 1 mutants}
+
+   Cells as in {!Rw_obj}; programs transcribed from rw_obj.ml with the
+   mutated line marked. *)
+
+let rw_read c = make ~name:"READ" [ (8, Read ("temp", at c.Rw_obj.r)); (9, Ret (local "temp")) ]
+
+let rw_read_recover c =
+  make ~name:"READ.RECOVER" [ (19, Read ("temp", at c.Rw_obj.r)); (20, Ret (local "temp")) ]
+
+let rw_write_recover c =
+  make ~name:"WRITE.RECOVER"
+    [
+      (11, Read ("s", my_slot c.Rw_obj.s));
+      ( 12,
+        Branch_if
+          (band (eq (fst_of (local "s")) (int 0)) (neq (snd_of (local "s")) (arg 0)), 13) );
+      (14, Read ("r14", at c.Rw_obj.r));
+      ( 1401,
+        Branch_if
+          (band (eq (fst_of (local "s")) (int 1)) (eq (snd_of (local "s")) (local "r14")), 15)
+      );
+      (16, Write (my_slot c.Rw_obj.s, pair (int 0) (arg 0)));
+      (17, Ret (const Nvm.Value.ack));
+      (13, Resume 2);
+      (15, Resume 2);
+    ]
+
+(* MUTATION: line 3 (S_p <- <1,temp>) is gone, so the recovery function
+   never sees flag = 1 and re-executes any write interrupted between
+   lines 4 and 5. *)
+let rw_skip_log_write c =
+  make ~name:"WRITE"
+    [
+      (2, Read ("temp", at c.Rw_obj.r));
+      (4, Write (at c.Rw_obj.r, arg 0));
+      (5, Write (my_slot c.Rw_obj.s, pair (int 0) (arg 0)));
+      (6, Ret (const Nvm.Value.ack));
+    ]
+
+let rw_write c =
+  make ~name:"WRITE"
+    [
+      (2, Read ("temp", at c.Rw_obj.r));
+      (3, Write (my_slot c.Rw_obj.s, pair (int 1) (local "temp")));
+      (4, Write (at c.Rw_obj.r, arg 0));
+      (5, Write (my_slot c.Rw_obj.s, pair (int 0) (arg 0)));
+      (6, Ret (const Nvm.Value.ack));
+    ]
+
+(* MUTATION: line 14's re-read of R is gone — the flag = 1 case falls
+   straight through to line 16 and returns ack without ever having
+   written R (lost write when the crash hit between lines 3 and 4). *)
+let rw_skip_read_recover c =
+  make ~name:"WRITE.RECOVER"
+    [
+      (11, Read ("s", my_slot c.Rw_obj.s));
+      ( 12,
+        Branch_if
+          (band (eq (fst_of (local "s")) (int 0)) (neq (snd_of (local "s")) (arg 0)), 13) );
+      (16, Write (my_slot c.Rw_obj.s, pair (int 0) (arg 0)));
+      (17, Ret (const Nvm.Value.ack));
+      (13, Resume 2);
+    ]
+
+let make_rw_mutant variant ?(init = Nvm.Value.Null) sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let c =
+    {
+      Rw_obj.r = Nvm.Memory.alloc ~name mem init;
+      s =
+        Nvm.Memory.alloc_array ~name:(name ^ ".S") mem nprocs
+          (Nvm.Value.Pair (Nvm.Value.Int 0, Nvm.Value.Null));
+    }
+  in
+  let write, write_rec =
+    match variant with
+    | `Skip_log -> (rw_skip_log_write c, rw_write_recover c)
+    | `Skip_read -> (rw_write c, rw_skip_read_recover c)
+  in
+  reg_op sim ~otype:"rw" ~name ~init_value:init
+    [ op ~name:"WRITE" write write_rec; op ~name:"READ" (rw_read c) (rw_read_recover c) ]
+
+(* {2 Algorithm 2 mutants} *)
+
+let cas_help_slot (cells : Cas_obj.cells) row_local : int exp =
+ fun ctx env ->
+  let q = Nvm.Value.as_pid (Nvm.Value.fst (Machine.Env.get env row_local)) in
+  cells.Cas_obj.r + (q * cells.Cas_obj.n) + ctx.pid
+
+let cas_row_scan_slot (cells : Cas_obj.cells) : int exp =
+ fun ctx env ->
+  cells.Cas_obj.r + (ctx.pid * cells.Cas_obj.n) + Nvm.Value.as_int (Machine.Env.get env "j")
+
+let cas_body cells =
+  make ~name:"CAS"
+    [
+      (2, Read ("cv", at cells.Cas_obj.c));
+      (3, Branch_if (neq (snd_of (local "cv")) (arg 0), 4));
+      (5, Branch_if (is_null (fst_of (local "cv")), 7));
+      (6, Write (cas_help_slot cells "cv", snd_of (local "cv")));
+      (7, Cas_prim ("ret", at cells.Cas_obj.c, local "cv", pair self (arg 1)));
+      (8, Ret (local "ret"));
+      (4, Ret (bool false));
+    ]
+
+(* MUTATION: lines 5-6 (the helping announcement) are gone — a crashed
+   winner whose value was already overwritten finds no evidence of its
+   success and re-executes. *)
+let cas_skip_announce_body cells =
+  make ~name:"CAS"
+    [
+      (2, Read ("cv", at cells.Cas_obj.c));
+      (3, Branch_if (neq (snd_of (local "cv")) (arg 0), 4));
+      (7, Cas_prim ("ret", at cells.Cas_obj.c, local "cv", pair self (arg 1)));
+      (8, Ret (local "ret"));
+      (4, Ret (bool false));
+    ]
+
+let cas_recover cells =
+  make ~name:"CAS.RECOVER"
+    [
+      (13, Read ("c13", at cells.Cas_obj.c));
+      (1301, Branch_if (eq (local "c13") (pair self (arg 1)), 14));
+      (1302, Assign ("j", int 0));
+      ( 1303,
+        Branch_if
+          ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "j") >= ctx.nprocs), 16) );
+      (1304, Read ("rv", cas_row_scan_slot cells));
+      (1305, Branch_if (eq (local "rv") (arg 1), 14));
+      (1306, Assign ("j", add (local "j") (int 1)));
+      (1307, Jump 1303);
+      (14, Ret (bool true));
+      (16, Resume 2);
+    ]
+
+(* MUTATION: the row scan of line 13 is gone — only C = <p,new> counts
+   as evidence of success, so a helped completion is re-executed. *)
+let cas_skip_rowscan_recover cells =
+  make ~name:"CAS.RECOVER"
+    [
+      (13, Read ("c13", at cells.Cas_obj.c));
+      (1301, Branch_if (eq (local "c13") (pair self (arg 1)), 14));
+      (16, Resume 2);
+      (14, Ret (bool true));
+    ]
+
+let cas_read cells =
+  make ~name:"READ" [ (10, Read ("cv", at cells.Cas_obj.c)); (11, Ret (snd_of (local "cv"))) ]
+
+let cas_read_recover cells =
+  make ~name:"READ.RECOVER"
+    [ (18, Read ("cv", at cells.Cas_obj.c)); (19, Ret (snd_of (local "cv"))) ]
+
+let make_cas_mutant variant sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let cells =
+    {
+      Cas_obj.c = Nvm.Memory.alloc ~name mem (Nvm.Value.Pair (Nvm.Value.Null, Nvm.Value.Null));
+      r = Nvm.Memory.alloc_array ~name:(name ^ ".R") mem (nprocs * nprocs) Nvm.Value.Null;
+      n = nprocs;
+    }
+  in
+  let body, recover =
+    match variant with
+    | `Skip_announce -> (cas_skip_announce_body cells, cas_recover cells)
+    | `Skip_rowscan -> (cas_body cells, cas_skip_rowscan_recover cells)
+  in
+  let inst =
+    reg_op sim ~otype:"cas" ~name
+      [ op ~name:"CAS" body recover; op ~name:"READ" (cas_read cells) (cas_read_recover cells) ]
+  in
+  (inst, cells.Cas_obj.c)
+
+(* {2 Algorithm 3 mutants} *)
+
+let winner_test w : expr =
+ fun ctx env ->
+  if Nvm.Value.equal (Machine.Env.get env w) (Nvm.Value.Pid ctx.pid) then Nvm.Value.Int 0
+  else Nvm.Value.Int 1
+
+(* MUTATION [`Res_after_state]: lines 11 and 12 swapped — the completion
+   state R[p] = 3 is persisted before the response Res_p, so a crash
+   between them makes recovery (line 18) read the unwritten Res_p.
+   MUTATION [`Skip_res]: line 11 dropped entirely — Res_p is never
+   written although T&S is registered strict. *)
+let tas_mutant_body variant (c : Tas_obj.cells) =
+  let tail =
+    match variant with
+    | `Res_after_state ->
+      [ (11, Write (my_slot c.Tas_obj.r, int 3)); (12, Write (my_slot c.Tas_obj.res, local "ret")) ]
+    | `Skip_res -> [ (11, Write (my_slot c.Tas_obj.r, int 3)) ]
+  in
+  make ~name:"T&S"
+    ([
+       (2, Write (my_slot c.Tas_obj.r, int 1));
+       (3, Read ("dw", at c.Tas_obj.doorway));
+       (301, Branch_if (eq (local "dw") (bool true), 6));
+       (4, Assign ("ret", int 1));
+       (5, Jump 11);
+       (6, Write (my_slot c.Tas_obj.r, int 2));
+       (7, Write (at c.Tas_obj.doorway, bool false));
+       (8, Tas_prim ("ret", at c.Tas_obj.t));
+       (9, Branch_if (neq (local "ret") (int 0), 11));
+       (10, Write (at c.Tas_obj.winner, self));
+     ]
+    @ tail
+    @ [ (13, Ret (local "ret")) ])
+
+let tas_recover (c : Tas_obj.cells) =
+  make ~name:"T&S.RECOVER"
+    [
+      (15, Read ("r15", my_slot c.Tas_obj.r));
+      (1501, Branch_if (lt (local "r15") (int 2), 16));
+      (17, Read ("r17", my_slot c.Tas_obj.r));
+      (1701, Branch_if (neq (local "r17") (int 3), 20));
+      (18, Read ("ret", my_slot c.Tas_obj.res));
+      (19, Ret (local "ret"));
+      (20, Read ("w20", at c.Tas_obj.winner));
+      (2001, Branch_if (not_null (local "w20"), 31));
+      (22, Write (at c.Tas_obj.doorway, bool false));
+      (23, Write (my_slot c.Tas_obj.r, int 4));
+      (24, Tas_prim ("ignored", at c.Tas_obj.t));
+      (25, Assign ("i", int 0));
+      ( 2501,
+        Branch_if ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "i") >= ctx.pid), 27) );
+      (26, Read ("rd", slot c.Tas_obj.r (idx "i")));
+      (2601, Branch_if (bnot (bor (eq (local "rd") (int 0)) (eq (local "rd") (int 3))), 26));
+      (2602, Assign ("i", add (local "i") (int 1)));
+      (2603, Jump 2501);
+      (27, Assign ("i", (fun ctx env -> ignore env; Nvm.Value.Int (ctx.pid + 1))));
+      ( 2701,
+        Branch_if
+          ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "i") >= ctx.nprocs), 29) );
+      (28, Read ("rd", slot c.Tas_obj.r (idx "i")));
+      (2801, Branch_if (bnot (bor (eq (local "rd") (int 0)) (gt (local "rd") (int 2))), 28));
+      (2802, Assign ("i", add (local "i") (int 1)));
+      (2803, Jump 2701);
+      (29, Read ("w29", at c.Tas_obj.winner));
+      (2901, Branch_if (not_null (local "w29"), 31));
+      (30, Write (at c.Tas_obj.winner, self));
+      (31, Read ("w31", at c.Tas_obj.winner));
+      (3101, Assign ("ret", winner_test "w31"));
+      (32, Write (my_slot c.Tas_obj.res, local "ret"));
+      (33, Write (my_slot c.Tas_obj.r, int 3));
+      (34, Ret (local "ret"));
+      (16, Resume 2);
+    ]
+
+let make_tas_mutant variant sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let c =
+    {
+      Tas_obj.r = Nvm.Memory.alloc_array ~name:(name ^ ".R") mem nprocs (Nvm.Value.Int 0);
+      winner = Nvm.Memory.alloc ~name:(name ^ ".Winner") mem Nvm.Value.Null;
+      doorway = Nvm.Memory.alloc ~name:(name ^ ".Doorway") mem (Nvm.Value.Bool true);
+      t = Nvm.Memory.alloc ~name:(name ^ ".t") mem (Nvm.Value.Int 0);
+      res = Nvm.Memory.alloc_array ~name:(name ^ ".Res") mem nprocs Nvm.Value.Null;
+    }
+  in
+  let res_cells = Array.init nprocs (fun i -> c.Tas_obj.res + i) in
+  reg_op sim ~otype:"tas" ~name
+    ~strict_cells:[ ("T&S", res_cells) ]
+    [ op ~name:"T&S" (tas_mutant_body variant c) (tas_recover c) ]
+
+(* {2 Algorithm 4 mutants} *)
+
+type counter_cells = { reg_ids : int array; res : Nvm.Memory.addr }
+
+let counter_inc_body c =
+  make ~name:"INC"
+    [
+      (2, Invoke ("temp", (fun ctx _ -> c.reg_ids.(ctx.pid)), "READ", [||]));
+      (3, Assign ("temp", add (local "temp") (int 1)));
+      (4, Invoke ("ack4", (fun ctx _ -> c.reg_ids.(ctx.pid)), "WRITE", [| local "temp" |]));
+      (5, Ret (const Nvm.Value.ack));
+    ]
+
+let counter_inc_recover = make ~name:"INC.RECOVER"
+    [
+      (7, Branch_if ((fun ctx env -> ignore env; ctx.li_line < 4), 8));
+      (10, Ret (const Nvm.Value.ack));
+      (8, Resume 2);
+    ]
+
+(* MUTATION: the LI_p test is off by one (< 5 instead of < 4): a crash
+   at line 4 re-executes INC although the nested recoverable WRITE's own
+   recovery already linearized the write. *)
+let counter_inc_recover_reexec = make ~name:"INC.RECOVER"
+    [
+      (7, Branch_if ((fun ctx env -> ignore env; ctx.li_line < 5), 8));
+      (10, Ret (const Nvm.Value.ack));
+      (8, Resume 2);
+    ]
+
+let counter_read_body c =
+  make ~name:"READ"
+    [
+      (12, Assign ("val", int 0));
+      (13, Assign ("i", int 0));
+      ( 1301,
+        Branch_if
+          ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "i") >= ctx.nprocs), 15) );
+      ( 14,
+        Invoke
+          ( "tmp",
+            (fun _ env -> c.reg_ids.(Nvm.Value.as_int (Machine.Env.get env "i"))),
+            "READ",
+            [||] ) );
+      (1401, Assign ("val", add (local "val") (local "tmp")));
+      (1402, Assign ("i", add (local "i") (int 1)));
+      (1403, Jump 1301);
+      (15, Write (my_slot c.res, local "val"));
+      (16, Ret (local "val"));
+    ]
+
+(* MUTATION: line 15 (Res_p <- val) is gone while READ stays registered
+   strict — every completed READ is a Definition 1 violation. *)
+let counter_read_body_skip_persist c =
+  make ~name:"READ"
+    [
+      (12, Assign ("val", int 0));
+      (13, Assign ("i", int 0));
+      ( 1301,
+        Branch_if
+          ((fun ctx env -> Nvm.Value.as_int (Machine.Env.get env "i") >= ctx.nprocs), 16) );
+      ( 14,
+        Invoke
+          ( "tmp",
+            (fun _ env -> c.reg_ids.(Nvm.Value.as_int (Machine.Env.get env "i"))),
+            "READ",
+            [||] ) );
+      (1401, Assign ("val", add (local "val") (local "tmp")));
+      (1402, Assign ("i", add (local "i") (int 1)));
+      (1403, Jump 1301);
+      (16, Ret (local "val"));
+    ]
+
+let counter_read_recover = make ~name:"READ.RECOVER" [ (18, Resume 12) ]
+
+let make_counter_mutant variant sim ~name =
+  let mem = Machine.Sim.mem sim in
+  let nprocs = Machine.Sim.nprocs sim in
+  let regs =
+    Array.init nprocs (fun i ->
+        Rw_obj.make ~init:(Nvm.Value.Int 0) sim ~name:(Printf.sprintf "%s.R[%d]" name i))
+  in
+  let c =
+    {
+      reg_ids = Array.map (fun (r : Machine.Objdef.instance) -> r.Machine.Objdef.id) regs;
+      res = Nvm.Memory.alloc_array ~name:(name ^ ".Res") mem nprocs Nvm.Value.Null;
+    }
+  in
+  let res_cells = Array.init nprocs (fun i -> c.res + i) in
+  let inc_recover, read_body =
+    match variant with
+    | `Recover_reexec -> (counter_inc_recover_reexec, counter_read_body c)
+    | `Read_skip_persist -> (counter_inc_recover, counter_read_body_skip_persist c)
+  in
+  reg_op sim ~otype:"counter" ~name
+    ~strict_cells:[ ("READ", res_cells) ]
+    ~subobjects:(Array.to_list regs)
+    [
+      op ~name:"INC" (counter_inc_body c) inc_recover;
+      op ~name:"READ" read_body counter_read_recover;
+    ]
+
+(* {2 Dispatch} *)
+
+let make m sim ~name =
+  match m.m_name with
+  | "rw-skip-log" -> (make_rw_mutant `Skip_log sim ~name, None)
+  | "rw-recover-skip-read" -> (make_rw_mutant `Skip_read sim ~name, None)
+  | "cas-skip-announce" ->
+    let inst, cell = make_cas_mutant `Skip_announce sim ~name in
+    (inst, Some cell)
+  | "cas-recover-skip-rowscan" ->
+    let inst, cell = make_cas_mutant `Skip_rowscan sim ~name in
+    (inst, Some cell)
+  | "tas-res-after-state" -> (make_tas_mutant `Res_after_state sim ~name, None)
+  | "tas-skip-res" -> (make_tas_mutant `Skip_res sim ~name, None)
+  | "counter-recover-reexec" -> (make_counter_mutant `Recover_reexec sim ~name, None)
+  | "counter-read-skip-persist" -> (make_counter_mutant `Read_skip_persist sim ~name, None)
+  | other -> invalid_arg (Printf.sprintf "Zoo.make: unknown mutant %S" other)

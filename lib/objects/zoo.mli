@@ -1,0 +1,30 @@
+(** The mutation bug zoo: deliberately broken variants of Algorithms 1-4,
+    each off by exactly one removed or reordered line — skipped persists,
+    responses that outrun their persist, dropped helping announcements,
+    recovery conditions off by one.  The fuzzer's detection power is
+    measured against this catalogue: every mutant must be caught within a
+    pinned seed budget (see [lib/fuzz] and docs/fuzzing.md).
+
+    Mutants keep their base algorithm's object type and strictness
+    registration, so the unmodified NRL and Definition 1 checkers judge
+    them against the same specifications as the sound originals. *)
+
+type mutant = {
+  m_name : string;  (** zoo-wide unique, usable as a scenario kind *)
+  m_algo : string;
+      (** base algorithm's scenario kind: ["register"], ["cas"], ["tas"]
+          or ["counter"] — selects the workload shape *)
+  m_doc : string;  (** the mutation, and why it is unsound *)
+}
+
+val all : mutant list
+(** The full catalogue, in a stable order. *)
+
+val find : string -> mutant option
+(** Look a mutant up by {!field-m_name}. *)
+
+val make : mutant -> Machine.Sim.t -> name:string -> Machine.Objdef.instance * Nvm.Memory.addr option
+(** Allocate and register the mutant's object in [sim].  For CAS-based
+    mutants the second component is the address of the [C] cell (the
+    workload generator computes CAS [old] arguments from it); [None]
+    otherwise. *)

@@ -29,6 +29,12 @@ let nrl_inc_res_transitions = "nrl.inc.res_transitions"
 let nrl_inc_memo_hits = "nrl.inc.memo.hits"
 let nrl_inc_memo_misses = "nrl.inc.memo.misses"
 
+let fuzz_runs = "fuzz.runs"
+let fuzz_new_coverage = "fuzz.new_coverage"
+let fuzz_violations = "fuzz.violations"
+let fuzz_shrink_steps = "fuzz.shrink_steps"
+let fuzz_corpus_entries = "fuzz.corpus_entries"
+
 let torture_ops = "torture.ops"
 let torture_crashes = "torture.crashes"
 let torture_retries = "torture.retries"
@@ -63,6 +69,11 @@ let catalogue =
     (nrl_inc_res_transitions, Counter, true, "response-step closures run");
     (nrl_inc_memo_hits, Counter, true, "closure nodes skipped by the per-event memo");
     (nrl_inc_memo_misses, Counter, true, "closure nodes expanded");
+    (fuzz_runs, Counter, true, "fuzz scenarios executed (campaign runs plus shrink re-runs)");
+    (fuzz_new_coverage, Counter, true, "state fingerprints visited for the first time in the campaign");
+    (fuzz_violations, Counter, true, "fuzz runs judged NRL- or strictness-violating");
+    (fuzz_shrink_steps, Counter, true, "shrink candidates executed while minimising counterexamples");
+    (fuzz_corpus_entries, Counter, true, "seeds kept in the corpus for discovering new coverage");
     (torture_ops, Counter, true, "operations started under Torture.with_crashes");
     (torture_crashes, Counter, true, "armed crash points that fired");
     (torture_retries, Counter, true, "recovery attempts (crashes = retries + aborted_recoveries)");

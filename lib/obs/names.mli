@@ -107,6 +107,25 @@ val nrl_inc_memo_hits : string
 val nrl_inc_memo_misses : string
 (** Closure nodes expanded. *)
 
+(** {1 Scenario fuzzer} *)
+
+val fuzz_runs : string
+(** Fuzz scenarios executed — campaign runs plus shrink re-runs
+    ({!Fuzz.Gen.run} invocations made by the campaign and shrinker). *)
+
+val fuzz_new_coverage : string
+(** Configuration fingerprints ({!Machine.Fingerprint}) visited for the
+    first time in the campaign — the coverage-feedback signal. *)
+
+val fuzz_violations : string
+(** Fuzz runs judged NRL- or Definition 1 (strictness)-violating. *)
+
+val fuzz_shrink_steps : string
+(** Shrink candidates executed while minimising counterexamples. *)
+
+val fuzz_corpus_entries : string
+(** Seeds kept in the corpus for discovering new coverage. *)
+
 (** {1 Multicore torture harness} *)
 
 val torture_ops : string

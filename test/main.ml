@@ -23,4 +23,8 @@ let () =
       ("runtime-ext", Test_runtime_extensions.suite);
       ("obs", Test_obs.suite);
       ("resilience", Test_resilience.suite);
+      ("prng", Test_prng.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("cli", Test_cli.suite);
+      ("registration", Test_registration.suite);
     ]

@@ -1,0 +1,179 @@
+(* Golden/expect tests for the nrlsim CLI: the help surface, the shape of
+   the --stats counter section, and the exit-code contract pinned in
+   docs/cli.md (0 clean, 2 violation found, 3 budget/signal cut short,
+   124 command-line error).
+
+   The executable is a declared dune dependency of this test, so it is
+   always the one built from the current tree.  Tests run with the test
+   directory as the working directory; the binary lives at
+   ../bin/nrlsim.exe in the build tree. *)
+
+let exe = Filename.concat (Filename.concat ".." "bin") "nrlsim.exe"
+
+(* Run [exe args], capturing combined stdout+stderr and the exit code. *)
+let run_cli args =
+  let out = Filename.temp_file "nrl_cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s > %s 2>&1"
+      (Filename.quote_command exe args)
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let output = In_channel.with_open_bin out In_channel.input_all in
+  Sys.remove out;
+  (code, output)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let assert_contains out needle =
+  if not (contains ~needle out) then
+    Alcotest.failf "output does not mention %S:\n%s" needle out
+
+(* {2 Help surface} *)
+
+let test_help_lists_subcommands () =
+  let code, out = run_cli [ "--help=plain" ] in
+  Alcotest.(check int) "--help exits 0" 0 code;
+  (* the golden part: every subcommand with its one-line purpose *)
+  List.iter (assert_contains out)
+    [
+      "check [OPTION]";
+      "One seeded run with the full history and NRL verdict";
+      "explore [OPTION]";
+      "Bounded exhaustive schedule exploration (use small instances)";
+      "fuzz [OPTION]";
+      "Coverage-guided scenario fuzzing with counterexample shrinking";
+      "list [OPTION]";
+      "List available scenarios";
+      "run [OPTION]";
+      "Randomized crash-torture batch with NRL checking";
+      "theorem [OPTION]";
+      "Theorem 4 analysis";
+    ]
+
+let test_fuzz_help_lists_flags () =
+  let code, out = run_cli [ "fuzz"; "--help=plain" ] in
+  Alcotest.(check int) "fuzz --help exits 0" 0 code;
+  List.iter (assert_contains out)
+    [
+      "--seeds"; "--seed"; "--kinds"; "--budget"; "--corpus"; "--resume"; "--shrink";
+      "--zoo"; "--zoo-budget"; "--replay"; "--stats"; "--trace";
+    ]
+
+(* {2 --stats counter section shape} *)
+
+let test_run_stats_counter_section () =
+  let code, out = run_cli [ "run"; "counter"; "--trials"; "5"; "--stats" ] in
+  Alcotest.(check int) "clean batch exits 0" 0 code;
+  let lines = String.split_on_char '\n' out in
+  let rec after = function
+    | [] -> Alcotest.failf "no 'counters:' section in:\n%s" out
+    | "counters:" :: tl -> tl
+    | _ :: tl -> after tl
+  in
+  let rec section acc = function
+    | l :: tl when String.length l > 2 && String.sub l 0 2 = "  " -> section (l :: acc) tl
+    | _ -> List.rev acc
+  in
+  let counters = section [] (after lines) in
+  if counters = [] then Alcotest.failf "empty counter section in:\n%s" out;
+  let names =
+    List.map
+      (fun l ->
+        match String.split_on_char ' ' (String.trim l) with
+        | name :: rest ->
+          (* shape: two-space indent, name, spaces, integer value *)
+          (match List.filter (fun s -> s <> "") rest with
+          | [ v ] when int_of_string_opt v <> None -> name
+          | _ -> Alcotest.failf "malformed counter line %S" l)
+        | [] -> Alcotest.failf "malformed counter line %S" l)
+      counters
+  in
+  (* every printed counter is catalogued, engine-invariant, and the
+     section is sorted by name *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (n ^ " catalogued as a counter") true
+        (Obs.Names.kind_of n = Some Obs.Names.Counter);
+      Alcotest.(check bool) (n ^ " engine-invariant") true (Obs.Names.engine_invariant n))
+    names;
+  Alcotest.(check (list string)) "sorted by name" (List.sort compare names) names;
+  (* the core machine counters are always present for a torture batch *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+    [ "sim.steps"; "sim.crashes"; "sim.recoveries"; "nrl.checks" ]
+
+(* {2 Exit codes (docs/cli.md)} *)
+
+let test_exit_0_clean () =
+  let code, _ = run_cli [ "run"; "counter"; "--trials"; "3" ] in
+  Alcotest.(check int) "clean run exits 0" 0 code
+
+let test_exit_2_violation () =
+  (* counter-read-skip-persist is pinned (test_fuzz) to violate at the
+     very first campaign seed *)
+  let code, out =
+    run_cli [ "fuzz"; "--kinds"; "counter-read-skip-persist"; "--seeds"; "1"; "--shrink"; "false" ]
+  in
+  Alcotest.(check int) "violation exits 2" 2 code;
+  assert_contains out "violation at seed"
+
+let test_exit_3_budget () =
+  (* a seed budget far beyond what fits into ~1s of wall clock *)
+  let code, out = run_cli [ "fuzz"; "--seeds"; "1000000"; "--budget"; "1s" ] in
+  Alcotest.(check int) "budget cut exits 3" 3 code;
+  assert_contains out "stopped:"
+
+let test_exit_124_cli_errors () =
+  let cases =
+    [
+      [ "run"; "--no-such-flag" ];
+      [ "fuzz"; "--replay"; "garbage" ];
+      [ "fuzz"; "--kinds"; "no-such-kind"; "--seeds"; "1" ];
+      [ "fuzz"; "--budget"; "soon" ];
+    ]
+  in
+  List.iter
+    (fun args ->
+      let code, _ = run_cli args in
+      Alcotest.(check int) (String.concat " " args ^ " exits 124") 124 code)
+    cases
+
+let test_replay_roundtrip () =
+  (* a violating campaign prints a replay line; replaying it must violate *)
+  let _, out =
+    run_cli [ "fuzz"; "--kinds"; "tas-skip-res"; "--seeds"; "1" ]
+  in
+  let marker = "--replay '" in
+  let idx =
+    let rec find i =
+      if i + String.length marker > String.length out then
+        Alcotest.failf "no replay line in:\n%s" out
+      else if String.sub out i (String.length marker) = marker then i + String.length marker
+      else find (i + 1)
+    in
+    find 0
+  in
+  let stop = String.index_from out idx '\'' in
+  let desc = String.sub out idx (stop - idx) in
+  let code, out2 = run_cli [ "fuzz"; "--replay"; desc ] in
+  Alcotest.(check int) "replayed reproducer exits 2" 2 code;
+  assert_contains out2 "VIOLATION"
+
+let suite =
+  [
+    Alcotest.test_case "help lists all subcommands" `Quick test_help_lists_subcommands;
+    Alcotest.test_case "fuzz help lists its flags" `Quick test_fuzz_help_lists_flags;
+    Alcotest.test_case "run --stats counter section shape" `Quick
+      test_run_stats_counter_section;
+    Alcotest.test_case "exit 0 on a clean run" `Quick test_exit_0_clean;
+    Alcotest.test_case "exit 2 on a violation" `Quick test_exit_2_violation;
+    Alcotest.test_case "exit 3 on budget exhaustion" `Quick test_exit_3_budget;
+    Alcotest.test_case "exit 124 on CLI errors" `Quick test_exit_124_cli_errors;
+    Alcotest.test_case "printed reproducers replay" `Quick test_replay_roundtrip;
+  ]

@@ -1,0 +1,289 @@
+(* Tests for the coverage-guided scenario fuzzer (lib/fuzz).
+
+   The pinned facts here are the PR's acceptance criteria: every zoo
+   mutant is caught within the default per-mutant seed budget, shrunk
+   counterexamples still violate when replayed from their printed form,
+   and a fixed-seed campaign writes a byte-identical corpus whether it
+   runs uninterrupted, is re-run, or is resumed mid-way. *)
+
+module Gen = Fuzz.Gen
+module Corpus = Fuzz.Corpus
+module Shrink = Fuzz.Shrink
+module Campaign = Fuzz.Campaign
+module Prng = Machine.Schedule.Prng
+
+let slurp path = In_channel.with_open_bin path In_channel.input_all
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("nrl_fuzz_test_" ^ name)
+
+(* {2 Descriptors} *)
+
+let test_descriptor_roundtrip () =
+  for seed = 1 to 200 do
+    let rng = Prng.create seed in
+    let d = Gen.sample ~rng ~kinds:Gen.all_kinds in
+    match Gen.of_string (Gen.to_string d) with
+    | Ok d' -> Alcotest.(check string) "round-trip" (Gen.to_string d) (Gen.to_string d')
+    | Error m -> Alcotest.failf "descriptor did not parse back: %s" m
+  done
+
+let test_descriptor_parse_errors () =
+  let rejected s =
+    match Gen.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parsed malformed descriptor %S" s
+  in
+  rejected "";
+  rejected "garbage";
+  rejected "kind=register,n=2,ops=3";
+  (* missing fields *)
+  rejected
+    "kind=nonsense,n=2,ops=3,mix=500,seed=1,sched=2,crash=50,rec=500,sys=0,maxc=2,steps=500,junk=zeros";
+  rejected
+    "kind=register,n=2,ops=3,mix=500,seed=1,sched=2,crash=50,rec=500,sys=0,maxc=2,steps=500,junk=bogus";
+  rejected
+    "kind=register,n=zero,ops=3,mix=500,seed=1,sched=2,crash=50,rec=500,sys=0,maxc=2,steps=500,junk=zeros"
+
+let test_sample_respects_kinds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 50 do
+    let d = Gen.sample ~rng ~kinds:[ "cas"; "tas" ] in
+    Alcotest.(check bool) "kind in list" true (List.mem d.Gen.kind [ "cas"; "tas" ])
+  done
+
+let test_run_deterministic () =
+  let rng = Prng.create 11 in
+  let d = Gen.sample ~rng ~kinds:Gen.base_kinds in
+  let c1 = ref [] and c2 = ref [] in
+  let v1 = Gen.run ~collect:(fun h -> c1 := h :: !c1) d in
+  let v2 = Gen.run ~collect:(fun h -> c2 := h :: !c2) d in
+  Alcotest.(check (option string)) "same verdict" v1.Gen.v_violation v2.Gen.v_violation;
+  Alcotest.(check int) "same steps" v1.Gen.v_steps v2.Gen.v_steps;
+  Alcotest.(check (list int)) "same coverage stream" !c1 !c2
+
+(* {2 Zoo detection (pinned budget)} *)
+
+let test_zoo_all_detected () =
+  let dets = Campaign.zoo ~shrink:false ~base_seed:1 () in
+  Alcotest.(check int) "every registered mutant measured" (List.length Objects.Zoo.all)
+    (List.length dets);
+  List.iter
+    (fun z ->
+      match z.Campaign.z_found with
+      | Some _ -> ()
+      | None ->
+        Alcotest.failf "mutant %s not detected within %d seeds"
+          z.Campaign.z_mutant.Objects.Zoo.m_name Campaign.default_zoo_budget)
+    dets
+
+let test_zoo_shrunk_reproducers_violate () =
+  let dets = Campaign.zoo ~shrink:true ~base_seed:1 () in
+  List.iter
+    (fun z ->
+      match z.Campaign.z_found, z.Campaign.z_shrunk with
+      | Some _, Some o ->
+        (* replay from the printed form, as a user would *)
+        let printed = Gen.to_string o.Shrink.s_desc in
+        let d =
+          match Gen.of_string printed with
+          | Ok d -> d
+          | Error m -> Alcotest.failf "reproducer %s does not parse: %s" printed m
+        in
+        let v = Gen.run d in
+        (match v.Gen.v_violation with
+        | Some _ -> ()
+        | None ->
+          Alcotest.failf "shrunk reproducer for %s no longer violates: %s"
+            z.Campaign.z_mutant.Objects.Zoo.m_name printed)
+      | Some _, None ->
+        Alcotest.failf "mutant %s detected but not shrunk"
+          z.Campaign.z_mutant.Objects.Zoo.m_name
+      | None, _ ->
+        Alcotest.failf "mutant %s not detected" z.Campaign.z_mutant.Objects.Zoo.m_name)
+    dets
+
+let test_shrink_never_grows () =
+  let dets = Campaign.zoo ~shrink:true ~base_seed:1 () in
+  List.iter
+    (fun z ->
+      match z.Campaign.z_found, z.Campaign.z_shrunk with
+      | Some (d0, _), Some o ->
+        let d = o.Shrink.s_desc in
+        let le what a b =
+          if a > b then
+            Alcotest.failf "%s grew while shrinking %s: %d > %d" what
+              z.Campaign.z_mutant.Objects.Zoo.m_name a b
+        in
+        le "nprocs" d.Gen.nprocs d0.Gen.nprocs;
+        le "ops" d.Gen.ops d0.Gen.ops;
+        le "max_crashes" d.Gen.max_crashes d0.Gen.max_crashes;
+        le "max_steps" d.Gen.max_steps d0.Gen.max_steps;
+        le "system_pm" d.Gen.system_pm d0.Gen.system_pm
+      | _ -> ())
+    dets
+
+(* {2 Corpus persistence} *)
+
+let small_cfg path =
+  { Campaign.default_cfg with seeds = 40; corpus_path = Some path; shrink = true }
+
+let test_corpus_roundtrip () =
+  let a = tmp "rt_a.ndjson" and b = tmp "rt_b.ndjson" in
+  (match Campaign.run (small_cfg a) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Corpus.load a with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    Corpus.save ~path:b c;
+    Alcotest.(check string) "load/save is the identity" (slurp a) (slurp b);
+    Alcotest.(check int) "entries round-trip with their coverage" c.Corpus.stats.Corpus.corpus_entries
+      (List.length c.Corpus.entries));
+  Sys.remove a;
+  Sys.remove b
+
+let test_corpus_load_errors () =
+  let reject name content =
+    let p = tmp name in
+    Out_channel.with_open_bin p (fun oc -> output_string oc content);
+    (match Corpus.load p with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "loaded malformed corpus %s" name);
+    Sys.remove p
+  in
+  (match Corpus.load (tmp "does_not_exist.ndjson") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file");
+  reject "empty.ndjson" "";
+  reject "schema.ndjson" "{\"schema\":\"nrl-corpus/999\"}\n";
+  reject "junk.ndjson" "{\"schema\":\"nrl-corpus/1\"}\nnot json\n";
+  reject "unknown.ndjson" "{\"schema\":\"nrl-corpus/1\"}\n{\"type\":\"mystery\"}\n"
+
+let test_campaign_byte_identical_rerun () =
+  let a = tmp "id_a.ndjson" and b = tmp "id_b.ndjson" in
+  (match Campaign.run (small_cfg a), Campaign.run (small_cfg b) with
+  | Ok ra, Ok rb ->
+    Alcotest.(check string) "same corpus bytes" (slurp a) (slurp b);
+    Alcotest.(check int) "same runs" ra.Campaign.r_stats.Corpus.runs
+      rb.Campaign.r_stats.Corpus.runs;
+    Alcotest.(check bool) "finished" true (ra.Campaign.r_finished && rb.Campaign.r_finished)
+  | Error m, _ | _, Error m -> Alcotest.fail m);
+  Sys.remove a;
+  Sys.remove b
+
+let test_campaign_resume_byte_identical () =
+  let a = tmp "res_a.ndjson" and c = tmp "res_c.ndjson" in
+  (match Campaign.run (small_cfg a) with Ok _ -> () | Error m -> Alcotest.fail m);
+  (* interrupted run: first 15 indices only... *)
+  (match Campaign.run { (small_cfg c) with seeds = 15 } with
+  | Ok r -> Alcotest.(check int) "partial ran 15" 15 r.Campaign.r_stats.Corpus.runs
+  | Error m -> Alcotest.fail m);
+  (* ...then resumed to the full budget *)
+  (match Campaign.run { (small_cfg c) with resume = true } with
+  | Ok r ->
+    Alcotest.(check bool) "resumed to completion" true r.Campaign.r_finished;
+    Alcotest.(check int) "cumulative runs" 40 r.Campaign.r_stats.Corpus.runs
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check string) "resumed corpus byte-identical to uninterrupted" (slurp a) (slurp c);
+  Sys.remove a;
+  Sys.remove c
+
+let test_campaign_stamp_mismatch_rejected () =
+  let p = tmp "stamp.ndjson" in
+  (match Campaign.run { (small_cfg p) with seeds = 5 } with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Campaign.run { (small_cfg p) with seeds = 5; base_seed = 999; resume = true } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resumed a corpus from a different base seed");
+  Sys.remove p
+
+let test_campaign_sound_algorithms_clean () =
+  (match Campaign.run { Campaign.default_cfg with seeds = 40 } with
+  | Ok r ->
+    Alcotest.(check int) "no violations on Algorithms 1-4" 0
+      r.Campaign.r_stats.Corpus.violations;
+    Alcotest.(check int) "every seed ran" 40 r.Campaign.r_stats.Corpus.runs
+  | Error m -> Alcotest.fail m)
+
+let test_campaign_finds_and_shrinks_zoo_kind () =
+  let obs = Obs.Metrics.create () in
+  match
+    Campaign.run ~obs
+      { Campaign.default_cfg with seeds = 3; kinds = [ "counter-read-skip-persist" ] }
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    Alcotest.(check bool) "violations found" true (r.Campaign.r_violations <> []);
+    List.iter
+      (fun x ->
+        match x.Corpus.x_shrunk with
+        | None -> Alcotest.fail "violation not shrunk"
+        | Some printed -> (
+          match Gen.of_string printed with
+          | Error m -> Alcotest.failf "shrunk descriptor does not parse: %s" m
+          | Ok d ->
+            Alcotest.(check bool) "shrunk reproducer violates" true
+              ((Gen.run d).Gen.v_violation <> None)))
+      r.Campaign.r_violations;
+    (* the obs counters mirror the campaign's own statistics *)
+    let counter n =
+      match Obs.Metrics.view obs n with
+      | Some (Obs.Metrics.Counter v) -> v
+      | _ -> Alcotest.failf "counter %s not emitted" n
+    in
+    Alcotest.(check int) "fuzz.violations counter" r.Campaign.r_stats.Corpus.violations
+      (counter Obs.Names.fuzz_violations);
+    Alcotest.(check int) "fuzz.corpus_entries counter"
+      r.Campaign.r_stats.Corpus.corpus_entries
+      (counter Obs.Names.fuzz_corpus_entries);
+    Alcotest.(check int) "fuzz.shrink_steps counter" r.Campaign.r_stats.Corpus.shrink_steps
+      (counter Obs.Names.fuzz_shrink_steps);
+    (* fuzz.runs = campaign runs + shrink re-runs *)
+    Alcotest.(check int) "fuzz.runs counter"
+      (r.Campaign.r_stats.Corpus.runs + r.Campaign.r_stats.Corpus.shrink_steps)
+      (counter Obs.Names.fuzz_runs)
+
+let test_campaign_should_stop () =
+  let p = tmp "stop.ndjson" in
+  let n = ref 0 in
+  let should_stop () =
+    incr n;
+    !n > 10
+  in
+  (match Campaign.run ~should_stop { (small_cfg p) with seeds = 1000 } with
+  | Ok r ->
+    Alcotest.(check bool) "not finished" false r.Campaign.r_finished;
+    Alcotest.(check int) "stopped after 10 indices" 10 r.Campaign.r_stats.Corpus.runs;
+    (match Corpus.load p with
+    | Ok c ->
+      Alcotest.(check int) "resumable at the next index" 10 c.Corpus.next;
+      Alcotest.(check bool) "no final result yet" true (c.Corpus.result = None)
+    | Error m -> Alcotest.fail m)
+  | Error m -> Alcotest.fail m);
+  Sys.remove p
+
+let suite =
+  [
+    Alcotest.test_case "descriptor print/parse round-trip" `Quick test_descriptor_roundtrip;
+    Alcotest.test_case "descriptor parse errors" `Quick test_descriptor_parse_errors;
+    Alcotest.test_case "sample respects kind list" `Quick test_sample_respects_kinds;
+    Alcotest.test_case "run is deterministic" `Quick test_run_deterministic;
+    Alcotest.test_case "zoo: all mutants detected in budget" `Quick test_zoo_all_detected;
+    Alcotest.test_case "zoo: shrunk reproducers still violate" `Quick
+      test_zoo_shrunk_reproducers_violate;
+    Alcotest.test_case "shrink never grows a descriptor" `Quick test_shrink_never_grows;
+    Alcotest.test_case "corpus load/save round-trip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "corpus load errors" `Quick test_corpus_load_errors;
+    Alcotest.test_case "campaign re-run byte-identical" `Quick
+      test_campaign_byte_identical_rerun;
+    Alcotest.test_case "campaign resume byte-identical" `Quick
+      test_campaign_resume_byte_identical;
+    Alcotest.test_case "campaign stamp mismatch rejected" `Quick
+      test_campaign_stamp_mismatch_rejected;
+    Alcotest.test_case "campaign clean on sound algorithms" `Quick
+      test_campaign_sound_algorithms_clean;
+    Alcotest.test_case "campaign finds and shrinks zoo kind" `Quick
+      test_campaign_finds_and_shrinks_zoo_kind;
+    Alcotest.test_case "campaign honours should_stop" `Quick test_campaign_should_stop;
+  ]

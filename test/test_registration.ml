@@ -1,0 +1,70 @@
+(* The suite list in main.ml is append-only and easy to forget: a new
+   test_*.ml that compiles but is never added to the run is silently
+   dead.  This test closes the loop in both directions by comparing the
+   test directory's contents against main.ml's source (dune copies both
+   into the build directory, so the current directory at test runtime is
+   the authoritative file set). *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_files () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 8
+         && String.sub f 0 5 = "test_"
+         && Filename.check_suffix f ".ml")
+  |> List.sort compare
+
+let module_of file = String.capitalize_ascii (Filename.chop_suffix file ".ml")
+
+let main_src () = In_channel.with_open_bin "main.ml" In_channel.input_all
+
+let test_every_file_is_wired () =
+  let src = main_src () in
+  List.iter
+    (fun f ->
+      let reference = module_of f ^ ".suite" in
+      if not (contains ~needle:reference src) then
+        Alcotest.failf
+          "%s exists but %s is not in main.ml's suite list — its tests never run" f reference)
+    (test_files ())
+
+let test_every_suite_has_a_file () =
+  (* scan main.ml for Test_<name>.suite references and require the file *)
+  let src = main_src () in
+  let files = test_files () in
+  let n = String.length src in
+  let is_ident c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' in
+  let rec scan i =
+    if i + 5 >= n then ()
+    else if String.sub src i 5 = "Test_" then begin
+      let j = ref (i + 5) in
+      while !j < n && is_ident src.[!j] do incr j done;
+      let modname = String.sub src i (!j - i) in
+      if !j + 6 <= n && String.sub src !j 6 = ".suite" then begin
+        let file = String.uncapitalize_ascii modname ^ ".ml" in
+        if not (List.mem file files) then
+          Alcotest.failf "main.ml runs %s.suite but %s does not exist" modname file
+      end;
+      scan !j
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_this_suite_is_wired () =
+  (* the registration check must itself be registered, or a later edit
+     could drop it along with everything it guards *)
+  Alcotest.(check bool) "Test_registration.suite in main.ml" true
+    (contains ~needle:"Test_registration.suite" (main_src ()))
+
+let suite =
+  [
+    Alcotest.test_case "every test_*.ml is in main.ml" `Quick test_every_file_is_wired;
+    Alcotest.test_case "every wired suite has a file" `Quick test_every_suite_has_a_file;
+    Alcotest.test_case "registration check is itself wired" `Quick test_this_suite_is_wired;
+  ]

@@ -118,6 +118,69 @@ let prop_register_seq_monotone =
       in
       increasing seqs)
 
+(* {2 1000-seed generator invariants}
+
+   The paper's algorithms assume their workloads respect three
+   preconditions (Section 2 assumptions restated at each algorithm):
+   written values are globally distinct, CAS never uses [old = new], and
+   T&S is invoked at most once per process.  The generators must deliver
+   them for {e every} seed, not just the ones unit tests happen to use. *)
+
+let prop_register_values_globally_distinct =
+  QCheck2.Test.make ~name:"register workload: values distinct across processes (1k seeds)"
+    ~count:1000
+    (QCheck2.Gen.int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Schedule.Prng.create seed in
+      let sim = Sim.create ~nprocs:4 () in
+      let inst = Objects.Rw_obj.make sim ~name:"R" in
+      let values =
+        List.concat_map
+          (fun pid ->
+            List.filter_map
+              (fun (_, op, spec) ->
+                match op, spec with "WRITE", Sim.Args a -> Some a.(0) | _ -> None)
+              (Workload.Opgen.register_ops ~rng ~pid ~count:8 ~write_ratio:0.7 inst))
+          [ 0; 1; 2; 3 ]
+      in
+      List.length values = List.length (List.sort_uniq Nvm.Value.compare values))
+
+let prop_cas_never_old_eq_new =
+  (* the [old] argument is computed at invocation time, so the property
+     must be checked on executed histories — crashes included *)
+  QCheck2.Test.make ~name:"cas workload: old <> new on executed histories (1k seeds)"
+    ~count:1000
+    (QCheck2.Gen.int_range 1 1_000_000)
+    (fun seed ->
+      let scen = Workload.Scenarios.cas ~nprocs:2 ~ops:4 ~rng_seed:seed () in
+      let sim, _ = Workload.Trial.run ~max_steps:2_000 ~seed ~crash_prob:0.05 scen in
+      List.for_all
+        (function
+          | History.Step.Inv { opref = { History.Step.op = "CAS"; _ }; args; _ } ->
+            not (Nvm.Value.equal args.(0) args.(1))
+          | _ -> true)
+        (History.to_list (Machine.Sim.history sim)))
+
+let prop_tas_exactly_once_per_proc =
+  QCheck2.Test.make ~name:"tas workload: exactly one T&S per process (1k seeds)"
+    ~count:1000
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 2 5))
+    (fun (seed, nprocs) ->
+      let scen = Workload.Scenarios.tas ~nprocs () in
+      let sim, _ = Workload.Trial.run ~seed ~crash_prob:0.1 ~max_crashes:4 scen in
+      let h = History.to_list (Machine.Sim.history sim) in
+      List.for_all
+        (fun p ->
+          1
+          = List.length
+              (List.filter
+                 (function
+                   | History.Step.Inv { pid; opref = { History.Step.op = "T&S"; _ }; _ } ->
+                     pid = p
+                   | _ -> false)
+                 h))
+        (List.init nprocs Fun.id))
+
 let suite =
   [
     Alcotest.test_case "register workload: distinct values" `Quick test_register_values_distinct;
@@ -129,4 +192,7 @@ let suite =
     Alcotest.test_case "spec_for threads initial values" `Quick test_spec_for_threads_init;
     Alcotest.test_case "spec_for unknown otype" `Quick test_spec_for_unknown_otype;
     QCheck_alcotest.to_alcotest prop_register_seq_monotone;
+    QCheck_alcotest.to_alcotest prop_register_values_globally_distinct;
+    QCheck_alcotest.to_alcotest prop_cas_never_old_eq_new;
+    QCheck_alcotest.to_alcotest prop_tas_exactly_once_per_proc;
   ]
