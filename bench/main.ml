@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every table (T1-T7) and figure series
+(* Benchmark harness: regenerates every table (T1-T8) and figure series
    (F1-F5) defined in DESIGN.md section 5, plus the correctness experiment
    suite (E1-E6) recorded in EXPERIMENTS.md.
 
@@ -7,7 +7,7 @@
    Machine-readable: dune exec bench/main.exe -- --json [tags]
                      additionally writes BENCH_explore.json (schema
                      Workload.Bench_json: every ns/op estimate, the T5
-                     persist-event counts and the T6/T7 explore rows),
+                     persist-event counts and the T6/T7/T8 explore rows),
                      so the perf trajectory is tracked across PRs.
 
    The paper (PODC'18) has no empirical evaluation; these benchmarks are
@@ -34,7 +34,7 @@ let record_ns name ns =
 let record_rate name ops_per_sec =
   record_ns name (if ops_per_sec > 0. then 1e9 /. ops_per_sec else nan)
 
-let record_explore ~sect ~scenario ~nprocs ~ops ~jobs ~dedup ~trail ~mode
+let record_explore ~sect ~scenario ~nprocs ~ops ~jobs ~dedup ~trail ?(sym = false) ~mode
     (stats : Machine.Explore.stats) seconds =
   json_explore :=
     {
@@ -45,6 +45,7 @@ let record_explore ~sect ~scenario ~nprocs ~ops ~jobs ~dedup ~trail ~mode
       er_jobs = jobs;
       er_dedup = dedup;
       er_trail = trail;
+      er_sym = sym;
       er_mode = mode;
       er_terminals = stats.Machine.Explore.terminals;
       er_nodes = stats.Machine.Explore.nodes;
@@ -382,16 +383,19 @@ let t5 () =
 %!" name a2 a4 a8)
     rows
 
-(* {1 T6: exhaustive-exploration throughput scaling vs domain count} *)
+(* {1 T6: work-stealing jobs scaling (trail on/off, incremental checking)} *)
 
-(* The domain-parallel engine on a fixed mid-sized instance: wall-clock
-   and nodes/sec for 1..max domains, with and without state
-   deduplication.  Statistics are engine-invariant without dedup, so the
-   rows double as a cross-check.  Speedup needs real cores: on a
-   single-core host the extra domains only measure the fan-out
-   overhead. *)
+(* The work-stealing engine on a fixed mid-sized instance: wall-clock and
+   nodes/sec at 1/2/4 domains, for both branching disciplines, with the
+   shared sharded visited store and incremental checking on throughout —
+   the configuration the speedup gate cares about.  Statistics must be
+   identical down every column: the partition of the tree into stolen
+   subtree tasks may vary, the counted tree may not.  Speedup needs real
+   cores (see [domains_available] in the JSON); on a narrower host the
+   higher rows measure oversubscription, which after this rearchitecture
+   should cost percents, not multiples. *)
 let t6 () =
-  section "T6" "explore throughput scaling vs domains (register, 3 procs, 1 op, 1 crash)";
+  section "T6" "explore jobs scaling, work-stealing (register, 3 procs, 1 op, 1 crash)";
   (* the bechamel sections leave a large fragmented major heap that would
      throttle the allocation-heavy search: measure from a compacted heap *)
   Gc.compact ();
@@ -405,28 +409,88 @@ let t6 () =
   let cfg =
     { Machine.Explore.default_config with max_steps = 100; max_crashes = 1; crash_procs = [ 0 ] }
   in
-  let max_d = Runtime.Par.max_domains ~cap:8 () in
-  let jobs_list = List.filter (fun j -> j = 1 || j <= max_d * 4) [ 1; 2; 4; 8 ] in
-  Printf.printf "  %-8s %-8s %12s %10s %10s %12s\n%!" "jobs" "dedup" "nodes" "dup" "seconds"
-    "nodes/s";
+  Printf.printf "  domains available: %d\n%!" (Domain.recommended_domain_count ());
+  Printf.printf "  %-8s %-8s %12s %10s %10s %12s %10s\n%!" "jobs" "trail" "nodes" "dup"
+    "seconds" "nodes/s" "speedup";
   List.iter
-    (fun dedup ->
+    (fun trail ->
+      let base = ref nan in
       List.iter
         (fun jobs ->
           let t0 = Obs.Clock.now_s () in
           let viol, stats =
-            Machine.Explore.find_violation ~cfg ~jobs ~dedup
+            Machine.Explore.find_violation ~cfg ~jobs ~dedup:true ~trail
+              ~check_mode:(`Incremental (Workload.Check.nrl_incremental ()))
               ~check:Workload.Check.nrl_violation (build ())
           in
           let dt = Obs.Clock.now_s () -. t0 in
           assert (viol = None);
-          Printf.printf "  %-8d %-8b %12d %10d %10.2f %12.0f\n%!" jobs dedup
+          if jobs = 1 then base := dt;
+          Printf.printf "  %-8d %-8b %12d %10d %10.2f %12.0f %9.2fx\n%!" jobs trail
             stats.Machine.Explore.nodes stats.Machine.Explore.dup dt
-            (float_of_int stats.Machine.Explore.nodes /. dt);
-          record_explore ~sect:"T6" ~scenario:"register" ~nprocs ~ops ~jobs ~dedup
-            ~trail:true ~mode:"check-terminal" stats dt)
-        jobs_list)
+            (float_of_int stats.Machine.Explore.nodes /. dt)
+            (!base /. dt);
+          record_explore ~sect:"T6" ~scenario:"register" ~nprocs ~ops ~jobs ~dedup:true
+            ~trail ~mode:"check-incremental" stats dt)
+        [ 1; 2; 4 ])
     [ false; true ]
+
+(* {1 T8: process-symmetry quotienting on an exhaustive symmetric instance} *)
+
+(* A scenario the detector accepts: every process runs the same erased
+   script (WRITE of its own tagged value, then READ) on one recoverable
+   register, whose recovery is pid-oblivious — so the full symmetric
+   group applies even with crashes enabled (crash set = all processes).
+   The quotient explores one representative per orbit; the uncanonical
+   run is the ground truth the verdict is pinned against. *)
+let t8 () =
+  section "T8" "process-symmetry quotienting (rw, 4 procs, 2 ops each, 1 crash)";
+  Gc.compact ();
+  let nprocs = 4 and ops = 2 in
+  let build () =
+    let sim = Machine.Sim.create ~nprocs () in
+    let inst = Objects.Rw_obj.make sim ~name:"R" in
+    for p = 0 to nprocs - 1 do
+      Machine.Sim.set_script sim p
+        [
+          (inst, "WRITE", Machine.Sim.Args [| Workload.Opgen.tagged p 0 |]);
+          (inst, "READ", Machine.Sim.Args [||]);
+        ]
+    done;
+    sim
+  in
+  let cfg =
+    {
+      Machine.Explore.default_config with
+      max_steps = 400;
+      max_crashes = 1;
+      crash_procs = [ 0; 1; 2; 3 ];
+    }
+  in
+  Printf.printf "  %-10s %12s %10s %12s %10s %12s\n%!" "symmetry" "nodes" "dup" "terminals"
+    "seconds" "nodes/s";
+  let run ~symmetry =
+    let t0 = Obs.Clock.now_s () in
+    let viol, stats =
+      Machine.Explore.find_violation ~cfg ~dedup:true ~symmetry
+        ~check_mode:(`Incremental (Workload.Check.nrl_incremental ()))
+        ~check:Workload.Check.nrl_violation (build ())
+    in
+    let dt = Obs.Clock.now_s () -. t0 in
+    assert (viol = None);
+    assert (stats.Machine.Explore.truncated = 0);
+    Printf.printf "  %-10b %12d %10d %12d %10.2f %12.0f\n%!" symmetry
+      stats.Machine.Explore.nodes stats.Machine.Explore.dup
+      stats.Machine.Explore.terminals dt
+      (float_of_int stats.Machine.Explore.nodes /. dt);
+    record_explore ~sect:"T8" ~scenario:"rw-symmetric" ~nprocs ~ops ~jobs:1 ~dedup:true
+      ~trail:true ~sym:symmetry ~mode:"check-incremental" stats dt;
+    stats.Machine.Explore.nodes
+  in
+  let off = run ~symmetry:false in
+  let on_ = run ~symmetry:true in
+  Printf.printf "  state-space reduction:  %s\n%!"
+    (ratio (float_of_int off) (float_of_int on_))
 
 (* {1 T7: branching-discipline and check-mode throughput (1 domain)} *)
 
@@ -726,7 +790,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   json_requested := List.mem "--json" args;
   selected := List.filter (fun a -> a <> "--json") args;
-  Printf.printf "NRL benchmark harness (tables T1-T7, figures F1-F5, experiments E1-E6)\n";
+  Printf.printf "NRL benchmark harness (tables T1-T8, figures F1-F5, experiments E1-E6)\n";
   Printf.printf "domains available: %d\n%!" (Domain.recommended_domain_count ());
   if want "T1" then t1 ();
   if want "T2" then t2 ();
@@ -735,6 +799,7 @@ let () =
   if want "T5" then t5 ();
   if want "T6" then t6 ();
   if want "T7" then t7 ();
+  if want "T8" then t8 ();
   if want "F1" then f1 ();
   if want "F2" then f2 ();
   if want "F3" then f3 ();

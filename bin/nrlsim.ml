@@ -260,6 +260,18 @@ let explore_cmd =
              (fingerprint of memory + per-process control state).  Violations found are \
              real; a clean sweep certifies one representative prefix per configuration.")
   in
+  let no_symmetry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:
+            "Disable process-id symmetry reduction.  With $(b,--dedup), fingerprints of \
+             symmetric scenarios are normally canonicalised under the detected \
+             process-permutation group, deduplicating whole orbits of states (the \
+             soundness conditions are checked, never assumed; see docs/model.md).  This \
+             flag forces the unquotiented search — verdicts are identical, node/dedup \
+             counts differ.")
+  in
   let deadline_arg =
     Arg.(
       value
@@ -292,7 +304,7 @@ let explore_cmd =
       & opt (some string) None
       & info [ "checkpoint" ] ~docv:"FILE"
           ~doc:
-            "Periodically save resumable progress to $(docv) (schema nrl-checkpoint/1, \
+            "Periodically save resumable progress to $(docv) (schema nrl-checkpoint/2, \
              atomic write-then-rename; see docs/resilience.md).  On SIGINT/SIGTERM the \
              run checkpoints and exits 3 instead of losing its work.")
   in
@@ -325,10 +337,12 @@ let explore_cmd =
                 run a campaign sweeping every strategy and comparing verdicts."
                (String.concat ", " Machine.Junk.strategy_names)))
   in
-  let explore name nprocs ops max_steps max_crashes jobs trail check_mode dedup stats_flag
-      trace progress deadline max_nodes max_visited checkpoint checkpoint_interval resume
-      junk =
+  let explore name nprocs ops max_steps max_crashes jobs trail check_mode dedup no_symmetry
+      stats_flag trace progress deadline max_nodes max_visited checkpoint
+      checkpoint_interval resume junk =
+    let jobs_requested = jobs in
     let jobs = match jobs with `Auto -> Machine.Explore.auto_jobs () | `Jobs j -> j in
+    let symmetry = not no_symmetry in
     let check_mode_name =
       match check_mode with `Terminal -> "terminal" | `Incremental -> "incremental"
     in
@@ -346,6 +360,26 @@ let explore_cmd =
     let cfg =
       { Machine.Explore.default_config with max_steps; max_crashes; crash_procs = [ 0 ] }
     in
+    (* what --stats reports about the engine configuration: the resolved
+       domain fan-out (honest about `auto`) and whether the symmetry
+       quotient is active for this scenario *)
+    let sym_degree =
+      if dedup && symmetry then
+        let probe = build (if junk = "all" then "scramble" else junk) in
+        Option.map Machine.Fingerprint.Symmetry.degree
+          (Machine.Explore.symmetry_group cfg probe)
+      else None
+    in
+    let stats_header =
+      if not stats_flag then ""
+      else
+        Printf.sprintf "engine: jobs=%d%s (domains available: %d); symmetry=%s" jobs
+          (match jobs_requested with `Auto -> " (auto)" | `Jobs _ -> "")
+          (Machine.Explore.auto_jobs ())
+          (match sym_degree with
+          | Some d -> Printf.sprintf "on (quotient degree %d)" d
+          | None -> if dedup && symmetry then "inactive" else "off")
+    in
     let obs = obs_of ~stats:stats_flag ~trace in
     let tracer = Option.map (fun path -> Obs.Trace.create ~path) trace in
     Option.iter
@@ -360,6 +394,7 @@ let explore_cmd =
             ("jobs", Obs.Trace.Int jobs);
             ("trail", Obs.Trace.Bool trail);
             ("dedup", Obs.Trace.Bool dedup);
+            ("symmetry", Obs.Trace.Bool symmetry);
             ("check_mode", Obs.Trace.Str check_mode_name);
             ("junk", Obs.Trace.Str junk);
           ])
@@ -395,7 +430,7 @@ let explore_cmd =
         List.map
           (fun strategy ->
             let outcome, stats =
-              Machine.Explore.sweep ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog
+              Machine.Explore.sweep ~cfg ~jobs ~dedup ~trail ~symmetry ?obs ?progress:prog
                 ?trace:tracer ~budget ~check_mode:(mk_check_mode ())
                 ~check:Workload.Check.nrl_violation (build strategy)
             in
@@ -412,7 +447,7 @@ let explore_cmd =
             (strategy, verdict, outcome))
           Machine.Junk.strategy_names
       in
-      obs_finish ~stats:stats_flag ~tracer obs;
+      obs_finish ~header:stats_header ~stats:stats_flag ~tracer obs;
       let heads = List.map (fun (_, v, _) -> v) verdicts in
       (match heads with
       | v0 :: rest when List.exists (fun v -> v <> v0) rest ->
@@ -435,6 +470,7 @@ let explore_cmd =
           ("max_steps", string_of_int max_steps);
           ("max_crashes", string_of_int max_crashes);
           ("dedup", string_of_bool dedup);
+          ("symmetry", string_of_bool symmetry);
           ("check_mode", check_mode_name);
           ("junk", junk);
         ]
@@ -491,7 +527,7 @@ let explore_cmd =
       Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
       Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
       let outcome, stats =
-        Machine.Explore.sweep ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog ?trace:tracer
+        Machine.Explore.sweep ~cfg ~jobs ~dedup ~trail ~symmetry ?obs ?progress:prog ?trace:tracer
           ~budget
           ~should_stop:(fun () -> Atomic.get stop)
           ?checkpoint:ck_spec ?resume:ck_resume ~check_mode:(mk_check_mode ())
@@ -499,13 +535,13 @@ let explore_cmd =
       in
       match outcome with
       | Machine.Explore.Violation (sim, reason) ->
-        obs_finish ~stats:stats_flag ~tracer obs;
+        obs_finish ~header:stats_header ~stats:stats_flag ~tracer obs;
         Format.printf "VIOLATION: %s@.history:@.%a@." reason History.pp
           (Machine.Sim.history sim);
         exit 2
       | Machine.Explore.Clean ->
         print_clean stats;
-        obs_finish ~stats:stats_flag ~tracer obs
+        obs_finish ~header:stats_header ~stats:stats_flag ~tracer obs
       | Machine.Explore.Exhausted e ->
         Format.printf
           "exhausted (%s): %d complete executions checked so far (%d truncated, %d nodes, \
@@ -522,32 +558,32 @@ let explore_cmd =
         | Some p when Sys.file_exists p ->
           Format.printf "resume with: --resume %s@." p
         | _ -> ());
-        obs_finish ~stats:stats_flag ~tracer obs;
+        obs_finish ~header:stats_header ~stats:stats_flag ~tracer obs;
         exit 3
     end
     else begin
       (* historical unbounded path, untouched semantics *)
       let viol, stats =
-        Machine.Explore.find_violation ~cfg ~jobs ~dedup ~trail ?obs ?progress:prog
+        Machine.Explore.find_violation ~cfg ~jobs ~dedup ~trail ~symmetry ?obs ?progress:prog
           ?trace:tracer ~check_mode:(mk_check_mode ())
           ~check:Workload.Check.nrl_violation (build junk)
       in
       match viol with
       | Some (sim, reason) ->
-        obs_finish ~stats:stats_flag ~tracer obs;
+        obs_finish ~header:stats_header ~stats:stats_flag ~tracer obs;
         Format.printf "VIOLATION: %s@.history:@.%a@." reason History.pp
           (Machine.Sim.history sim);
         exit 2
       | None ->
         print_clean stats;
-        obs_finish ~stats:stats_flag ~tracer obs
+        obs_finish ~header:stats_header ~stats:stats_flag ~tracer obs
     end
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Bounded exhaustive schedule exploration (use small instances)")
     Term.(
       const explore $ scenario_arg $ nprocs_arg $ ops_arg $ steps_arg $ crashes_arg
-      $ jobs_arg $ trail_arg $ check_mode_arg $ dedup_arg $ stats_arg $ trace_arg
+      $ jobs_arg $ trail_arg $ check_mode_arg $ dedup_arg $ no_symmetry_arg $ stats_arg $ trace_arg
       $ progress_arg $ deadline_arg $ max_nodes_arg $ max_visited_arg $ checkpoint_arg
       $ checkpoint_interval_arg $ resume_arg $ junk_arg)
 

@@ -3,24 +3,33 @@
     A checkpoint captures everything {!Explore.sweep} needs to continue a
     partitioned search after the process is killed: the scenario stamp
     (so a resume with different parameters is rejected rather than
-    silently diverging), the task partition — each task's root identified
-    by its {e decision path} from the search root, with the crash budget
-    consumed on that path recorded explicitly — completion flags, the
-    statistics and metric views accumulated from expansion and completed
-    tasks, and (once the search finished) the final verdict.
+    silently diverging), the pending task set — each task's root
+    identified by its {e decision path} from the search root, with the
+    crash budget consumed on that path recorded explicitly — the
+    statistics and metric views accumulated from completed tasks, and
+    (once the search finished) the final verdict.
 
-    {b Format.}  NDJSON, schema ["nrl-checkpoint/1"], first line a [meta]
+    {b Format.}  NDJSON, schema ["nrl-checkpoint/2"], first line a [meta]
     record carrying the schema tag.  One line per scenario pair, one
-    [totals] line, one line per task (in partition order; the index is
-    implicit), one line per metric view (same encodings as the
-    [nrl-trace/1] metric records), and at most one [result] line.  The
-    format is append-free: every {!save} rewrites the whole file.
+    [totals] line, one line per task (the index is implicit), one line
+    per metric view (same encodings as the [nrl-trace/1] metric
+    records), and at most one [result] line.  The format is append-free:
+    every {!save} rewrites the whole file.
+
+    Version 2 (the work-stealing engine) persists only the {e pending}
+    task set — the totals/metrics cover exactly the completed work, so
+    done flags became redundant.  Version-1 files (full partition plus
+    per-task done flags) are still loaded; their done tasks are simply
+    skipped by the resuming engine.
 
     {b Atomicity.}  {!save} writes to [path ^ ".tmp"] and renames over
     [path] ([Sys.rename] is atomic on POSIX), so a kill mid-checkpoint
     leaves the previous valid file in place. *)
 
-let schema_version = "nrl-checkpoint/1"
+let schema_version = "nrl-checkpoint/2"
+
+(* accepted on load; [save] always writes the current version *)
+let compatible_schemas = [ schema_version; "nrl-checkpoint/1" ]
 
 (* ---------- JSON (subset) ---------- *)
 
@@ -329,7 +338,7 @@ let load path =
       let open Json in
       let j = parse meta in
       let schema = to_string (member "schema" j) in
-      if schema <> schema_version then
+      if not (List.mem schema compatible_schemas) then
         Error (Printf.sprintf "%s: unsupported checkpoint schema %S (want %S)" path schema schema_version)
       else begin
         let scenario = ref [] in

@@ -10,13 +10,17 @@
     re-runs them from their roots on resume, which is what makes the
     resumed totals exactly equal to an uninterrupted run's.
 
-    Format: NDJSON, schema ["nrl-checkpoint/1"] (documented field by
-    field in docs/resilience.md).  {!save} is atomic
-    (write-to-temporary, then [Sys.rename]): a kill mid-save leaves the
-    previous valid checkpoint. *)
+    Format: NDJSON, schema ["nrl-checkpoint/2"] (documented field by
+    field in docs/resilience.md).  Version 2 persists only the pending
+    task set (totals/metrics cover exactly the completed work); version-1
+    files, which carried the full partition with per-task done flags, are
+    still accepted by {!load}.  {!save} is atomic (write-to-temporary,
+    then [Sys.rename]): a kill mid-save leaves the previous valid
+    checkpoint. *)
 
 val schema_version : string
-(** ["nrl-checkpoint/1"]. *)
+(** ["nrl-checkpoint/2"], the version {!save} writes.  {!load} also
+    accepts ["nrl-checkpoint/1"]. *)
 
 type totals = {
   ck_nodes : int;

@@ -88,7 +88,7 @@ let add_stats into s =
 
 let auto_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let decisions cfg ~crashes sim =
+let decisions cfg ~sym ~crashes sim =
   let n = Sim.nprocs sim in
   let all = List.init n Fun.id in
   let crashed = List.filter (fun p -> Sim.can_recover sim p) all in
@@ -115,12 +115,28 @@ let decisions cfg ~crashes sim =
       (* fire one local transition deterministically (responses first);
          crash decisions are still offered so every crash position is
          reachable *)
-      let pick =
+      let cands =
         match List.filter (fun p -> Sim.next_is_ret sim p) locals with
-        | p :: _ -> p
-        | [] -> List.hd locals
+        | _ :: _ as rets -> rets
+        | [] -> locals
       in
-      Schedule.Dstep pick :: crashes_d
+      if not sym then Schedule.Dstep (List.hd cands) :: crashes_d
+      else begin
+        (* under symmetry reduction the choice must be equivariant:
+           picking the lowest pid does not commute with pid
+           permutations, so two isomorphic configurations could explore
+           non-isomorphic subtrees and the quotient would miss states.
+           Instead rank candidates by a pid-erased hash of their local
+           state — invariant under every permutation — and branch on
+           {e all} ties (a sound superset of any single equivariant
+           pick). *)
+        let scored = List.map (fun p -> (Fingerprint.erased_proc_hash sim p, p)) cands in
+        let best = List.fold_left (fun a (h, _) -> min a h) max_int scored in
+        List.filter_map
+          (fun (h, p) -> if h = best then Some (Schedule.Dstep p) else None)
+          scored
+        @ crashes_d
+      end
     | [] ->
       let steps =
         List.filter_map
@@ -329,10 +345,14 @@ type 'st ctx = {
   om : meters option;  (** this traversal's private phase timers *)
   prog : Obs.Progress.t option;  (** shared across workers; tick-batched *)
   limits : limits option;  (** budget enforcement; [None] costs nothing *)
+  sym : Fingerprint.Symmetry.group option;
+      (** process-symmetry group: fingerprints are canonicalised under it
+          before the visited-store probe, and local-step picks switch to
+          the equivariant rule (see [decisions]) *)
   cur_dec : Schedule.decision option ref;
       (** the decision [branch] is currently under — written only while a
-          frontier is active (single-domain expansion), read by the emit
-          hook to reconstruct task paths *)
+          frontier is active (the expanding worker is the only writer),
+          read by the emit hook to reconstruct task paths *)
 }
 
 let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
@@ -350,7 +370,13 @@ let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
              | Some l -> Atomic.get l.l_dedup_on
              | None -> true ->
         let t0 = now_if ctx.om in
-        let r = Fingerprint.Store.add store (Fingerprint.of_sim ~extra:crashes sim) in
+        let fp = Fingerprint.of_sim ~extra:crashes sim in
+        let fp =
+          match ctx.sym with
+          | Some g -> Fingerprint.Symmetry.canonical g fp
+          | None -> fp
+        in
+        let r = Fingerprint.Store.add store fp in
         lap ctx.om (fun m -> m.m_dedup) t0;
         r
       | Some _ -> (* dedup store dropped by budget degradation *) true
@@ -383,11 +409,11 @@ let rec go : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> unit =
         if depth < ctx.cfg.max_steps then
           List.iter
             (fun d -> branch ctx sim depth crashes st d)
-            (decisions ctx.cfg ~crashes sim)
+            (decisions ctx.cfg ~sym:(ctx.sym <> None) ~crashes sim)
       end
       else if depth >= ctx.cfg.max_steps then stats.truncated <- stats.truncated + 1
       else begin
-        let ds = decisions ctx.cfg ~crashes sim in
+        let ds = decisions ctx.cfg ~sym:(ctx.sym <> None) ~crashes sim in
         match ds with
         | [] ->
           (* deadlock: crashed processes that may not recover, or empty
@@ -445,131 +471,455 @@ and branch : 'st. 'st ctx -> Sim.t -> int -> int -> 'st -> Schedule.decision -> 
 
 let never_stop () = false
 
-(* {1 The parallel engine} *)
+(* {1 The work-stealing parallel engine} *)
 
-(** Expand the shallow part of the tree breadth-first until at least
-    [target] independent subtree roots are pending (or the tree is
-    exhausted).  Interior nodes and shallow terminals are processed —
-    and counted — here, through {!go} with a one-level frontier, so the
-    split point does not change any statistic.  Expansion runs in clone
-    mode regardless of [ctx.trail]: each emitted task must own a machine
-    that survives past the expansion loop. *)
-let expand_frontier ~ctx ~target ~init sim0 =
-  let q = Queue.create () in
-  Queue.push { t_sim = sim0; t_depth = 0; t_crashes = 0; t_state = init sim0; t_path = [] } q;
-  while (not (Queue.is_empty q)) && Queue.length q < target do
-    let t = Queue.pop q in
-    (* [cur_dec] is the decision the expansion traversal is currently
-       branching under; combined with the popped task's own path it gives
-       every emitted child its full decision path from the root.  The
-       expansion loop is single-domain and one BFS level deep, so one
-       cell per popped task suffices. *)
-    let cur = ref None in
-    let emit t' =
-      let t_path = match !cur with Some d -> d :: t.t_path | None -> t.t_path in
-      Queue.push { t' with t_path } q
-    in
-    let ctx =
-      { ctx with trail = false; frontier = Some (t.t_depth + 1, emit); cur_dec = cur }
-    in
-    go ctx t.t_sim t.t_depth t.t_crashes t.t_state
-  done;
-  Array.init (Queue.length q) (fun _ -> Queue.pop q)
+(** A pending subtree in the work-stealing pool, identified purely by
+    its decision path from the search root (application order) and the
+    crash budget consumed along it.  Carrying paths instead of machines
+    is what lets a thief reconstitute the subtree root on its {e own}
+    trailed machine — undo to the longest common prefix with its current
+    position, replay the rest — and what lets checkpoints persist the
+    exact pool contents (a path is exactly a {!Checkpoint.task}). *)
+type ptask = { p_path : Schedule.decision list; p_crashes : int }
 
-(** Run [tasks] to completion on [jobs] domains.  Work is claimed from a
-    shared atomic index; each worker accumulates private statistics
-    (summed into [ctx.stats] at the join).  In trail mode each worker
-    enables the trail on each task's machine — tasks own their machines,
-    so the in-place discipline stays single-domain.  The first worker to
-    catch {!Found} publishes it and flips the stop flag; any other
-    exception is also published and re-raised in the caller, so
-    [on_terminal]'s abort-by-exception contract survives parallelism. *)
-let run_tasks ~ctx ~jobs ~trace ~pending tasks =
-  let n = Array.length tasks in
-  let completed = Atomic.make 0 in
-  if n > 0 then begin
-    let next = Atomic.make 0 in
-    let stop_flag = Atomic.make false in
-    let failure : exn option Atomic.t = Atomic.make None in
-    let publish e =
-      if Atomic.compare_and_set failure None (Some e) then ();
-      Atomic.set stop_flag true
+(* Growable circular deque.  Every operation runs under the owning
+   worker's lock (steals are rare and the critical sections are a few
+   loads), so the structure itself needs no atomics.  The owner pushes
+   and pops at the back — LIFO, so it descends depth-first and its trail
+   prefix stays hot — while thieves take from the front: the oldest
+   entry, rooted shallowest, hence the biggest subtree to amortise the
+   replay. *)
+module Dq = struct
+  type t = {
+    mutable buf : ptask array;
+    mutable head : int;  (* index of the oldest element *)
+    mutable len : int;
+  }
+
+  let dummy = { p_path = []; p_crashes = 0 }
+  let create () = { buf = Array.make 64 dummy; head = 0; len = 0 }
+
+  let grow d =
+    let buf = Array.make (2 * Array.length d.buf) dummy in
+    for i = 0 to d.len - 1 do
+      buf.(i) <- d.buf.((d.head + i) mod Array.length d.buf)
+    done;
+    d.buf <- buf;
+    d.head <- 0
+
+  let push_back d t =
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- t;
+    d.len <- d.len + 1
+
+  let pop_back d =
+    if d.len = 0 then None
+    else begin
+      d.len <- d.len - 1;
+      let i = (d.head + d.len) mod Array.length d.buf in
+      let t = d.buf.(i) in
+      d.buf.(i) <- dummy;
+      Some t
+    end
+
+  let pop_front d =
+    if d.len = 0 then None
+    else begin
+      let t = d.buf.(d.head) in
+      d.buf.(d.head) <- dummy;
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      d.len <- d.len - 1;
+      Some t
+    end
+
+  let to_list d = List.init d.len (fun i -> d.buf.((d.head + i) mod Array.length d.buf))
+end
+
+(* One worker's share of the pool.  [in_progress] is the task the worker
+   is currently running; it is only ever written by its owner thread,
+   and always under {e some} slot's lock (the victim's at steal time,
+   its own at pop and completion), so a snapshot holding every lock sees
+   a consistent pool: each live task is in exactly one deque or one
+   in-progress slot. *)
+type wslot = {
+  ws_lock : Mutex.t;
+  ws_dq : Dq.t;
+  mutable ws_in_progress : ptask option;
+}
+
+type ws_result = {
+  wsr_failure : exn option;
+  wsr_pending : ptask list;  (** tasks left unfinished (empty on a clean drain) *)
+  wsr_created : int;  (** tasks ever created, seeds included *)
+}
+
+(** Drain [seeds] (and every task dynamically split off them) on [jobs]
+    domains with per-worker deques and work stealing.
+
+    Each worker owns a machine cloned from the pristine root.  To start
+    a task it {e repositions}: trail-undo to the longest common prefix
+    of its current position and the task's path, then silent replay
+    (observation suspended) of the rest — replayed edges were already
+    counted when the task was split off, so every tree edge lands in the
+    engine-invariant counters exactly once, whatever the partition.
+
+    A worker splits a task instead of searching it in place when the
+    pool is young ([created < 32·jobs], seeding initial parallelism) or
+    starving ([queued < 2·jobs]): the task's root node is then processed
+    normally — counted, deduplicated, checked — through {!go} with a
+    one-level frontier, and each child edge becomes a new task.  The
+    children are buffered during the traversal and only published in the
+    completion critical section (accumulator mutex, then the worker's
+    own deque lock), together with the task's statistics fold and the
+    in-progress slot clear — so any snapshot taken under all the locks
+    sees either the parent task pending or its statistics folded and its
+    children pending, never half of either.  That atomicity is what
+    makes mid-steal checkpoints resume byte-identically.
+
+    [per_task_reg] selects the metric granularity: [true] gives every
+    task a fresh registry folded into [acc_reg] at completion (the
+    checkpointing engine — persisted metrics cover exactly the completed
+    tasks); [false] gives every worker one registry, merged into
+    [ctx.om] at the join in worker-id order (deterministic, whatever
+    order workers finished in).  Steal counts and idle time always
+    accumulate per worker and merge at the join.
+
+    On {!Found}, {!Out_of_budget} or any other escape the first
+    exception is published, every worker stops, and the in-flight tasks
+    stay in their slots — [wsr_pending] reports them (plus everything
+    still queued) so callers can checkpoint or report the remaining
+    frontier. *)
+let ws_run : type st.
+    ctx:st ctx ->
+    jobs:int ->
+    trace:Obs.Trace.t option ->
+    sim0:Sim.t ->
+    root_state:st ->
+    seeds:ptask list ->
+    per_task_reg:bool ->
+    obs_on:bool ->
+    acc_mutex:Mutex.t ->
+    acc_reg:Obs.Metrics.t option ->
+    on_fold:(snapshot:(unit -> ptask list) -> unit) ->
+    ws_result =
+ fun ~ctx ~jobs ~trace ~sim0 ~root_state ~seeds ~per_task_reg ~obs_on ~acc_mutex ~acc_reg
+     ~on_fold ->
+  let jobs = max 1 jobs in
+  let slots =
+    Array.init jobs (fun _ ->
+        { ws_lock = Mutex.create (); ws_dq = Dq.create (); ws_in_progress = None })
+  in
+  let live = Atomic.make 0 in  (* tasks created but not yet completed *)
+  let queued = Atomic.make 0 in  (* tasks sitting in deques, stealable *)
+  let created = Atomic.make 0 in
+  let stop_flag = Atomic.make false in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let publish e =
+    ignore (Atomic.compare_and_set failure None (Some e));
+    Atomic.set stop_flag true
+  in
+  (* distribute seeds round-robin so a resumed multi-domain run starts
+     balanced instead of making jobs-1 workers steal everything *)
+  List.iteri
+    (fun i t ->
+      Atomic.incr live;
+      Atomic.incr queued;
+      Atomic.incr created;
+      Dq.push_back slots.(i mod jobs).ws_dq t)
+    seeds;
+  (* call only while holding [acc_mutex] and no slot lock *)
+  let snapshot () =
+    Array.iter (fun s -> Mutex.lock s.ws_lock) slots;
+    let pending =
+      Array.fold_left
+        (fun acc s ->
+          let q = Dq.to_list s.ws_dq in
+          match s.ws_in_progress with Some t -> acc @ (t :: q) | None -> acc @ q)
+        [] slots
     in
-    let worker_stats = Array.init jobs (fun _ -> zero_stats ()) in
-    (* one private registry per worker: instrumentation stays
-       single-domain and the join below merges them in worker order, so
-       aggregated counters are exact, deterministic sums *)
-    let worker_obs =
-      match ctx.om with
-      | None -> [||]
-      | Some _ -> Array.init jobs (fun _ -> meters_of (Obs.Metrics.create ()))
+    Array.iter (fun s -> Mutex.unlock s.ws_lock) slots;
+    pending
+  in
+  let expand_initial = 32 * jobs in
+  let low_water = 2 * jobs in
+  let worker_regs = Array.make jobs None in
+  let worker_steals = Array.make jobs 0 in
+  let worker_span = Array.make jobs (0, 0) in
+  let worker w () =
+    let t0 = Obs.Clock.now_ns () in
+    let my = slots.(w) in
+    let wreg = if obs_on then Some (Obs.Metrics.create ()) else None in
+    worker_regs.(w) <- wreg;
+    let msteal = Option.map (fun r -> Obs.Metrics.counter r Obs.Names.explore_ws_steals) wreg in
+    let midle = Option.map (fun r -> Obs.Metrics.timer r Obs.Names.explore_time_idle) wreg in
+    (* the worker's machine, repositioned between tasks *)
+    let wsim = ref (Sim.clone sim0) in
+    Sim.set_obs !wsim None;
+    if ctx.trail then Sim.enable_trail !wsim;
+    let cap = ctx.cfg.max_steps + 2 in
+    let applied = ref [||] in
+    (* [Sim.mark] requires the trail; clone mode never touches [marks] *)
+    let marks = if ctx.trail then Array.make cap (Sim.mark !wsim) else [||] in
+    (* states.(i): path-checker state after the first [i] decisions of
+       [applied]; step functions are pure, so prefixes shared between
+       consecutive tasks are reused, not recomputed *)
+    let states = Array.make cap root_state in
+    let reposition (t : ptask) =
+      let target = Array.of_list t.p_path in
+      let m = Array.length target in
+      if ctx.trail then begin
+        let n = Array.length !applied in
+        let lcp = ref 0 in
+        while !lcp < n && !lcp < m && !applied.(!lcp) = target.(!lcp) do
+          incr lcp
+        done;
+        let lcp = !lcp in
+        if lcp < n then Sim.undo_to !wsim marks.(lcp);
+        Sim.set_obs !wsim None;
+        for i = lcp to m - 1 do
+          marks.(i) <- Sim.mark !wsim;
+          Schedule.apply !wsim target.(i);
+          states.(i + 1) <- ctx.step_state states.(i) !wsim
+        done
+      end
+      else begin
+        (* clone discipline: no trail to rewind, so reconstitute from a
+           fresh clone of the root *)
+        let sim = Sim.clone sim0 in
+        Sim.set_obs sim None;
+        Array.iteri
+          (fun i d ->
+            Schedule.apply sim d;
+            states.(i + 1) <- ctx.step_state states.(i) sim)
+          target;
+        wsim := sim
+      end;
+      applied := target;
+      (m, states.(m))
     in
-    let worker_span = Array.make jobs (0, 0) in
-    let worker w () =
-      let t0 = Obs.Clock.now_ns () in
+    (* the stats of the task being run, salvaged on abnormal exit in
+       join-merge mode (budget aborts report everything explored) *)
+    let inflight : stats option ref = ref None in
+    let run_task (t : ptask) =
+      let depth, st0 = reposition t in
+      let treg =
+        if per_task_reg then (if obs_on then Some (Obs.Metrics.create ()) else None)
+        else wreg
+      in
+      Sim.set_obs !wsim treg;
+      let wstats = zero_stats () in
+      inflight := Some wstats;
+      let buf = ref [] in
+      let split = Atomic.get created < expand_initial || Atomic.get queued < low_water in
+      let cur = ref None in
+      let emit (tk : st task) =
+        (* the frontier is one level below the task root, so [cur] holds
+           exactly the decision that leads to this child *)
+        let d = match !cur with Some d -> d | None -> assert false in
+        buf := { p_path = t.p_path @ [ d ]; p_crashes = tk.t_crashes } :: !buf
+      in
       let wctx =
         {
           ctx with
-          stats = worker_stats.(w);
+          stats = wstats;
           stop = (fun () -> Atomic.get stop_flag);
-          frontier = None;
-          om = (if worker_obs = [||] then None else Some worker_obs.(w));
+          om = Option.map meters_of treg;
+          frontier = (if split then Some (depth + 1, emit) else None);
+          cur_dec = cur;
         }
       in
-      (try
-         let continue = ref true in
-         while !continue do
-           let i = Atomic.fetch_and_add next 1 in
-           if i >= n then continue := false
-           else begin
-             let t = tasks.(i) in
-             if wctx.trail then Sim.enable_trail t.t_sim;
-             (* the task owns its machine: re-point its counters at this
-                worker's registry (they arrive attached to the parent's) *)
-             (match wctx.om with
-             | Some m -> Sim.set_obs t.t_sim (Some m.m_reg)
-             | None -> ());
-             go wctx t.t_sim t.t_depth t.t_crashes t.t_state;
-             Atomic.incr completed;
-             match ctx.prog with Some p -> Obs.Progress.task_done p | None -> ()
-           end
-         done
-       with
-      | Stopped -> ()
-      | e -> publish e);
-      worker_span.(w) <- (t0, Obs.Clock.now_ns ())
+      go wctx !wsim depth t.p_crashes st0;
+      (* ---- completion: fold + publish children + clear slot ---- *)
+      Mutex.lock acc_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock acc_mutex)
+        (fun () ->
+          Mutex.lock my.ws_lock;
+          (* [buf] is in reverse decision order; pushing it back-to-front
+             makes the owner's LIFO pops follow decision order while
+             thieves steal from the other end *)
+          List.iter
+            (fun c ->
+              Atomic.incr live;
+              Atomic.incr queued;
+              Atomic.incr created;
+              Dq.push_back my.ws_dq c)
+            !buf;
+          my.ws_in_progress <- None;
+          Mutex.unlock my.ws_lock;
+          Atomic.decr live;
+          add_stats ctx.stats wstats;
+          inflight := None;
+          (if per_task_reg then
+             match (acc_reg, treg) with
+             | Some a, Some r -> Obs.Metrics.merge ~into:a r
+             | _ -> ());
+          on_fold ~snapshot);
+      match ctx.prog with
+      | Some p ->
+        Obs.Progress.task_done p;
+        Obs.Progress.set_tasks p (Atomic.get created)
+      | None -> ()
     in
-    let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
-    worker 0 ();
-    List.iter Domain.join domains;
-    (* deterministic joins: stats and registries merge in worker order *)
-    Array.iter (add_stats ctx.stats) worker_stats;
-    (match ctx.om with
-    | Some m ->
-      Array.iter (fun wm -> Obs.Metrics.merge ~into:m.m_reg wm.m_reg) worker_obs
-    | None -> ());
-    (match trace with
-    | Some tr ->
-      Array.iteri
-        (fun w (t0, t1) ->
-          Obs.Trace.span tr ~name:"explore.worker" ~start_ns:t0 ~dur_ns:(t1 - t0)
-            [
-              ("worker", Obs.Trace.Int w);
-              ("nodes", Obs.Trace.Int worker_stats.(w).nodes);
-              ("terminals", Obs.Trace.Int worker_stats.(w).terminals);
-            ])
-        worker_span
-    | None -> ());
-    (* recorded before the re-raise so budget aborts can report how much
-       of the partition was left *)
-    pending := n - Atomic.get completed;
-    match Atomic.get failure with Some e -> raise e | None -> ()
-  end
+    let try_pop_own () =
+      Mutex.lock my.ws_lock;
+      let r = Dq.pop_back my.ws_dq in
+      (match r with
+      | Some t ->
+        my.ws_in_progress <- Some t;
+        Atomic.decr queued
+      | None -> ());
+      Mutex.unlock my.ws_lock;
+      r
+    in
+    let try_steal () =
+      let r = ref None in
+      let v = ref 1 in
+      while !r = None && !v < jobs do
+        let s = slots.((w + !v) mod jobs) in
+        Mutex.lock s.ws_lock;
+        (match Dq.pop_front s.ws_dq with
+        | Some t ->
+          (* claiming into [my] slot under the victim's lock keeps the
+             move atomic for snapshots, which hold every lock *)
+          my.ws_in_progress <- Some t;
+          Atomic.decr queued;
+          r := Some t
+        | None -> ());
+        Mutex.unlock s.ws_lock;
+        incr v
+      done;
+      !r
+    in
+    let idle_since = ref 0 in
+    let end_idle () =
+      if !idle_since <> 0 then begin
+        (match midle with
+        | Some tm -> Obs.Metrics.Timer.add tm (Obs.Clock.now_ns () - !idle_since)
+        | None -> ());
+        idle_since := 0
+      end
+    in
+    (* salvage: in join-merge mode a budget abort must still report the
+       partial work of the in-flight task (the checkpointing engine
+       instead discards it, keeping persisted accumulations exact) *)
+    let salvage () =
+      end_idle ();
+      if not per_task_reg then begin
+        match !inflight with
+        | Some ws ->
+          Mutex.lock acc_mutex;
+          add_stats ctx.stats ws;
+          Mutex.unlock acc_mutex;
+          inflight := None
+        | None -> ()
+      end
+    in
+    (* spin briefly, then sleep with exponential backoff (capped at 1ms):
+       pure spinning starves the working domains when the host has fewer
+       cores than workers, and a capped sleep bounds steal latency when it
+       doesn't *)
+    let misses = ref 0 in
+    let back_off () =
+      incr misses;
+      if !misses <= 64 then Domain.cpu_relax ()
+      else
+        Unix.sleepf (Float.min 0.001 (1e-6 *. float_of_int (1 lsl Int.min 10 (!misses - 64))))
+    in
+    (try
+       let running = ref true in
+       while !running do
+         if Atomic.get stop_flag then running := false
+         else
+           match try_pop_own () with
+           | Some t ->
+             end_idle ();
+             misses := 0;
+             run_task t
+           | None -> (
+             match try_steal () with
+             | Some t ->
+               end_idle ();
+               misses := 0;
+               worker_steals.(w) <- worker_steals.(w) + 1;
+               (match msteal with Some c -> Obs.Metrics.Counter.incr c | None -> ());
+               run_task t
+             | None ->
+               if Atomic.get live = 0 then running := false
+               else begin
+                 if !idle_since = 0 && midle <> None then
+                   idle_since := Obs.Clock.now_ns ();
+                 back_off ()
+               end)
+       done;
+       end_idle ()
+     with
+    | Stopped -> salvage ()
+    | e ->
+      salvage ();
+      publish e);
+    worker_span.(w) <- (t0, Obs.Clock.now_ns ())
+  in
+  let domains = List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join domains;
+  (* deterministic join: registries merge sorted by worker id, not in
+     whatever order the domains finished *)
+  (if not per_task_reg then
+     match ctx.om with
+     | Some m ->
+       Array.iter
+         (function Some r -> Obs.Metrics.merge ~into:m.m_reg r | None -> ())
+         worker_regs
+     | None -> ());
+  (if per_task_reg then
+     (* per-task registries were folded under the lock; the per-worker
+        registries only carry steal/idle engine metrics — merge them in
+        worker-id order too *)
+     match acc_reg with
+     | Some a ->
+       Array.iter (function Some r -> Obs.Metrics.merge ~into:a r | None -> ()) worker_regs
+     | None -> ());
+  (match trace with
+  | Some tr ->
+    Array.iteri
+      (fun w (s0, s1) ->
+        Obs.Trace.span tr ~name:"explore.worker" ~start_ns:s0 ~dur_ns:(s1 - s0)
+          [
+            ("worker", Obs.Trace.Int w);
+            ("steals", Obs.Trace.Int worker_steals.(w));
+          ])
+      worker_span
+  | None -> ());
+  {
+    wsr_failure = Atomic.get failure;
+    wsr_pending = snapshot ();
+    wsr_created = Atomic.get created;
+  }
+
+(** The soundness-checked process-symmetry group of [sim]'s root
+    configuration under [cfg], if any: recovery obliviousness is only
+    required when [cfg] can actually schedule a crash.  Exposed so the
+    CLI can report whether a scenario is being quotiented. *)
+let symmetry_group cfg sim =
+  let crashes_possible = cfg.max_crashes > 0 && cfg.crash_procs <> [] in
+  (* when no crash can be scheduled the crash set is inert: don't let it
+     constrain the permutations *)
+  Fingerprint.Symmetry.detect ~crashes_possible
+    ~crash_procs:(if crashes_possible then cfg.crash_procs else [])
+    sim
+
+let trace_symmetry ~trace sym =
+  match (sym, trace) with
+  | Some g, Some tr ->
+    Obs.Trace.event tr ~name:"explore.symmetry"
+      [ ("degree", Obs.Trace.Int (Fingerprint.Symmetry.degree g)) ]
+  | _ -> ()
 
 (** The generic engine all public entry points share: a DFS threading
     ['st] down the path. *)
-let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init ~step_state
-    ~on_terminal sim0 =
+let run_gen ~cfg ~jobs ~dedup ~trail ~symmetry ~obs ~progress ~trace ~limits ~init
+    ~step_state ~on_terminal sim0 =
   let jobs = max 1 jobs in
   let ctx =
     {
@@ -584,9 +934,12 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init ~step_s
       om = Option.map meters_of obs;
       prog = progress;
       limits;
+      (* the quotient only matters where fingerprints are compared *)
+      sym = (if dedup && symmetry then symmetry_group cfg sim0 else None);
       cur_dec = ref None;
     }
   in
+  trace_symmetry ~trace ctx.sym;
   let frontier_pending = ref 0 in
   let exhaust = ref None in
   let t_start = if obs <> None || trace <> None then Obs.Clock.now_ns () else 0 in
@@ -601,6 +954,10 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init ~step_s
       c Obs.Names.explore_terminals ctx.stats.terminals;
       c Obs.Names.explore_truncated ctx.stats.truncated;
       c Obs.Names.explore_dedup_pruned ctx.stats.dup;
+      (match ctx.seen with
+      | Some store ->
+        c Obs.Names.explore_store_contention (Fingerprint.Store.contention store)
+      | None -> ());
       Obs.Metrics.Timer.add
         (Obs.Metrics.timer reg Obs.Names.explore_time_total)
         (Obs.Clock.now_ns () - t_start)
@@ -634,28 +991,28 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init ~step_s
           end
           else go ctx sim0 0 0 (init sim0)
         else begin
-          (* the expansion root is a clone: expansion-phase counting (clone
-             mode, coordinating domain) must not touch the caller's machine
-             or race with anything *)
+          (* the shared root: one obs-attached clone whose [init] runs
+             exactly once, so init-time counters land once however many
+             workers later clone it (the clones re-point their
+             observation before running anything) *)
           let root = Sim.clone sim0 in
           Sim.set_obs root obs;
-          (* enough tasks that the longest subtree cannot dominate the makespan *)
-          let te = if trace <> None then Obs.Clock.now_ns () else 0 in
-          let tasks = expand_frontier ~ctx ~target:(32 * jobs) ~init root in
+          let root_state = init root in
+          let r =
+            ws_run ~ctx ~jobs ~trace ~sim0:root ~root_state
+              ~seeds:[ { p_path = []; p_crashes = 0 } ]
+              ~per_task_reg:false ~obs_on:(obs <> None)
+              ~acc_mutex:(Mutex.create ()) ~acc_reg:None
+              ~on_fold:(fun ~snapshot:_ -> ())
+          in
+          frontier_pending := List.length r.wsr_pending;
           (match obs with
           | Some reg ->
             Obs.Metrics.Counter.add
               (Obs.Metrics.counter reg Obs.Names.explore_tasks)
-              (Array.length tasks)
+              r.wsr_created
           | None -> ());
-          (match trace with
-          | Some tr ->
-            Obs.Trace.span tr ~name:"explore.expand" ~start_ns:te
-              ~dur_ns:(Obs.Clock.now_ns () - te)
-              [ ("tasks", Obs.Trace.Int (Array.length tasks)) ]
-          | None -> ());
-          (match progress with Some p -> Obs.Progress.set_tasks p (Array.length tasks) | None -> ());
-          run_tasks ~ctx ~jobs ~trace ~pending:frontier_pending tasks
+          match r.wsr_failure with Some e -> raise e | None -> ()
         end
       with Out_of_budget reason ->
         (* budget aborts are verdicts, not failures: the stats accumulated
@@ -701,8 +1058,9 @@ let run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init ~step_s
     branches reaching a configuration whose fingerprint (including the
     crash budget spent) was already visited are pruned and counted in
     [stats.dup]. *)
-let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs ?progress
-    ?trace ?(budget = no_budget) ?should_stop ?on_exhausted ?on_step ~on_terminal sim0 =
+let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true)
+    ?(symmetry = true) ?obs ?progress ?trace ?(budget = no_budget) ?should_stop
+    ?on_exhausted ?on_step ~on_terminal sim0 =
   let step_state =
     match on_step with
     | None -> fun () _ -> ()
@@ -713,7 +1071,8 @@ let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?ob
   in
   let limits = limits_of ~budget ~should_stop in
   let stats, exhaust =
-    run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init:(fun _ -> ())
+    run_gen ~cfg ~jobs ~dedup ~trail ~symmetry ~obs ~progress ~trace ~limits
+      ~init:(fun _ -> ())
       ~step_state
       ~on_terminal:(fun () sim -> on_terminal sim)
       sim0
@@ -737,9 +1096,9 @@ let dfs ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?ob
     exists does not (and without [dedup], neither do the statistics).
     The returned machine is always an independent snapshot, whatever the
     branching discipline. *)
-let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs
-    ?progress ?trace ?(budget = no_budget) ?should_stop ?on_exhausted
-    ?(check_mode = `Terminal) ~check sim0 =
+let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true)
+    ?(symmetry = true) ?obs ?progress ?trace ?(budget = no_budget) ?should_stop
+    ?on_exhausted ?(check_mode = `Terminal) ~check sim0 =
   (* in trail mode the machine at a terminal is the search's working
      machine, about to be rewound: capture an independent snapshot *)
   let capture sim = if trail then Sim.clone sim else sim in
@@ -748,7 +1107,7 @@ let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail 
     let stats, exhaust =
       match (check_mode : check_mode) with
       | `Terminal ->
-        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits
+        run_gen ~cfg ~jobs ~dedup ~trail ~symmetry ~obs ~progress ~trace ~limits
           ~init:(fun _ -> ())
           ~step_state:(fun () _ -> ())
           ~on_terminal:(fun () sim ->
@@ -757,8 +1116,8 @@ let find_violation ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail 
             | None -> ())
           sim0
       | `Incremental (Path p) ->
-        run_gen ~cfg ~jobs ~dedup ~trail ~obs ~progress ~trace ~limits ~init:p.init
-          ~step_state:p.step
+        run_gen ~cfg ~jobs ~dedup ~trail ~symmetry ~obs ~progress ~trace ~limits
+          ~init:p.init ~step_state:p.step
           ~on_terminal:(fun st sim ->
             match p.terminal st sim with
             | Some reason -> raise (Found (capture sim, reason))
@@ -801,9 +1160,9 @@ type checkpoint_spec = {
     {!find_violation}, the statistics are returned for every outcome,
     including [Violation] (they describe the work done up to the
     abort). *)
-let sweep ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?obs
-    ?progress ?trace ?(budget = no_budget) ?should_stop ?checkpoint ?resume
-    ?(check_mode = `Terminal) ~check sim0 =
+let sweep ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true)
+    ?(symmetry = true) ?obs ?progress ?trace ?(budget = no_budget) ?should_stop
+    ?checkpoint ?resume ?(check_mode = `Terminal) ~check sim0 =
   let jobs = max 1 jobs in
   (match resume with
   | Some ck when ck.Checkpoint.result <> None ->
@@ -837,19 +1196,17 @@ let sweep ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?
         om = Option.map meters_of acc_reg;
         prog = progress;
         limits;
+        sym = (if dedup && symmetry then symmetry_group cfg sim0 else None);
         cur_dec = ref None;
       }
     in
-    (* ---- partition: expand afresh, or replay the checkpointed tasks ---- *)
-    let partition () =
+    trace_symmetry ~trace ctx0.sym;
+    (* ---- seeds: the root task, or the checkpointed pending set ---- *)
+    let seeds =
       match resume with
       | Some ck ->
-        let all_meta =
-          Array.map (fun t -> (t.Checkpoint.ck_path, t.Checkpoint.ck_crashes)) ck.Checkpoint.tasks
-        in
-        let done_flags = Array.map (fun t -> t.Checkpoint.ck_done) ck.Checkpoint.tasks in
         (* adopt the persisted accumulations: totals and metrics cover
-           expansion plus the tasks already completed *)
+           exactly the tasks already completed *)
         acc.nodes <- ck.Checkpoint.totals.Checkpoint.ck_nodes;
         acc.terminals <- ck.Checkpoint.totals.Checkpoint.ck_terminals;
         acc.truncated <- ck.Checkpoint.totals.Checkpoint.ck_truncated;
@@ -858,65 +1215,24 @@ let sweep ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?
         | Some reg ->
           List.iter (fun (n, v) -> Obs.Metrics.absorb ~into:reg n v) ck.Checkpoint.metrics
         | None -> ());
-        let pending = ref [] in
-        Array.iteri
-          (fun i (path, crashes) ->
-            if not done_flags.(i) then begin
-              (* replay the decision path on a fresh clone; replayed work
-                 is reconstruction, not exploration, so it must count
-                 nothing (the expansion that first built this task was
-                 already accounted — and persisted) *)
-              let sim = Sim.clone sim0 in
-              Sim.set_obs sim None;
-              let st = ref (init sim) in
-              List.iter
-                (fun d ->
-                  Schedule.apply sim d;
-                  st := step !st sim)
-                path;
-              pending :=
-                ( i,
-                  {
-                    t_sim = sim;
-                    t_depth = List.length path;
-                    t_crashes = crashes;
-                    t_state = !st;
-                    t_path = [];
-                  } )
-                :: !pending
-            end)
-          all_meta;
+        let pending =
+          Array.to_list ck.Checkpoint.tasks
+          |> List.filter_map (fun t ->
+                 if t.Checkpoint.ck_done then None
+                 else
+                   Some
+                     { p_path = t.Checkpoint.ck_path; p_crashes = t.Checkpoint.ck_crashes })
+        in
         (match trace with
         | Some tr ->
           Obs.Trace.event tr ~name:"explore.resume"
             [
-              ("tasks", Obs.Trace.Int (Array.length all_meta));
-              ("pending", Obs.Trace.Int (List.length !pending));
+              ("tasks", Obs.Trace.Int (Array.length ck.Checkpoint.tasks));
+              ("pending", Obs.Trace.Int (List.length pending));
             ]
         | None -> ());
-        (all_meta, done_flags, Array.of_list (List.rev !pending))
-      | None ->
-        let root = Sim.clone sim0 in
-        Sim.set_obs root acc_reg;
-        let te = if trace <> None then Obs.Clock.now_ns () else 0 in
-        let tasks = expand_frontier ~ctx:ctx0 ~target:(32 * jobs) ~init root in
-        (match acc_reg with
-        | Some reg ->
-          Obs.Metrics.Counter.add
-            (Obs.Metrics.counter reg Obs.Names.explore_tasks)
-            (Array.length tasks)
-        | None -> ());
-        (match trace with
-        | Some tr ->
-          Obs.Trace.span tr ~name:"explore.expand" ~start_ns:te
-            ~dur_ns:(Obs.Clock.now_ns () - te)
-            [ ("tasks", Obs.Trace.Int (Array.length tasks)) ]
-        | None -> ());
-        let all_meta =
-          Array.map (fun t -> (List.rev t.t_path, t.t_crashes)) tasks
-        in
-        let done_flags = Array.make (Array.length tasks) false in
-        (all_meta, done_flags, Array.mapi (fun i t -> (i, t)) tasks)
+        pending
+      | None -> [ { p_path = []; p_crashes = 0 } ]
     in
     let finish_obs () =
       (match obs with
@@ -945,175 +1261,122 @@ let sweep ?(cfg = default_config) ?(jobs = 1) ?(dedup = false) ?(trail = true) ?
       | None -> ());
       match progress with Some p -> Obs.Progress.finish p ~nodes:acc.nodes | None -> ()
     in
-    match partition () with
-    | exception Found (sim, reason) ->
-      (* the expansion phase itself hit a violating terminal — possible on
-         shallow trees whose whole frontier fits in the expansion; there is
-         no task list yet, so nothing to checkpoint (a violation ends the
-         search for good anyway) *)
-      (match trace with
-      | Some tr ->
-        Obs.Trace.event tr ~name:"explore.violation" [ ("reason", Obs.Trace.Str reason) ]
-      | None -> ());
-      finish_obs ();
-      (Violation (sim, reason), acc)
-    | exception Out_of_budget reason ->
-      (* exhausted before the partition existed: nothing to checkpoint *)
-      let ex =
-        {
-          ex_reason = reason;
-          ex_frontier = 0;
-          ex_degraded = (match limits with Some l -> Atomic.get l.l_degraded | None -> []);
-        }
-      in
-      finish_obs ();
-      (Exhausted ex, acc)
-    | all_meta, done_flags, pending ->
-      let last_save = ref (Obs.Clock.now_ns ()) in
-      (* call only while holding [acc_mutex] (or after the join) *)
-      let save_ck ~result () =
-        match checkpoint with
-        | None -> ()
-        | Some spec ->
-          let tasks =
-            Array.mapi
-              (fun i (path, crashes) ->
-                { Checkpoint.ck_path = path; ck_crashes = crashes; ck_done = done_flags.(i) })
-              all_meta
-          in
-          Checkpoint.save ~path:spec.cp_path
-            {
-              Checkpoint.scenario = spec.cp_scenario;
-              tasks;
-              totals =
-                {
-                  Checkpoint.ck_nodes = acc.nodes;
-                  ck_terminals = acc.terminals;
-                  ck_truncated = acc.truncated;
-                  ck_dup = acc.dup;
-                };
-              metrics = (match acc_reg with Some r -> Obs.Metrics.to_list r | None -> []);
-              result;
-            };
-          (match trace with
-          | Some tr ->
-            Obs.Trace.event tr ~name:"explore.checkpoint.save"
-              [
-                ("tasks", Obs.Trace.Int (Array.length all_meta));
-                ("done", Obs.Trace.Int (Array.fold_left (fun a d -> if d then a + 1 else a) 0 done_flags));
-                ("final", Obs.Trace.Bool (result <> None));
-              ]
-          | None -> ())
-      in
-      (* an initial save right after partitioning: a kill during early
-         processing can already resume without re-expanding *)
-      save_ck ~result:None ();
-      (match progress with
-      | Some p -> Obs.Progress.set_tasks p (Array.length pending)
-      | None -> ());
-      (* ---- the worker pool: merge per completed task ---- *)
-      let n = Array.length pending in
-      let next = Atomic.make 0 in
-      let stop_flag = Atomic.make false in
-      let failure : exn option Atomic.t = Atomic.make None in
-      let publish e =
-        if Atomic.compare_and_set failure None (Some e) then ();
-        Atomic.set stop_flag true
-      in
-      let worker _w () =
-        try
-          let continue = ref true in
-          while !continue do
-            if Atomic.get stop_flag then continue := false
-            else begin
-              let i = Atomic.fetch_and_add next 1 in
-              if i >= n then continue := false
-              else begin
-                let gid, t = pending.(i) in
-                let wstats = zero_stats () in
-                let wreg = if obs_on then Some (Obs.Metrics.create ()) else None in
-                let wctx =
-                  {
-                    ctx0 with
-                    stats = wstats;
-                    stop = (fun () -> Atomic.get stop_flag);
-                    om = Option.map meters_of wreg;
-                    cur_dec = ref None;
-                  }
-                in
-                if trail then Sim.enable_trail t.t_sim;
-                Sim.set_obs t.t_sim wreg;
-                go wctx t.t_sim t.t_depth t.t_crashes t.t_state;
-                (* the task completed: fold it into the accumulator.  A
-                   task cut short by Found/Out_of_budget never reaches
-                   this point — its partial work is discarded, so the
-                   accumulator (and any checkpoint of it) stays exact *)
-                Mutex.lock acc_mutex;
-                Fun.protect
-                  ~finally:(fun () -> Mutex.unlock acc_mutex)
-                  (fun () ->
-                    add_stats acc wstats;
-                    (match (acc_reg, wreg) with
-                    | Some a, Some w -> Obs.Metrics.merge ~into:a w
-                    | _ -> ());
-                    done_flags.(gid) <- true;
-                    match checkpoint with
-                    | Some spec ->
-                      let now = Obs.Clock.now_ns () in
-                      if float_of_int (now - !last_save) >= spec.cp_interval_s *. 1e9 then begin
-                        last_save := now;
-                        save_ck ~result:None ()
-                      end
-                    | None -> ());
-                match progress with Some p -> Obs.Progress.task_done p | None -> ()
-              end
-            end
-          done
-        with
-        | Stopped -> ()
-        | e -> publish e
-      in
-      let domains = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
-      worker 0 ();
-      List.iter Domain.join domains;
-      let frontier_left =
-        Array.fold_left (fun a d -> if d then a else a + 1) 0 done_flags
-      in
-      let outcome =
-        match Atomic.get failure with
-        | Some (Found (sim, reason)) ->
-          (match trace with
-          | Some tr ->
-            Obs.Trace.event tr ~name:"explore.violation" [ ("reason", Obs.Trace.Str reason) ]
-          | None -> ());
-          save_ck ~result:(Some ("violation", reason)) ();
-          Violation (sim, reason)
-        | Some (Out_of_budget reason) ->
-          save_ck ~result:None ();
-          let ex =
-            {
-              ex_reason = reason;
-              ex_frontier = frontier_left;
-              ex_degraded =
-                (match limits with Some l -> Atomic.get l.l_degraded | None -> []);
-            }
-          in
-          (match trace with
-          | Some tr ->
-            Obs.Trace.event tr ~name:"explore.exhausted"
-              [
-                ("reason", Obs.Trace.Str (exhaust_reason_name reason));
-                ("frontier", Obs.Trace.Int frontier_left);
-              ]
-          | None -> ());
-          Exhausted ex
-        | Some e -> raise e
-        | None ->
-          save_ck ~result:(Some ("clean", "")) ();
-          Clean
-      in
-      finish_obs ();
-      (outcome, acc)
+    (* persist the {e pending} task set: a resume re-seeds the pool with
+       exactly these paths, and the adopted totals/metrics cover exactly
+       the completed tasks — nothing is counted twice, nothing is lost *)
+    let save_ck ~pending ~result () =
+      match checkpoint with
+      | None -> ()
+      | Some spec ->
+        let tasks =
+          Array.of_list
+            (List.map
+               (fun t ->
+                 { Checkpoint.ck_path = t.p_path; ck_crashes = t.p_crashes; ck_done = false })
+               pending)
+        in
+        Checkpoint.save ~path:spec.cp_path
+          {
+            Checkpoint.scenario = spec.cp_scenario;
+            tasks;
+            totals =
+              {
+                Checkpoint.ck_nodes = acc.nodes;
+                ck_terminals = acc.terminals;
+                ck_truncated = acc.truncated;
+                ck_dup = acc.dup;
+              };
+            metrics = (match acc_reg with Some r -> Obs.Metrics.to_list r | None -> []);
+            result;
+          };
+        (match trace with
+        | Some tr ->
+          Obs.Trace.event tr ~name:"explore.checkpoint.save"
+            [
+              ("pending", Obs.Trace.Int (Array.length tasks));
+              ("final", Obs.Trace.Bool (result <> None));
+            ]
+        | None -> ())
+    in
+    (* an initial save right away: a kill during early processing can
+       already resume *)
+    save_ck ~pending:seeds ~result:None ();
+    (match progress with
+    | Some p -> Obs.Progress.set_tasks p (List.length seeds)
+    | None -> ());
+    let last_save = ref (Obs.Clock.now_ns ()) in
+    (* runs under [acc_mutex] at every task completion; [snapshot] walks
+       every deque and in-progress slot under their locks, so the saved
+       pending set is exactly the live pool at a fold boundary *)
+    let on_fold ~snapshot =
+      match checkpoint with
+      | Some spec ->
+        let now = Obs.Clock.now_ns () in
+        if float_of_int (now - !last_save) >= spec.cp_interval_s *. 1e9 then begin
+          last_save := now;
+          save_ck ~pending:(snapshot ()) ~result:None ()
+        end
+      | None -> ()
+    in
+    (* the root: [init] runs once, its counters (if any) landing on the
+       accumulator on a fresh run; on resume they were absorbed from the
+       checkpoint already, so the replayed init must count nothing *)
+    let root = Sim.clone sim0 in
+    (match resume with
+    | None -> Sim.set_obs root acc_reg
+    | Some _ -> Sim.set_obs root None);
+    let root_state = init root in
+    let r =
+      ws_run ~ctx:ctx0 ~jobs ~trace ~sim0:root ~root_state ~seeds ~per_task_reg:true
+        ~obs_on ~acc_mutex ~acc_reg ~on_fold
+    in
+    (match acc_reg with
+    | Some reg ->
+      Obs.Metrics.Counter.add
+        (Obs.Metrics.counter reg Obs.Names.explore_tasks)
+        r.wsr_created;
+      (match ctx0.seen with
+      | Some store ->
+        Obs.Metrics.Counter.add
+          (Obs.Metrics.counter reg Obs.Names.explore_store_contention)
+          (Fingerprint.Store.contention store)
+      | None -> ())
+    | None -> ());
+    let outcome =
+      match r.wsr_failure with
+      | Some (Found (sim, reason)) ->
+        (match trace with
+        | Some tr ->
+          Obs.Trace.event tr ~name:"explore.violation" [ ("reason", Obs.Trace.Str reason) ]
+        | None -> ());
+        save_ck ~pending:r.wsr_pending ~result:(Some ("violation", reason)) ();
+        Violation (sim, reason)
+      | Some (Out_of_budget reason) ->
+        save_ck ~pending:r.wsr_pending ~result:None ();
+        let ex =
+          {
+            ex_reason = reason;
+            ex_frontier = List.length r.wsr_pending;
+            ex_degraded =
+              (match limits with Some l -> Atomic.get l.l_degraded | None -> []);
+          }
+        in
+        (match trace with
+        | Some tr ->
+          Obs.Trace.event tr ~name:"explore.exhausted"
+            [
+              ("reason", Obs.Trace.Str (exhaust_reason_name reason));
+              ("frontier", Obs.Trace.Int ex.ex_frontier);
+            ]
+        | None -> ());
+        Exhausted ex
+      | Some e -> raise e
+      | None ->
+        save_ck ~pending:[] ~result:(Some ("clean", "")) ();
+        Clean
+    in
+    finish_obs ();
+    (outcome, acc)
   in
   match (check_mode : check_mode) with
   | `Terminal -> run (fun _ -> ()) (fun () _ -> ()) (fun () sim -> check sim)

@@ -18,17 +18,33 @@
     search finds a violation iff one exists in the full space.  Crash
     decisions are still offered at every instruction boundary.
 
-    The engine is domain-parallel: with [jobs > 1] the shallow part of
-    the tree is expanded breadth-first into independent subtree roots
-    (each owning a cloned machine), which are fanned out across OCaml 5
-    domains; every node is processed exactly once by the same traversal
-    code wherever the split falls, so the statistics are identical for
-    every [jobs] value.  An optional state-deduplication layer ([dedup],
-    built on {!Fingerprint} extended with the consumed crash budget)
-    prunes branches that reconverge on an already-visited configuration;
-    any violation found under [dedup] is real, but a clean deduplicated
-    sweep certifies one representative prefix history per reachable
-    configuration rather than all of them — see docs/model.md. *)
+    The engine is domain-parallel with {e work stealing}: with
+    [jobs > 1] every domain owns a deque of subtree tasks, each task a
+    decision path from the root plus its consumed crash budget.  Owners
+    pop newest-first (their trail prefix stays hot: starting the next
+    task undoes and replays only the path difference), thieves steal
+    oldest-first (the shallowest, largest subtrees, amortising the
+    replay).  A worker splits its task one level when the pool runs low,
+    so load balance adapts to the tree shape instead of being fixed by a
+    one-shot fan-out.  Replayed path prefixes are reconstruction, not
+    exploration — they are never re-counted — so every node is processed
+    exactly once wherever the task boundaries fall and the statistics
+    are identical for every [jobs] and [trail] value.
+
+    An optional state-deduplication layer ([dedup], built on
+    {!Fingerprint} extended with the consumed crash budget) prunes
+    branches that reconverge on an already-visited configuration; the
+    visited store is a single lock-free sharded table shared by all
+    domains ({!Fingerprint.Store}).  Any violation found under [dedup]
+    is real, but a clean deduplicated sweep certifies one representative
+    prefix history per reachable configuration rather than all of them.
+    On top of [dedup], {e process-symmetry reduction} ([symmetry], on by
+    default) canonicalises fingerprints under the group of process
+    permutations that provably commute with every machine step —
+    detected, not assumed: see {!Fingerprint.Symmetry} and
+    docs/model.md — so symmetric scenarios deduplicate whole orbits
+    (up to [n!] fewer states).  [symmetry] changes [nodes]/[dup] splits
+    exactly like a stronger [dedup] does, never verdicts. *)
 
 type config = {
   max_steps : int;  (** depth bound per branch (guards busy-wait loops) *)
@@ -67,8 +83,20 @@ val auto_jobs : unit -> int
     Passed as [~jobs] when the user asks for [auto]; explicit [~jobs]
     values are never clamped (benchmarks deliberately oversubscribe). *)
 
-val decisions : config -> crashes:int -> Sim.t -> Schedule.decision list
-(** The decisions the explorer branches over at a configuration. *)
+val decisions : config -> sym:bool -> crashes:int -> Sim.t -> Schedule.decision list
+(** The decisions the explorer branches over at a configuration.  [sym]
+    selects the equivariant local-step rule used under symmetry
+    reduction (branch on {e all} lowest-ranked local candidates by a
+    pid-erased hash, so isomorphic configurations explore isomorphic
+    subtrees); without it the historical lowest-pid pick applies. *)
+
+val symmetry_group : config -> Sim.t -> Fingerprint.Symmetry.group option
+(** The soundness-checked process-symmetry group of [sim]'s root
+    configuration under [config] (recovery obliviousness is only
+    required if the config can schedule a crash); [None] when any
+    soundness condition fails or only the identity qualifies.  The
+    engines call this themselves when [dedup && symmetry]; exposed so
+    the CLI can report whether a scenario is quotiented. *)
 
 (** A path checker: per-path analysis state threaded down the DFS.
     [init] produces the state for the root configuration, [step] updates
@@ -135,6 +163,7 @@ val dfs :
   ?jobs:int ->
   ?dedup:bool ->
   ?trail:bool ->
+  ?symmetry:bool ->
   ?obs:Obs.Metrics.t ->
   ?progress:Obs.Progress.t ->
   ?trace:Obs.Trace.t ->
@@ -160,8 +189,11 @@ val dfs :
     concurrent calls from distinct domains (callbacks that only touch
     their [Sim.t] argument, such as the NRL checkers, qualify).  [dedup]
     (default false) prunes branches whose configuration fingerprint —
-    including the crash budget spent on the path — was already
-    visited.
+    including the crash budget spent on the path — was already visited;
+    the visited store is shared lock-free across domains.  [symmetry]
+    (default true, only meaningful with [dedup]) canonicalises
+    fingerprints under the detected process-symmetry group; pass [false]
+    to compare an unquotiented search.
 
     {b Observability.}  [obs] attaches a metric registry ({!Obs.Names}
     lists what lands in it): the search's machine counters, the
@@ -176,8 +208,9 @@ val dfs :
     without [obs].  [progress] receives batched node ticks from every
     worker and task-completion events (its output is throttled
     wall-clock, see {!Obs.Progress}); [trace] receives span records —
-    [explore.search], [explore.expand], one [explore.worker] per domain
-    — written only from the coordinating domain.
+    [explore.search], one [explore.worker] per domain — written only
+    from the coordinating domain, plus an [explore.symmetry] event when
+    quotienting is active.
 
     {b Budgets.}  [budget] bounds the search (see {!budget});
     [should_stop] is polled every few dozen processed nodes and cuts the
@@ -196,6 +229,7 @@ val find_violation :
   ?jobs:int ->
   ?dedup:bool ->
   ?trail:bool ->
+  ?symmetry:bool ->
   ?obs:Obs.Metrics.t ->
   ?progress:Obs.Progress.t ->
   ?trace:Obs.Trace.t ->
@@ -234,13 +268,15 @@ val find_violation :
 (** {1 The resilient engine}
 
     {!sweep} is the budgeted, checkpointable, resumable front door: it
-    always splits the search into frontier tasks (statistics are
-    partition-invariant, so this changes no counter), folds each
+    runs the same work-stealing pool (even at [jobs = 1] — statistics
+    are partition-invariant, so this changes no counter), folds each
     completed task into an accumulator, and can persist the accumulator
-    plus the task list to a {!Checkpoint} file — periodically, and at
-    every outcome.  A killed sweep resumed from its checkpoint re-runs
-    exactly the tasks that had not completed (in-flight partial work is
-    discarded on purpose), which makes the resumed verdict {e and} all
+    plus the {e pending} task set — every queued deque entry and every
+    in-progress task, captured atomically at a task-completion boundary
+    — to a {!Checkpoint} file, periodically and at every outcome.  A
+    killed sweep resumed from its checkpoint re-seeds the pool with
+    exactly those pending paths (in-flight partial work is discarded on
+    purpose), which makes the resumed verdict {e and} all
     engine-invariant counters byte-identical to an uninterrupted run —
     except under [dedup], whose visited store restarts empty on resume
     (verdicts stay sound; dup/node splits may shift). *)
@@ -258,6 +294,7 @@ val sweep :
   ?jobs:int ->
   ?dedup:bool ->
   ?trail:bool ->
+  ?symmetry:bool ->
   ?obs:Obs.Metrics.t ->
   ?progress:Obs.Progress.t ->
   ?trace:Obs.Trace.t ->
@@ -274,16 +311,16 @@ val sweep :
     {!find_violation}, a [Violation] outcome reports the work done up to
     the abort rather than zeros).
 
-    [checkpoint] persists progress: once right after partitioning, then
-    at task-completion granularity every [cp_interval_s] seconds, and
+    [checkpoint] persists progress: once right at the start, then at
+    task-completion granularity every [cp_interval_s] seconds, and
     finally at the outcome (a finished search writes its verdict into
     the file; {!Checkpoint.t.result}).  [resume] restores a previously
-    saved, unfinalized checkpoint: completed tasks are adopted from the
-    accumulator, pending ones are reconstructed by replaying their
-    decision paths on clones of [sim0] — the caller must rebuild the
-    {e same} scenario machine and pass equal parameters (validate with
-    {!Checkpoint.t.scenario}).  @raise Invalid_argument if the
-    checkpoint is already finalized.
+    saved, unfinalized checkpoint: the persisted totals and metrics are
+    adopted into the accumulator and the pending task paths re-seed the
+    work-stealing pool, distributed round-robin across the workers — the
+    caller must rebuild the {e same} scenario machine and pass equal
+    parameters (validate with {!Checkpoint.t.scenario}).
+    @raise Invalid_argument if the checkpoint is already finalized.
 
     [should_stop] is the kill hook: when it flips (e.g. from a
     SIGTERM/SIGINT handler), workers stop at the next node, the

@@ -95,15 +95,18 @@ let hash_proc h p =
   let h = hash_value_list h p.pf_results in
   List.fold_left hash_frame h p.pf_stack
 
+let hash_of ~mem ~junk ~extra ~procs =
+  let h = Array.fold_left (fun h v -> mix h (Nvm.Value.hash v)) 0x811c9dc5 mem in
+  let h = mix h junk in
+  let h = mix h extra in
+  Array.fold_left hash_proc h procs
+
 let of_sim ?(extra = 0) sim =
   let fp_mem = Nvm.Memory.snapshot (Sim.mem sim) in
   let fp_junk = Sim.junk_state sim in
   let fp_procs = Array.init (Sim.nprocs sim) (fun p -> proc_of (Sim.proc sim p)) in
-  let h = Array.fold_left (fun h v -> mix h (Nvm.Value.hash v)) 0x811c9dc5 fp_mem in
-  let h = mix h fp_junk in
-  let h = mix h extra in
-  let h = Array.fold_left hash_proc h fp_procs in
-  { fp_hash = h; fp_mem; fp_junk; fp_procs; fp_extra = extra }
+  let fp_hash = hash_of ~mem:fp_mem ~junk:fp_junk ~extra ~procs:fp_procs in
+  { fp_hash; fp_mem; fp_junk; fp_procs; fp_extra = extra }
 
 (* Components are immutable first-order data (ints, bools, strings,
    values), so structural polymorphic equality is exact; the precomputed
@@ -173,32 +176,338 @@ let to_string t =
     t.fp_procs;
   Buffer.contents b
 
-(** Sharded visited-set, safe to share across domains.  The shard is
-    picked by fingerprint hash, so contention is spread and two equal
-    fingerprints always race on the same mutex. *)
+(** Lock-free sharded visited-set, safe to share across domains.
+
+    Each shard is an ordered chain of open-addressing segments of
+    [fp option Atomic.t] slots.  Insertion probes the segments in one
+    fixed global order — oldest segment first, and within each segment a
+    bounded window of slots starting at a position derived from the
+    fingerprint hash — and claims the first empty slot with a CAS.
+    Because slots are monotone ([None] → [Some fp], never mutated
+    again) and two equal fingerprints share the exact same probe
+    sequence, they serialise on the first CAS-able slot of that
+    sequence: whichever CAS wins inserts, and the loser re-reads the
+    very slot it lost and observes the duplicate.  So [add] returns
+    [true] exactly once per distinct fingerprint with no locks on the
+    fast path.
+
+    When every window in the chain is full, the shard grows by
+    appending a segment of twice the last size — the only step taken
+    under a (per-shard) mutex, and re-checked against concurrent
+    growth before appending.  Earlier segments are never rehashed, so
+    probes started before a growth still agree with probes after it. *)
 module Store = struct
   type fp = t
 
-  type t = { shards : (Mutex.t * unit Table.t) array }
+  type shard = {
+    mutable segs : fp option Atomic.t array array;
+        (** oldest first; written only under [lock], read without it —
+            the probe re-reads via [Atomic] slot operations only *)
+    lock : Mutex.t;
+    count : int Atomic.t;
+  }
+
+  type t = {
+    shards : shard array;
+    shard_bits : int;
+    contention : int Atomic.t;  (** CAS insertions lost to a racing domain *)
+  }
+
+  let probe_window = 16
+  let initial_segment = 1 lsl 10
 
   let create ?(shards = 64) () =
-    { shards = Array.init (max 1 shards) (fun _ -> (Mutex.create (), Table.create 1024)) }
+    let bits =
+      let rec go b = if 1 lsl b >= max 1 (min shards 4096) then b else go (b + 1) in
+      go 0
+    in
+    {
+      shards =
+        Array.init (1 lsl bits) (fun _ ->
+            {
+              segs = [| Array.init initial_segment (fun _ -> Atomic.make None) |];
+              lock = Mutex.create ();
+              count = Atomic.make 0;
+            });
+      shard_bits = bits;
+      contention = Atomic.make 0;
+    }
+
+  type verdict = Fresh | Dup | Full
+
+  let probe t segs (fp : fp) =
+    let key = fp.fp_hash lsr t.shard_bits in
+    let nsegs = Array.length segs in
+    let verdict = ref Full in
+    let s = ref 0 in
+    while !verdict = Full && !s < nsegs do
+      let seg = segs.(!s) in
+      let m = Array.length seg in
+      let base = key mod m in
+      let window = min probe_window m in
+      let i = ref 0 in
+      while !verdict = Full && !i < window do
+        let slot = seg.((base + !i) mod m) in
+        (match Atomic.get slot with
+        | Some v -> if equal v fp then verdict := Dup
+        | None ->
+          if Atomic.compare_and_set slot None (Some fp) then verdict := Fresh
+          else begin
+            Atomic.incr t.contention;
+            (* the slot is monotone: re-read what beat us *)
+            match Atomic.get slot with
+            | Some v when equal v fp -> verdict := Dup
+            | _ -> ()
+          end);
+        incr i
+      done;
+      incr s
+    done;
+    !verdict
 
   (** [add s fp] is [true] iff [fp] was not in the store (and is now). *)
-  let add t (fp : fp) =
-    let m, tbl = t.shards.(fp.fp_hash mod Array.length t.shards) in
-    Mutex.lock m;
-    let fresh = not (Table.mem tbl fp) in
-    if fresh then Table.add tbl fp ();
-    Mutex.unlock m;
-    fresh
+  let rec add t (fp : fp) =
+    let sh = t.shards.(fp.fp_hash land ((1 lsl t.shard_bits) - 1)) in
+    let segs = sh.segs in
+    match probe t segs fp with
+    | Fresh ->
+      Atomic.incr sh.count;
+      true
+    | Dup -> false
+    | Full ->
+      Mutex.lock sh.lock;
+      (if sh.segs == segs then
+         let last = segs.(Array.length segs - 1) in
+         let grown = Array.init (2 * Array.length last) (fun _ -> Atomic.make None) in
+         sh.segs <- Array.append segs [| grown |]);
+      Mutex.unlock sh.lock;
+      add t fp
 
-  let cardinal t =
-    Array.fold_left
-      (fun acc (m, tbl) ->
-        Mutex.lock m;
-        let n = Table.length tbl in
-        Mutex.unlock m;
-        acc + n)
-      0 t.shards
+  let cardinal t = Array.fold_left (fun acc sh -> acc + Atomic.get sh.count) 0 t.shards
+
+  let contention t = Atomic.get t.contention
+  let shards t = Array.length t.shards
+
+  let shard_sizes t = Array.map (fun sh -> Atomic.get sh.count) t.shards
+end
+
+(* -------------------------------------------------------------------- *)
+(* Process-id symmetry reduction                                         *)
+
+(* Deterministic total order on fingerprints: hash first (cheap screen),
+   then structural comparison of the immutable first-order components.
+   Used to pick the canonical representative of an orbit. *)
+let order a b =
+  let c = Int.compare a.fp_hash b.fp_hash in
+  if c <> 0 then c
+  else
+    Stdlib.compare
+      (a.fp_junk, a.fp_extra, a.fp_mem, a.fp_procs)
+      (b.fp_junk, b.fp_extra, b.fp_mem, b.fp_procs)
+
+let rec rename_value pi v =
+  match v with
+  | Nvm.Value.Pid q -> if q >= 0 && q < Array.length pi then Nvm.Value.Pid pi.(q) else v
+  | Nvm.Value.Pair (a, b) -> Nvm.Value.Pair (rename_value pi a, rename_value pi b)
+  | v -> v
+
+let map_frame_values f fr =
+  {
+    fr with
+    ff_env = List.map (fun (k, v) -> (k, f v)) fr.ff_env;
+    ff_args = Array.map f fr.ff_args;
+  }
+
+let map_proc_values f p =
+  {
+    p with
+    pf_results = List.map (fun (op, v) -> (op, f v)) p.pf_results;
+    pf_stack = List.map (map_frame_values f) p.pf_stack;
+  }
+
+let erased_proc_hash sim p =
+  let own = Nvm.Value.Str "\001own" and other = Nvm.Value.Str "\001other" in
+  let rec erase v =
+    match v with
+    | Nvm.Value.Pid q -> if q = p then own else other
+    | Nvm.Value.Pair (a, b) -> Nvm.Value.Pair (erase a, erase b)
+    | v -> v
+  in
+  hash_proc 0x9e3779b9 (map_proc_values erase (proc_of (Sim.proc sim p)))
+
+module Symmetry = struct
+  type group = {
+    g_n : int;
+    g_perms : int array list;  (** non-identity members of the group *)
+    g_arrays : int list;
+    g_matrices : int list;
+  }
+
+  let degree g = 1 + List.length g.g_perms
+  let max_group = 5040 (* 7! — beyond this canonicalisation costs more than it prunes *)
+
+  (* All non-identity permutations of 0..n-1 mapping the [keep] set onto
+     itself (crash-enabled processes must stay crash-enabled). *)
+  let perms_of n keep =
+    let acc = ref [] in
+    let pi = Array.make n (-1) in
+    let used = Array.make n false in
+    let rec go i =
+      if i = n then begin
+        if not (Array.for_all Fun.id (Array.mapi (fun k j -> k = j) pi)) then
+          acc := Array.copy pi :: !acc
+      end
+      else
+        for j = 0 to n - 1 do
+          if (not used.(j)) && keep.(i) = keep.(j) then begin
+            used.(j) <- true;
+            pi.(i) <- j;
+            go (i + 1);
+            used.(j) <- false
+          end
+        done
+    in
+    go 0;
+    List.rev !acc
+
+  (* A script is symmetric when, after renaming the process's own pid to
+     a neutral token, every process runs the same program.  Arguments
+     mentioning a *foreign* pid, or computed at invocation time, make
+     the scenario asymmetric (or unanalysable) — detection bails out. *)
+  let erased_script own (pr : Sim.proc) =
+    let own_tok = Nvm.Value.Str "\001own" in
+    let rec erase v =
+      match v with
+      | Nvm.Value.Pid q -> if q = own then Some own_tok else None
+      | Nvm.Value.Pair (a, b) -> (
+        match (erase a, erase b) with
+        | Some a, Some b -> Some (Nvm.Value.Pair (a, b))
+        | _ -> None)
+      | v -> Some v
+    in
+    let entry (inst, op, spec) =
+      match spec with
+      | Sim.Compute _ -> None
+      | Sim.Args a ->
+        let ea = Array.map erase a in
+        if Array.exists Option.is_none ea then None
+        else Some (inst.Objdef.id, op, Array.map Option.get ea)
+    in
+    let rec all = function
+      | [] -> Some []
+      | e :: tl -> (
+        match (entry e, all tl) with Some k, Some ks -> Some (k :: ks) | _ -> None)
+    in
+    all pr.Sim.script
+
+  let junk_pid_free sim =
+    match Sim.junk_strategy sim with
+    | Junk.Scramble | Junk.Zeros | Junk.Ones | Junk.MaxInt -> true
+    | Junk.Lure pool ->
+      let rec pid_free = function
+        | Nvm.Value.Pid _ -> false
+        | Nvm.Value.Pair (a, b) -> pid_free a && pid_free b
+        | _ -> true
+      in
+      Array.for_all pid_free pool
+
+  let fact n =
+    let r = ref 1 in
+    for i = 2 to n do
+      r := !r * i
+    done;
+    !r
+
+  let detect ?(crashes_possible = true) ~crash_procs sim =
+    let n = Sim.nprocs sim in
+    let insts = Objdef.instances (Sim.registry sim) in
+    let objects_ok =
+      insts <> []
+      && List.for_all
+           (fun (i : Objdef.instance) ->
+             match i.Objdef.sym with
+             | None -> false
+             | Some s ->
+               s.Objdef.body_oblivious && ((not crashes_possible) || s.Objdef.recover_oblivious))
+           insts
+    in
+    let root_ok =
+      let ok = ref true in
+      for p = 0 to n - 1 do
+        let pr = Sim.proc sim p in
+        if pr.Sim.status <> Sim.Ready || pr.Sim.stack <> [] || pr.Sim.results <> [] then
+          ok := false
+      done;
+      !ok
+    in
+    let scripts_ok =
+      match erased_script 0 (Sim.proc sim 0) with
+      | None -> false
+      | Some k0 ->
+        let rec same p =
+          p >= n
+          || (match erased_script p (Sim.proc sim p) with
+             | Some kp when kp = k0 -> same (p + 1)
+             | _ -> false)
+        in
+        same 1
+    in
+    if n < 2 || fact n > max_group || (not objects_ok) || (not root_ok) || (not scripts_ok)
+       || not (junk_pid_free sim)
+    then None
+    else
+      let keep = Array.init n (fun p -> List.mem p crash_procs) in
+      match perms_of n keep with
+      | [] -> None
+      | perms ->
+        let arrays, matrices =
+          List.fold_left
+            (fun (ars, mats) (i : Objdef.instance) ->
+              match i.Objdef.sym with
+              | None -> (ars, mats)
+              | Some s -> (s.Objdef.pid_arrays @ ars, s.Objdef.pid_matrices @ mats))
+            ([], []) insts
+        in
+        Some { g_n = n; g_perms = perms; g_arrays = arrays; g_matrices = matrices }
+
+  (* Apply a permutation to a fingerprint: rename every Pid value, move
+     per-process array cells to the slot of the renamed owner, move
+     matrix cells likewise in both coordinates, and relocate each
+     process's control state.  The junk stream and the extra path
+     context are pid-free by construction, so they pass through. *)
+  let permute g pi fp =
+    let n = g.g_n in
+    let renamed = Array.map (rename_value pi) fp.fp_mem in
+    let mem = Array.copy renamed in
+    List.iter
+      (fun base ->
+        if base >= 0 && base + n <= Array.length mem then
+          for p = 0 to n - 1 do
+            mem.(base + pi.(p)) <- renamed.(base + p)
+          done)
+      g.g_arrays;
+    List.iter
+      (fun base ->
+        if base >= 0 && base + (n * n) <= Array.length mem then
+          for q = 0 to n - 1 do
+            for p = 0 to n - 1 do
+              mem.(base + (pi.(q) * n) + pi.(p)) <- renamed.(base + (q * n) + p)
+            done
+          done)
+      g.g_matrices;
+    let procs = Array.make n fp.fp_procs.(0) in
+    for p = 0 to n - 1 do
+      procs.(pi.(p)) <- map_proc_values (rename_value pi) fp.fp_procs.(p)
+    done;
+    let fp_hash = hash_of ~mem ~junk:fp.fp_junk ~extra:fp.fp_extra ~procs in
+    { fp_hash; fp_mem = mem; fp_junk = fp.fp_junk; fp_procs = procs; fp_extra = fp.fp_extra }
+
+  let canonical g fp =
+    if Array.length fp.fp_procs <> g.g_n then fp
+    else
+      List.fold_left
+        (fun best pi ->
+          let cand = permute g pi fp in
+          if order cand best < 0 then cand else best)
+        fp g.g_perms
 end

@@ -30,18 +30,75 @@ val to_string : t -> string
 
 module Table : Hashtbl.S with type key = t
 
-(** Sharded, mutex-protected visited-set over fingerprints, safe to
-    share across domains (used by the parallel explorer's state
-    deduplication). *)
+val erased_proc_hash : Sim.t -> int -> int
+(** Hash of process [p]'s control state with every [Pid] value erased to
+    an own/other token.  The result is invariant under any process
+    permutation that fixes [p]'s own/other relation, which makes it a
+    sound {e equivariant} tie-breaker for partial-order choices made
+    under symmetry reduction (see {!Explore}). *)
+
+(** Lock-free sharded visited-set over fingerprints, shared by all
+    exploring domains.  Each shard is an ordered chain of
+    open-addressing segments whose slots are [Atomic] and monotone
+    ([None] → inserted fingerprint, never changed again); insertion
+    probes the chain in one fixed global order and claims the first
+    empty slot by CAS, so equal fingerprints — which share the same
+    probe sequence — serialise on a single slot and [add] answers
+    "fresh" exactly once per distinct fingerprint without taking a lock
+    on the fast path.  Shards grow by appending doubled segments under
+    a per-shard mutex. *)
 module Store : sig
   type fp = t
   type t
 
   val create : ?shards:int -> unit -> t
+  (** [shards] (default 64) is rounded up to a power of two; the shard
+      is chosen by the low fingerprint-hash bits, the in-shard probe
+      position by the remaining bits. *)
 
   val add : t -> fp -> bool
   (** [add s fp] is [true] iff [fp] was not yet in the store (it is
-      recorded atomically with the test). *)
+      recorded atomically with the test — linearizable across
+      domains). *)
 
   val cardinal : t -> int
+  (** Number of distinct fingerprints inserted. *)
+
+  val contention : t -> int
+  (** CAS insertions lost to a racing domain — a measure of shard
+      contention (exported as a metric by the explorer). *)
+
+  val shards : t -> int
+  (** Actual shard count (power of two). *)
+
+  val shard_sizes : t -> int array
+  (** Per-shard insert counts, for distribution diagnostics/tests. *)
+end
+
+(** Process-id symmetry reduction: quotient the explored state space by
+    the group of process permutations that provably commute with every
+    machine step.  {!detect} checks the soundness conditions on the root
+    configuration (identical per-process scripts up to own-pid renaming,
+    pid-oblivious object declarations ({!Objdef.sym_spec}), pid-free
+    junk strategy, permutations preserving the crash-enabled set);
+    {!canonical} then maps a fingerprint to the least element of its
+    orbit so the visited store deduplicates whole orbits.  See
+    docs/model.md for the soundness argument. *)
+module Symmetry : sig
+  type group
+
+  val detect : ?crashes_possible:bool -> crash_procs:int list -> Sim.t -> group option
+  (** [detect sim] on the {e root} configuration: [Some g] iff every
+      soundness condition holds and the resulting group is non-trivial.
+      [crashes_possible] (default [true]) additionally requires every
+      object's recovery programs to be pid-oblivious; pass [false] for
+      crash-free exploration. *)
+
+  val degree : group -> int
+  (** Order of the group (including the identity). *)
+
+  val canonical : group -> t -> t
+  (** Least fingerprint of the orbit under the group's permutations
+      (deterministic: independent of domain, schedule or insertion
+      order). *)
 end

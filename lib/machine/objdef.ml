@@ -16,6 +16,13 @@ type op_def = {
   recover : Program.t;
 }
 
+type sym_spec = {
+  body_oblivious : bool;
+  recover_oblivious : bool;
+  pid_arrays : Nvm.Memory.addr list;
+  pid_matrices : Nvm.Memory.addr list;
+}
+
 type instance = {
   id : int;
   otype : string;
@@ -32,6 +39,12 @@ type instance = {
   subobjects : instance list;
       (** recoverable base objects this instance was built from (e.g. the
           counter's array of recoverable read/write registers) *)
+  sym : sym_spec option;
+      (** process-symmetry declaration: how the object's persistent state
+          transforms under a permutation of process ids (see
+          {!Fingerprint.Symmetry}).  [None] means "not known to be
+          oblivious" and disables symmetry reduction for scenarios using
+          the object. *)
 }
 
 let find_op inst name =
@@ -52,10 +65,10 @@ type registry = {
 let create_registry () = { next_id = 0; tbl = Hashtbl.create 16 }
 
 let register reg ~otype ~name ?(init_value = Nvm.Value.Null) ?(strict_cells = [])
-    ?(subobjects = []) ops =
+    ?(subobjects = []) ?sym ops =
   let id = reg.next_id in
   reg.next_id <- id + 1;
-  let inst = { id; otype; obj_name = name; ops; init_value; strict_cells; subobjects } in
+  let inst = { id; otype; obj_name = name; ops; init_value; strict_cells; subobjects; sym } in
   Hashtbl.replace reg.tbl id inst;
   inst
 

@@ -12,6 +12,31 @@ type op_def = {
   recover : Program.t;
 }
 
+type sym_spec = {
+  body_oblivious : bool;
+      (** every operation body is {e pid-oblivious}: the only use it makes
+          of the executing process id is (a) indexing the declared
+          [pid_arrays]/[pid_matrices] and (b) writing/comparing [Pid]
+          {e values}.  Permuting process ids then commutes with every
+          body step. *)
+  recover_oblivious : bool;
+      (** same property for every recovery program.  Objects whose
+          recovery scans process slots in a fixed index order (e.g. the
+          TAS recovery of Algorithm 3, lines 25–28) are {b not} recovery
+          oblivious: the scan order breaks the commutation. *)
+  pid_arrays : Nvm.Memory.addr list;
+      (** base addresses of per-process arrays: cell [base + p] belongs to
+          process [p] and moves to [base + π(p)] under a permutation π. *)
+  pid_matrices : Nvm.Memory.addr list;
+      (** base addresses of row-major [n × n] process matrices: cell
+          [base + q*n + p] moves to [base + π(q)*n + π(p)]. *)
+}
+(** Declaration that an object's persistent footprint transforms
+    predictably under a permutation of process ids — the per-object
+    soundness obligation of symmetry reduction ({!Fingerprint.Symmetry}).
+    Cells not covered by [pid_arrays]/[pid_matrices] may hold [Pid]
+    values (which are renamed) but must not be {e located} by pid. *)
+
 type instance = {
   id : int;
   otype : string;
@@ -28,6 +53,9 @@ type instance = {
           tagged as [<seq, ret>] *)
   subobjects : instance list;
       (** recoverable base objects this instance was built from *)
+  sym : sym_spec option;
+      (** process-symmetry declaration; [None] disables symmetry
+          reduction for scenarios using this object *)
 }
 
 val find_op : instance -> string -> op_def
@@ -46,6 +74,7 @@ val register :
   ?init_value:Nvm.Value.t ->
   ?strict_cells:(string * Nvm.Memory.addr array) list ->
   ?subobjects:instance list ->
+  ?sym:sym_spec ->
   (string * op_def) list ->
   instance
 (** Allocate a fresh instance id and record the instance. *)

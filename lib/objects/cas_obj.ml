@@ -95,6 +95,17 @@ let make_ex sim ~name =
   let nprocs = Machine.Sim.nprocs sim in
   let cells = alloc_cells mem ~nprocs ~name in
   Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"cas" ~name
+    ~sym:
+      {
+        (* Algorithm 2's bodies index [R] by helped-process id (taken
+           from the Pid inside [C]) and own id only; the CAS recovery
+           (lines 13'04 sqq.) scans its matrix row in fixed index order,
+           so it is not oblivious. *)
+        Machine.Objdef.body_oblivious = true;
+        recover_oblivious = false;
+        pid_arrays = [];
+        pid_matrices = [ cells.r ];
+      }
     [
       ( "CAS",
         { Machine.Objdef.op_name = "CAS"; body = cas_body cells; recover = cas_recover cells } );

@@ -88,6 +88,15 @@ let make_ex ?(init = Nvm.Value.Null) sim ~name =
   let nprocs = Machine.Sim.nprocs sim in
   let c = alloc_cells mem ~nprocs ~name ~init in
   Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"rw" ~name ~init_value:init
+    ~sym:
+      {
+        (* Algorithm 1 is fully pid-oblivious: bodies and recoveries touch
+           only [R] and the caller's own slot of [S]. *)
+        Machine.Objdef.body_oblivious = true;
+        recover_oblivious = true;
+        pid_arrays = [ c.s ];
+        pid_matrices = [];
+      }
     [
       ("WRITE", { Machine.Objdef.op_name = "WRITE"; body = write_body c; recover = write_recover c });
       ("READ", { Machine.Objdef.op_name = "READ"; body = read_body c; recover = read_recover c });

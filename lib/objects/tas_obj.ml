@@ -142,6 +142,18 @@ let make ?(readable_base = false) sim ~name =
   let body = if readable_base then tas_body_readable c else tas_body c in
   Machine.Objdef.register (Machine.Sim.registry sim) ~otype:"tas" ~name
     ~strict_cells:[ ("T&S", res_cells) ]
+    ~sym:
+      {
+        (* The T&S body only touches [Winner]/[Doorway]/[T] and the
+           caller's own slots of [R] and [Res]; the recovery (lines
+           25–28) scans [R] in fixed index order, which does not commute
+           with pid permutations — so only the body is oblivious and
+           symmetry reduction stays off when crashes are possible. *)
+        Machine.Objdef.body_oblivious = true;
+        recover_oblivious = false;
+        pid_arrays = [ c.r; c.res ];
+        pid_matrices = [];
+      }
     [
       ( "T&S",
         { Machine.Objdef.op_name = "T&S"; body; recover = tas_recover ~readable_base c } );

@@ -96,9 +96,9 @@ let all =
 
 let find name = List.find_opt (fun m -> m.m_name = name) all
 
-let reg_op sim ~otype ~name ?init_value ?strict_cells ?subobjects ops =
+let reg_op sim ~otype ~name ?init_value ?strict_cells ?subobjects ?sym ops =
   Machine.Objdef.register (Machine.Sim.registry sim) ~otype ~name ?init_value
-    ?strict_cells ?subobjects ops
+    ?strict_cells ?subobjects ?sym ops
 
 let op ~name body recover = (name, { Machine.Objdef.op_name = name; body; recover })
 
@@ -183,7 +183,18 @@ let make_rw_mutant variant ?(init = Nvm.Value.Null) sim ~name =
     | `Skip_log -> (rw_skip_log_write c, rw_write_recover c)
     | `Skip_read -> (rw_write c, rw_skip_read_recover c)
   in
+  (* mutations drop or reorder lines but never introduce pid-dependence:
+     the base algorithm's symmetry declaration still holds, which is what
+     lets the soundness tests pin quotiented verdicts against ground
+     truth on every mutant *)
   reg_op sim ~otype:"rw" ~name ~init_value:init
+    ~sym:
+      {
+        Machine.Objdef.body_oblivious = true;
+        recover_oblivious = true;
+        pid_arrays = [ c.Rw_obj.s ];
+        pid_matrices = [];
+      }
     [ op ~name:"WRITE" write write_rec; op ~name:"READ" (rw_read c) (rw_read_recover c) ]
 
 (* {2 Algorithm 2 mutants} *)
@@ -274,6 +285,13 @@ let make_cas_mutant variant sim ~name =
   in
   let inst =
     reg_op sim ~otype:"cas" ~name
+      ~sym:
+        {
+          Machine.Objdef.body_oblivious = true;
+          recover_oblivious = false;
+          pid_arrays = [];
+          pid_matrices = [ cells.Cas_obj.r ];
+        }
       [ op ~name:"CAS" body recover; op ~name:"READ" (cas_read cells) (cas_read_recover cells) ]
   in
   (inst, cells.Cas_obj.c)
@@ -368,6 +386,13 @@ let make_tas_mutant variant sim ~name =
   let res_cells = Array.init nprocs (fun i -> c.Tas_obj.res + i) in
   reg_op sim ~otype:"tas" ~name
     ~strict_cells:[ ("T&S", res_cells) ]
+    ~sym:
+      {
+        Machine.Objdef.body_oblivious = true;
+        recover_oblivious = false;
+        pid_arrays = [ c.Tas_obj.r; c.Tas_obj.res ];
+        pid_matrices = [];
+      }
     [ op ~name:"T&S" (tas_mutant_body variant c) (tas_recover c) ]
 
 (* {2 Algorithm 4 mutants} *)

@@ -5,9 +5,12 @@
     measured against this catalogue: every mutant must be caught within a
     pinned seed budget (see [lib/fuzz] and docs/fuzzing.md).
 
-    Mutants keep their base algorithm's object type and strictness
-    registration, so the unmodified NRL and Definition 1 checkers judge
-    them against the same specifications as the sound originals. *)
+    Mutants keep their base algorithm's object type, strictness and
+    symmetry registration, so the unmodified NRL and Definition 1
+    checkers judge them against the same specifications as the sound
+    originals — and so symmetry-quotiented exploration can be pinned
+    against unquotiented ground truth on every mutant (the mutations
+    drop or reorder lines without introducing pid-dependence). *)
 
 type mutant = {
   m_name : string;  (** zoo-wide unique, usable as a scenario kind *)

@@ -14,6 +14,9 @@ let explore_terminals = "explore.terminals"
 let explore_truncated = "explore.truncated"
 let explore_dedup_pruned = "explore.dedup.pruned"
 let explore_tasks = "explore.tasks"
+let explore_ws_steals = "explore.ws.steals"
+let explore_time_idle = "explore.time.idle"
+let explore_store_contention = "explore.store.contention"
 let explore_time_step = "explore.time.step"
 let explore_time_check = "explore.time.check"
 let explore_time_dedup = "explore.time.dedup"
@@ -56,7 +59,10 @@ let catalogue =
     (explore_terminals, Counter, true, "complete executions reached");
     (explore_truncated, Counter, true, "branches cut by the depth bound (or deadlocked)");
     (explore_dedup_pruned, Counter, true, "branches pruned by state deduplication");
-    (explore_tasks, Counter, false, "frontier tasks fanned out to worker domains");
+    (explore_tasks, Counter, false, "subtree tasks created in the work-stealing pool");
+    (explore_ws_steals, Counter, false, "tasks stolen from another worker's deque");
+    (explore_time_idle, Timer, false, "wall time workers spent idle waiting to steal");
+    (explore_store_contention, Counter, false, "visited-store CAS insertions lost to a racing domain");
     (explore_time_step, Timer, false, "wall time applying decisions (clone or mark/apply/undo)");
     (explore_time_check, Timer, false, "wall time in checker callbacks");
     (explore_time_dedup, Timer, false, "wall time fingerprinting and probing the visited store");

@@ -41,8 +41,8 @@ val sim_recoveries : string
 
 val trail_undos : string
 (** {!Machine.Sim.undo_to} calls (one per backtracked edge in trail
-    mode).  Engine-dependent: parallel runs expand the shallow tree in
-    clone mode, so those edges are never undone. *)
+    mode).  Engine-dependent: work-stealing workers also undo when
+    repositioning between tasks, so the count varies with [--jobs]. *)
 
 val trail_undo_depth : string
 (** Histogram of trail entries reverted per {!Machine.Sim.undo_to}. *)
@@ -62,7 +62,18 @@ val explore_dedup_pruned : string
 (** Branches pruned by state deduplication (0 unless [--dedup]). *)
 
 val explore_tasks : string
-(** Frontier tasks fanned out to worker domains (0 when [jobs = 1]). *)
+(** Subtree tasks created in the work-stealing pool, seeds included
+    (0 for the plain single-domain engines). *)
+
+val explore_ws_steals : string
+(** Tasks stolen from another worker's deque (0 when [jobs = 1]). *)
+
+val explore_time_idle : string
+(** Wall time workers spent idle — own deque empty, nothing stealable. *)
+
+val explore_store_contention : string
+(** Visited-store CAS insertions lost to a racing domain (0 unless
+    [--dedup] with [jobs > 1]). *)
 
 val explore_time_step : string
 (** Wall time applying decisions (clone or mark/apply/undo). *)

@@ -2,36 +2,41 @@
     the bench harness writes with [--json], tracked across PRs as a CI
     artifact.
 
-    Schema ["nrl-bench/2"]:
+    Schema ["nrl-bench/3"]:
 
+    - [domains_available]: [Domain.recommended_domain_count ()] on the
+      measuring host — read it before trusting any jobs-scaling row;
     - [ns_per_op]: one row per latency estimate (tables T1-T4 and the
       figure sweeps that fit an OLS model), [{section; name; ns}] with
       [ns = null] when the fit failed;
     - [persist_events]: table T5 — shared accesses (the model's persist
       events) per operation at each process count;
-    - [explore]: tables T6 (domain scaling) and T7 (branching-discipline
-      and check-mode throughput), each row carrying the full engine
-      configuration ([jobs]/[dedup]/[trail]/[mode]) plus the statistics
-      and the derived [nodes_per_sec] / [terminals_per_sec] rates.
+    - [explore]: tables T6 (work-stealing jobs scaling), T7
+      (branching-discipline and check-mode throughput) and T8
+      (process-symmetry quotienting), each row carrying the full engine
+      configuration ([jobs]/[dedup]/[trail]/[mode]/[symmetry]) plus the
+      statistics and the derived [nodes_per_sec] / [terminals_per_sec]
+      rates.
 
-    Version 1 of the schema had only [ns_per_op] (left empty by the
-    explore-only CI smoke run) and [explore] rows without the
-    [section]/[trail]/[mode] fields. *)
+    Version 2 lacked the [symmetry] field on [explore] rows; version 1
+    had only [ns_per_op] (left empty by the explore-only CI smoke run)
+    and [explore] rows without the [section]/[trail]/[mode] fields. *)
 
-let schema_version = "nrl-bench/2"
+let schema_version = "nrl-bench/3"
 
 type ns_row = { ns_section : string; ns_name : string; ns_ns : float }
 
 type persist_row = { pe_op : string; pe_nprocs : int; pe_accesses : int }
 
 type explore_row = {
-  er_section : string;  (** ["T6"] or ["T7"] *)
+  er_section : string;  (** ["T6"], ["T7"] or ["T8"] *)
   er_scenario : string;
   er_nprocs : int;
   er_ops : int;
   er_jobs : int;
   er_dedup : bool;
   er_trail : bool;
+  er_sym : bool;  (** process-symmetry quotienting active for this run *)
   er_mode : string;  (** ["dfs"], ["check-terminal"] or ["check-incremental"] *)
   er_terminals : int;
   er_nodes : int;
@@ -91,11 +96,11 @@ let render t =
   add_rows buf t.explore (fun r ->
       Printf.sprintf
         "    {\"section\": \"%s\", \"scenario\": \"%s\", \"nprocs\": %d, \"ops\": %d, \
-         \"jobs\": %d, \"dedup\": %b, \"trail\": %b, \"mode\": \"%s\", \"terminals\": %d, \
-         \"nodes\": %d, \"dup\": %d, \"seconds\": %s, \"nodes_per_sec\": %s, \
-         \"terminals_per_sec\": %s}"
+         \"jobs\": %d, \"dedup\": %b, \"trail\": %b, \"symmetry\": %b, \"mode\": \"%s\", \
+         \"terminals\": %d, \"nodes\": %d, \"dup\": %d, \"seconds\": %s, \
+         \"nodes_per_sec\": %s, \"terminals_per_sec\": %s}"
         (escape r.er_section) (escape r.er_scenario) r.er_nprocs r.er_ops r.er_jobs
-        r.er_dedup r.er_trail (escape r.er_mode) r.er_terminals r.er_nodes r.er_dup
+        r.er_dedup r.er_trail r.er_sym (escape r.er_mode) r.er_terminals r.er_nodes r.er_dup
         (number r.er_seconds)
         (number (rate r.er_nodes r.er_seconds))
         (number (rate r.er_terminals r.er_seconds)));

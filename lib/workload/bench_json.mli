@@ -4,9 +4,10 @@
     test suite can validate the emitted schema. *)
 
 val schema_version : string
-(** ["nrl-bench/2"].  Version 1 had only an [ns_per_op] array (left
-    empty by the explore-only CI smoke run) and [explore] rows without
-    the [section]/[trail]/[mode]/[terminals_per_sec] fields. *)
+(** ["nrl-bench/3"].  Version 2 lacked the [symmetry] field on
+    [explore] rows; version 1 had only an [ns_per_op] array (left empty
+    by the explore-only CI smoke run) and [explore] rows without the
+    [section]/[trail]/[mode]/[terminals_per_sec] fields. *)
 
 type ns_row = {
   ns_section : string;  (** the table or figure tag, e.g. ["T1"] *)
@@ -21,13 +22,16 @@ type persist_row = {
 }
 
 type explore_row = {
-  er_section : string;  (** ["T6"] (domain scaling) or ["T7"] (throughput) *)
+  er_section : string;
+      (** ["T6"] (work-stealing jobs scaling), ["T7"] (throughput) or
+          ["T8"] (symmetry quotienting) *)
   er_scenario : string;
   er_nprocs : int;
   er_ops : int;
   er_jobs : int;
   er_dedup : bool;
   er_trail : bool;  (** in-place backtracking vs clone-per-branch *)
+  er_sym : bool;  (** process-symmetry quotienting active for this run *)
   er_mode : string;
       (** ["dfs"] (no checking), ["check-terminal"] or
           ["check-incremental"] *)
@@ -39,6 +43,8 @@ type explore_row = {
 
 type t = {
   domains_available : int;
+      (** [Domain.recommended_domain_count ()] on the measuring host;
+          jobs-scaling rows above this are oversubscription measurements *)
   ns_per_op : ns_row list;
   persist_events : persist_row list;
   explore : explore_row list;

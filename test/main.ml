@@ -18,6 +18,7 @@ let () =
       ("queue-max", Test_queue_max.suite);
       ("system-crash", Test_system_crash.suite);
       ("explore", Test_explore.suite);
+      ("store", Test_store.suite);
       ("impossibility", Test_impossibility.suite);
       ("runtime", Test_runtime.suite);
       ("runtime-ext", Test_runtime_extensions.suite);

@@ -161,6 +161,7 @@ let sample () =
           er_jobs = 2;
           er_dedup = false;
           er_trail = true;
+          er_sym = false;
           er_mode = "check-terminal";
           er_terminals = 45002;
           er_nodes = 265631;
@@ -175,6 +176,7 @@ let sample () =
           er_jobs = 1;
           er_dedup = false;
           er_trail = false;
+          er_sym = true;
           er_mode = "dfs";
           er_terminals = 10;
           er_nodes = 100;
@@ -207,6 +209,8 @@ let test_explore_rows () =
   let t6 = List.hd rows and t7 = List.nth rows 1 in
   Alcotest.(check string) "T6 tagged" "T6" (as_str (field "section" t6));
   Alcotest.(check bool) "trail recorded" true (as_bool (field "trail" t6));
+  Alcotest.(check bool) "symmetry recorded (off)" false (as_bool (field "symmetry" t6));
+  Alcotest.(check bool) "symmetry recorded (on)" true (as_bool (field "symmetry" t7));
   Alcotest.(check string) "mode recorded" "check-terminal" (as_str (field "mode" t6));
   Alcotest.(check bool) "nodes/s derived" true
     (Float.abs (as_num (field "nodes_per_sec" t6) -. (265631. /. 0.5)) < 1.);

@@ -151,6 +151,31 @@ let sweep_registry ~jobs ~trail ~incremental ~interrupt () =
   Alcotest.(check bool) "clean sweep" true (outcome = Explore.Clean);
   reg
 
+(* the steal axis: the jobs > 1 rows above are only evidence if work was
+   actually stolen between domains.  Pin a run in which steals happened
+   (workers other than the seed owner must steal their first task, so on
+   a multi-queue pool this is the common case; retry for scheduler luck)
+   and assert the engine-invariant counters are still byte-identical. *)
+let test_counters_invariant_under_steals () =
+  let baseline =
+    invariant_counters (explore_registry ~jobs:1 ~trail:true ~incremental:true ())
+  in
+  let steals_of reg =
+    match Obs.Metrics.view reg Obs.Names.explore_ws_steals with
+    | Some (Obs.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let rec attempt k =
+    let reg = explore_registry ~jobs:4 ~trail:true ~incremental:true () in
+    if steals_of reg > 0 then reg
+    else if k = 0 then Alcotest.fail "no steals observed at jobs=4 in 25 runs"
+    else attempt (k - 1)
+  in
+  let reg = attempt 25 in
+  Alcotest.(check (list (pair string int)))
+    "invariant counters identical in a run with real steals" baseline
+    (invariant_counters reg)
+
 let test_counters_invariant_across_resume () =
   List.iter
     (fun incremental ->
@@ -365,6 +390,8 @@ let suite =
     Alcotest.test_case "merge is an exact sum" `Quick test_merge_is_exact_sum;
     Alcotest.test_case "counters invariant across jobs and trail" `Slow
       test_counters_invariant_across_engines;
+    Alcotest.test_case "counters invariant under real steals" `Slow
+      test_counters_invariant_under_steals;
     Alcotest.test_case "counters invariant across kill-and-resume" `Slow
       test_counters_invariant_across_resume;
     Alcotest.test_case "trace round-trips through the JSON reader" `Quick test_trace_roundtrip;

@@ -1,0 +1,208 @@
+(* The shared visited store and the process-symmetry quotient: the two
+   halves of the deduplication layer the work-stealing engine hangs off
+   Fingerprint.  The store must be linearizable under concurrent
+   insertion (a lost or doubled "fresh" answer corrupts node counts and
+   can prune unexplored states); the quotient must never change a
+   verdict — pinned here against unquotiented ground truth on every
+   bug-zoo mutant, the scenarios explicitly built to be caught. *)
+
+module F = Machine.Fingerprint
+module Sim = Machine.Sim
+module Explore = Machine.Explore
+
+(* Distinct fingerprints on demand: one configuration, distinct opaque
+   path context (the [extra] the explorer uses for the crash budget). *)
+let make_fps n =
+  let sim = Sim.create ~nprocs:2 () in
+  Array.init n (fun i -> F.of_sim ~extra:i sim)
+
+(* {1 The store} *)
+
+let test_fresh_exactly_once () =
+  let store = F.Store.create () in
+  let fps = make_fps 500 in
+  Array.iter (fun fp -> Alcotest.(check bool) "first insert fresh" true (F.Store.add store fp)) fps;
+  Array.iter
+    (fun fp -> Alcotest.(check bool) "re-insert not fresh" false (F.Store.add store fp))
+    fps;
+  Alcotest.(check int) "cardinal" 500 (F.Store.cardinal store)
+
+let test_shard_rounding () =
+  Alcotest.(check int) "shard count rounds up to a power of two" 8
+    (F.Store.shards (F.Store.create ~shards:5 ()))
+
+(* Concurrent insertion is linearizable: across racing domains every
+   distinct fingerprint is reported fresh exactly once, none is lost.
+   Domains insert overlapping random samples so the CAS paths race on
+   purpose; the per-domain fresh counts must sum to the union size. *)
+let prop_concurrent_inserts =
+  QCheck2.Test.make ~name:"store: concurrent inserts lose and double nothing" ~count:8
+    (QCheck2.Gen.int_range 1 1_000_000) (fun seed ->
+      let n = 2_000 and domains = 4 in
+      let fps = make_fps n in
+      let rng = Random.State.make [| seed |] in
+      (* sample before spawning: Random.State is not domain-safe *)
+      let picks =
+        Array.init domains (fun _ ->
+            Array.of_list
+              (List.filter
+                 (fun _ -> Random.State.float rng 1.0 < 0.6)
+                 (List.init n Fun.id)))
+      in
+      let union = Array.make n false in
+      Array.iter (Array.iter (fun i -> union.(i) <- true)) picks;
+      let distinct = Array.fold_left (fun a b -> if b then a + 1 else a) 0 union in
+      (* few shards on purpose: more CAS collisions per slot *)
+      let store = F.Store.create ~shards:4 () in
+      let workers =
+        Array.map
+          (fun pick ->
+            Domain.spawn (fun () ->
+                Array.fold_left
+                  (fun fresh i -> if F.Store.add store fps.(i) then fresh + 1 else fresh)
+                  0 pick))
+          picks
+      in
+      let fresh_total = Array.fold_left (fun a d -> a + Domain.join d) 0 workers in
+      fresh_total = distinct && F.Store.cardinal store = distinct)
+
+let test_shard_distribution () =
+  let store = F.Store.create ~shards:64 () in
+  let n = 4_096 in
+  Array.iter (fun fp -> ignore (F.Store.add store fp)) (make_fps n);
+  let sizes = F.Store.shard_sizes store in
+  Alcotest.(check int) "shard sizes sum to cardinal" n (Array.fold_left ( + ) 0 sizes);
+  let mean = n / Array.length sizes in
+  Array.iteri
+    (fun i sz ->
+      if sz > 4 * mean then
+        Alcotest.failf "shard %d holds %d inserts (mean %d): hash is not spreading" i sz mean)
+    sizes
+
+(* {1 Symmetry soundness on the bug zoo} *)
+
+(* Symmetric workloads per base algorithm: every process runs the same
+   script up to own-pid renaming ([Opgen.tagged p] carries [Pid p], which
+   the detector erases), so the quotient is active wherever the object's
+   declaration allows it. *)
+let symmetric_script algo (inst : Machine.Objdef.instance) p =
+  match algo with
+  | "register" ->
+    [
+      (inst, "WRITE", Sim.Args [| Workload.Opgen.tagged p 0 |]);
+      (inst, "READ", Sim.Args [||]);
+    ]
+  | "cas" ->
+    [ (inst, "CAS", Sim.Args [| Nvm.Value.Null; Workload.Opgen.tagged p 0 |]) ]
+  | "tas" -> [ (inst, "T&S", Sim.Args [||]) ]
+  | "counter" -> [ (inst, "INC", Sim.Args [||]); (inst, "READ", Sim.Args [||]) ]
+  | _ -> assert false
+
+let build_mutant m ~nprocs =
+  let sim = Sim.create ~nprocs () in
+  let inst, _ = Objects.Zoo.make m sim ~name:"Z" in
+  for p = 0 to nprocs - 1 do
+    Sim.set_script sim p (symmetric_script m.Objects.Zoo.m_algo inst p)
+  done;
+  sim
+
+let verdict ~cfg ~symmetry sim =
+  let viol, stats =
+    Explore.find_violation ~cfg ~dedup:true ~symmetry
+      ~check_mode:(`Incremental (Workload.Check.nrl_incremental ()))
+      ~check:Workload.Check.nrl_violation sim
+  in
+  (Option.is_some viol, stats)
+
+(* Every mutant, crashes enabled: the canonical and uncanonical searches
+   must agree on whether a violation exists.  The quotient is active for
+   the Algorithm 1 mutants (recovery pid-oblivious); for the TAS/CAS
+   mutants the detector must refuse (their recoveries scan pids in fixed
+   order), which is itself part of the soundness contract. *)
+let test_zoo_verdicts_pinned () =
+  let nprocs = 2 in
+  let cfg =
+    {
+      Explore.default_config with
+      max_steps = 120;
+      max_crashes = 1;
+      crash_procs = List.init nprocs Fun.id;
+    }
+  in
+  let caught = ref 0 in
+  List.iter
+    (fun m ->
+      let name = m.Objects.Zoo.m_name in
+      let active = Explore.symmetry_group cfg (build_mutant m ~nprocs) <> None in
+      (match m.Objects.Zoo.m_algo with
+      | "register" ->
+        Alcotest.(check bool) (name ^ ": quotient active under crashes") true active
+      | "tas" | "cas" ->
+        Alcotest.(check bool)
+          (name ^ ": detector refuses pid-ordered recovery under crashes")
+          false active
+      | _ -> ());
+      let found_q, _ = verdict ~cfg ~symmetry:true (build_mutant m ~nprocs) in
+      let found_g, _ = verdict ~cfg ~symmetry:false (build_mutant m ~nprocs) in
+      if found_g then incr caught;
+      Alcotest.(check bool) (name ^ ": quotiented verdict = ground truth") found_g found_q)
+    Objects.Zoo.all;
+  (* the pinning is only evidence if the exhaustive bound actually
+     exposes bugs at this instance size *)
+  Alcotest.(check bool) "some mutants are caught" true (!caught > 0)
+
+(* Crash-free axis: recovery obliviousness is moot, so the quotient is
+   active for every register/cas/tas mutant; the state-space shrinks and
+   the clean verdict must survive. *)
+let test_zoo_verdicts_pinned_crash_free () =
+  let nprocs = 2 in
+  let cfg = { Explore.default_config with max_steps = 120; max_crashes = 0 } in
+  List.iter
+    (fun m ->
+      let name = m.Objects.Zoo.m_name in
+      if m.Objects.Zoo.m_algo <> "counter" then
+        Alcotest.(check bool)
+          (name ^ ": quotient active crash-free")
+          true
+          (Explore.symmetry_group cfg (build_mutant m ~nprocs) <> None);
+      let found_q, stats_q = verdict ~cfg ~symmetry:true (build_mutant m ~nprocs) in
+      let found_g, stats_g = verdict ~cfg ~symmetry:false (build_mutant m ~nprocs) in
+      Alcotest.(check bool) (name ^ ": crash-free verdicts agree") found_g found_q;
+      if (not found_g) && m.Objects.Zoo.m_algo <> "counter" then
+        Alcotest.(check bool)
+          (name ^ ": quotient explored no more than ground truth")
+          true
+          (stats_q.Explore.nodes <= stats_g.Explore.nodes))
+    Objects.Zoo.all
+
+(* The canonical map itself: idempotent, orbit-minimal on the sound
+   scenario whose quotient T8 measures. *)
+let test_canonical_idempotent () =
+  let nprocs = 3 in
+  let sim = Sim.create ~nprocs () in
+  let inst = Objects.Tas_obj.make sim ~name:"T" in
+  for p = 0 to nprocs - 1 do
+    Sim.set_script sim p (Workload.Opgen.tas_ops inst)
+  done;
+  let cfg = { Explore.default_config with max_crashes = 0 } in
+  match Explore.symmetry_group cfg sim with
+  | None -> Alcotest.fail "symmetric tas scenario not detected"
+  | Some g ->
+    Alcotest.(check int) "full symmetric group on 3 processes" 6 (F.Symmetry.degree g);
+    let fp = F.of_sim sim in
+    let c = F.Symmetry.canonical g fp in
+    Alcotest.(check bool) "canonical is idempotent" true
+      (F.equal c (F.Symmetry.canonical g c))
+
+let suite =
+  [
+    Alcotest.test_case "fresh exactly once, cardinal exact" `Quick test_fresh_exactly_once;
+    Alcotest.test_case "shard count rounds to a power of two" `Quick test_shard_rounding;
+    QCheck_alcotest.to_alcotest prop_concurrent_inserts;
+    Alcotest.test_case "shard distribution is sane" `Quick test_shard_distribution;
+    Alcotest.test_case "zoo verdicts pinned, crashes enabled" `Slow test_zoo_verdicts_pinned;
+    Alcotest.test_case "zoo verdicts pinned, crash-free" `Slow
+      test_zoo_verdicts_pinned_crash_free;
+    Alcotest.test_case "canonical map idempotent, full group" `Quick
+      test_canonical_idempotent;
+  ]
