@@ -6,7 +6,9 @@
      explore  - bounded exhaustive schedule exploration of a small instance
      fuzz     - coverage-guided scenario fuzzing with shrinking and the bug zoo
      theorem  - the Theorem 4 analysis (valency, critical configs, refutation)
-     list     - available scenarios *)
+     list         - available scenarios
+     bench-native - the native-runtime latency/allocation/throughput suite
+                    (BENCH_native.json, schema nrl-native/1) *)
 
 open Cmdliner
 
@@ -819,6 +821,105 @@ let theorem_cmd =
   in
   Cmd.v (Cmd.info "theorem" ~doc:"Theorem 4 analysis") Term.(const run $ const ())
 
+(* bench-native *)
+let bench_native_cmd =
+  let domains_arg =
+    (* "1..4" (inclusive range) or a comma list "1,2,4" *)
+    let domains_conv =
+      let parse s =
+        let fail () =
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "expected a range like 1..4 or a comma list like 1,2,4, got %S" s))
+        in
+        let ints l =
+          let rec go acc = function
+            | [] -> Some (List.rev acc)
+            | x :: rest -> (
+              match int_of_string_opt (String.trim x) with
+              | Some n when n >= 1 -> go (n :: acc) rest
+              | _ -> None)
+          in
+          go [] l
+        in
+        match String.index_opt s '.' with
+        | Some _ -> (
+          match String.split_on_char '.' s with
+          | [ lo; ""; hi ] | [ lo; hi ] -> (
+            match ints [ lo; hi ] with
+            | Some [ lo; hi ] when lo <= hi ->
+              Ok (List.init (hi - lo + 1) (fun i -> lo + i))
+            | _ -> fail ())
+          | _ -> fail ())
+        | None -> (
+          match ints (String.split_on_char ',' s) with
+          | Some (_ :: _ as l) -> Ok l
+          | _ -> fail ())
+      and print ppf l =
+        Format.pp_print_string ppf (String.concat "," (List.map string_of_int l))
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt domains_conv Runtime.Bench_native.default_config.Runtime.Bench_native.domains_list
+      & info [ "domains" ] ~docv:"LIST"
+          ~doc:
+            "Worker-domain counts to sweep: a range ($(b,1..4)) or comma list \
+             ($(b,1,2,4)).  Counts above this host's domains_available still run \
+             (oversubscribed) — the JSON records the honest hardware count.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "width" ] ~docv:"W"
+          ~doc:
+            "Contention-array width of the contended mode (1 = every domain hammers one \
+             location).  The uncontended mode always uses max(W, domains) locations.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "duration" ] ~docv:"SECS" ~doc:"Measured window per throughput cell.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the nrl-native/1 JSON document on stdout instead of the tables.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the JSON document to $(docv) (e.g. BENCH_native.json).")
+  in
+  let bench domains_list width duration json out =
+    if width < 1 then begin
+      Format.eprintf "nrlsim: --width must be at least 1@.";
+      exit 124
+    end;
+    if duration <= 0.0 then begin
+      Format.eprintf "nrlsim: --duration must be positive@.";
+      exit 124
+    end;
+    let cfg = { Runtime.Bench_native.domains_list; width; duration } in
+    let log = if json then fun _ -> () else print_endline in
+    if not json then
+      Format.printf "domains available: %d@." (Domain.recommended_domain_count ());
+    let doc = Runtime.Bench_native.run ~log cfg in
+    if json then print_string (Runtime.Bench_native_json.render doc);
+    Option.iter (fun path -> Runtime.Bench_native_json.write ~path doc) out
+  in
+  Cmd.v
+    (Cmd.info "bench-native"
+       ~doc:
+         "Native-runtime benchmark suite: single-domain latency and allocation rows plus \
+          a memento-style contended/uncontended throughput sweep (schema nrl-native/1)")
+    Term.(const bench $ domains_arg $ width_arg $ duration_arg $ json_arg $ out_arg)
+
 (* list *)
 let list_cmd =
   let run () = List.iter print_endline scenario_names in
@@ -829,4 +930,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nrlsim" ~doc)
-          [ run_cmd; check_cmd; explore_cmd; fuzz_cmd; theorem_cmd; list_cmd ]))
+          [ run_cmd; check_cmd; explore_cmd; fuzz_cmd; theorem_cmd; list_cmd; bench_native_cmd ]))

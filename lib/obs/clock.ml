@@ -1,9 +1,13 @@
-(* Relative-to-start readings: absolute epoch nanoseconds do not fit a
-   float's 53-bit mantissa, so anchoring at process start is what makes
-   [now_ns] exact (and keeps trace timestamps small and comparable). *)
+(* Relative-to-start readings from CLOCK_MONOTONIC (via the local C
+   stub in mclock_stubs.c): immune to wall-clock adjustments, which
+   matters now that benchmark measurement windows use this clock.
+   Anchoring at process start keeps [now_ns] small enough to be exact
+   and gives traces a stable origin. *)
 
-let t0 = Unix.gettimeofday ()
+external mclock_ns : unit -> int = "nrl_mclock_ns" [@@noalloc]
 
-let now_s () = Unix.gettimeofday () -. t0
+let t0 = mclock_ns ()
 
-let now_ns () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+let[@inline] now_ns () = mclock_ns () - t0
+
+let now_s () = float_of_int (now_ns ()) /. 1e9

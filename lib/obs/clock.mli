@@ -8,14 +8,15 @@
     one process directly comparable, and gives NDJSON traces a stable,
     documented origin ([t = 0] is process start).
 
-    The underlying source is [Unix.gettimeofday] — the only wall clock
-    the repo's baked-in dependencies offer — so readings are wall time,
-    not a hardware monotonic counter; a clock adjustment mid-run can in
-    principle move them backwards.  All uses here are coarse (phase
-    timers, progress lines, span durations), where this is acceptable. *)
+    The underlying source is [CLOCK_MONOTONIC], read through a local C
+    stub (the repo's baked-in dependencies offer no monotonic-clock
+    binding): readings never go backwards and are unaffected by
+    wall-clock adjustments, so the clock is safe both for coarse phase
+    timers and for the native benchmark harness's measured windows,
+    where a mid-run NTP step would otherwise corrupt throughput. *)
 
 val now_ns : unit -> int
-(** Nanoseconds since process start. *)
+(** Nanoseconds since process start (monotonic). *)
 
 val now_s : unit -> float
 (** Seconds since process start (same origin as {!now_ns}). *)

@@ -1,0 +1,21 @@
+/* Monotonic clock for Obs.Clock.
+
+   CLOCK_MONOTONIC readings in nanoseconds, returned as a tagged OCaml
+   int.  63 bits of nanoseconds overflow after ~146 years of uptime, so
+   Val_long is safe; the OCaml side re-anchors at process start anyway.
+   [@@noalloc]-compatible: no OCaml allocation, no callbacks. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value nrl_mclock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

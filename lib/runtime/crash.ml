@@ -9,8 +9,12 @@
     registers; the "NVRAM" ([Atomic] cells) keeps its contents.  The
     harness then invokes the recovery function, as the system would.
 
-    A [t] with [armed = None] and no fuse never fires, so production use
-    costs one branch per access.
+    Hot-path cost: [point] is [@inline always] and reads a single
+    [live] flag that is false iff the instance is unarmed and fuseless,
+    so production use (the [none] instance) is one load + one
+    predictable branch, with the bookkeeping out of line in
+    [slow_point].  [armed] is an int with [-1] = disarmed rather than
+    an [int option] so arming never allocates.
 
     The {e fuse} is the livelock detector's probe: when set to [n > 0],
     an attempt (the span between two [arm]/[disarm] calls) that traverses
@@ -22,38 +26,53 @@
 exception Crashed
 exception Livelock
 
-type t = { mutable armed : int option; mutable next : int; mutable fuse : int }
+type t = {
+  mutable live : bool; (* armed >= 0 || fuse > 0 *)
+  mutable armed : int; (* -1 = disarmed *)
+  mutable next : int;
+  mutable fuse : int;
+}
 
-let none = { armed = None; next = 0; fuse = 0 }
+let none = { live = false; armed = -1; next = 0; fuse = 0 }
 
-let create () = { armed = None; next = 0; fuse = 0 }
+let create () = { live = false; armed = -1; next = 0; fuse = 0 }
+
+let[@inline] refresh_live t = t.live <- t.armed >= 0 || t.fuse > 0
 
 (** Arm: crash when crash point [k] (0-based) is reached. *)
 let arm t k =
-  t.armed <- Some k;
-  t.next <- 0
+  t.armed <- k;
+  t.next <- 0;
+  t.live <- true
 
 let disarm t =
-  t.armed <- None;
-  t.next <- 0
+  t.armed <- -1;
+  t.next <- 0;
+  refresh_live t
 
-let set_fuse t n = t.fuse <- n
+let set_fuse t n =
+  t.fuse <- n;
+  refresh_live t
+
 let fuse t = t.fuse
 
-(** Mark a crash point; raises {!Crashed} if armed for this index,
-    {!Livelock} if the attempt overran the fuse. *)
-let point t =
-  match t.armed with
-  | None ->
-    if t.fuse > 0 then begin
-      t.next <- t.next + 1;
-      if t.next > t.fuse then raise Livelock
-    end
-  | Some k ->
+let[@inline never] slow_point t =
+  let k = t.armed in
+  if k < 0 then begin
+    (* fuse-only instance *)
+    t.next <- t.next + 1;
+    if t.next > t.fuse then raise Livelock
+  end
+  else begin
     let i = t.next in
     t.next <- i + 1;
     if i = k then raise Crashed;
     if t.fuse > 0 && t.next > t.fuse then raise Livelock
+  end
+
+(** Mark a crash point; raises {!Crashed} if armed for this index,
+    {!Livelock} if the attempt overran the fuse. *)
+let[@inline always] point t = if t.live then slow_point t
 
 (** Number of crash points traversed since the last [arm]/[disarm]. *)
 let traversed t = t.next

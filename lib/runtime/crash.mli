@@ -15,7 +15,20 @@ exception Livelock
     torture harness's watchdog uses to detect a non-terminating
     recovery. *)
 
-type t
+type t = {
+  mutable live : bool;  (** [armed >= 0 || fuse > 0] — the hot-path check *)
+  mutable armed : int;  (** crash-point index to fire at; [-1] = disarmed *)
+  mutable next : int;  (** points traversed since the last arm/disarm *)
+  mutable fuse : int;  (** livelock bound; [0] = disabled *)
+}
+(** Concrete (not abstract) on purpose: dev builds compile with
+    [-opaque], which turns every cross-module call — including
+    [Crash.point] — into an indirect call through the module block.
+    Exposing the record lets each recoverable object define a local
+    [let[@inline] point cp = if cp.Crash.live then Crash.slow_point cp]
+    whose disarmed cost is one direct field load plus one predictable
+    branch.  Treat the fields as read-only outside this module; mutate
+    only through {!arm}/{!disarm}/{!set_fuse}. *)
 
 val none : t
 (** A shared never-firing instance (the default of the [?cp] arguments).
@@ -41,6 +54,10 @@ val point : t -> unit
 (** Mark a crash point.
     @raise Crashed if armed for this index.
     @raise Livelock if the attempt overran the fuse. *)
+
+val slow_point : t -> unit
+(** The out-of-line bookkeeping behind {!point}; call only when [live]
+    is set (hot modules inline the [live] test locally, see {!t}). *)
 
 val traversed : t -> int
 (** Crash points passed since the last {!arm}/{!disarm}. *)

@@ -1,6 +1,7 @@
 (** Algorithm 2 on real multicore: recoverable CAS object over OCaml 5
     [Atomic] cells.  Assumptions as in the paper: never [old = new],
-    per-process distinct new values. *)
+    per-process distinct new values.  The [_cp] variants take the crash
+    point positionally (optional re-passing allocates). *)
 
 type 'a t = {
   c : (int * 'a) Atomic.t;  (** <last successful writer (-1 = null), value> *)
@@ -20,6 +21,9 @@ val cas_recover : ?cp:Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> bool
     pair or the helping matrix row carries the evidence; otherwise
     re-executes (line 13-16 of the paper). *)
 
+val cas_cp : Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> bool
+val cas_recover_cp : Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> bool
+
 (** Plain (non-recoverable) CAS baseline.  [old] must be physically the
     value previously read (integers are safest). *)
 module Plain : sig
@@ -28,4 +32,25 @@ module Plain : sig
   val create : 'a -> 'a t
   val read : 'a t -> 'a
   val cas : 'a t -> old:'a -> new_:'a -> bool
+end
+
+(** Unboxed int specialization: packed <id, value> content in one
+    padded atomic, flat stride-padded plain helping matrix (sound under
+    the OCaml memory model — see rcas.ml).  Allocation-free; values are
+    48-bit signed ({!Enc}). *)
+module Int : sig
+  type t = {
+    c : int Atomic.t;
+    r : int array;
+    nprocs : int;
+  }
+
+  val create : nprocs:int -> int -> t
+  val read : ?cp:Crash.t -> t -> int
+  val read_recover : ?cp:Crash.t -> t -> int
+  val cas : ?cp:Crash.t -> t -> pid:int -> old:int -> new_:int -> bool
+  val cas_recover : ?cp:Crash.t -> t -> pid:int -> old:int -> new_:int -> bool
+  val cas_cp : Crash.t -> t -> pid:int -> old:int -> new_:int -> bool
+  val cas_recover_cp : Crash.t -> t -> pid:int -> old:int -> new_:int -> bool
+  val read_cp : Crash.t -> t -> int
 end

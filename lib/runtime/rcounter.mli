@@ -37,3 +37,35 @@ module Faa : sig
   val inc : t -> unit
   val read : t -> int
 end
+
+(** Unboxed specialization on {!Rrw.Int}: padded per-process registers,
+    plain padded [S_p]/[Res_p] slots; INC allocates nothing. *)
+module Int : sig
+  type t = {
+    regs : Rrw.Int.t array;
+    res : int array;
+    nprocs : int;
+  }
+
+  val create : nprocs:int -> t
+  val inc : ?cp:Crash.t -> t -> pid:int -> unit
+  val inc_recover : ?cp:Crash.t -> t -> pid:int -> li_before_write:bool -> unit
+
+  val reg_write_recover : ?cp:Crash.t -> t -> pid:int -> int -> unit
+  (** Register-level recovery for a crash inside the nested WRITE; the
+      intended value (temp + 1) comes from the system's preserved LI
+      metadata (in drills, from the harness). *)
+
+  val reg_read : ?cp:Crash.t -> t -> pid:int -> int
+  (** The caller's own register — what the nested recovery drill needs
+      to recompute temp + 1. *)
+
+  val read : ?cp:Crash.t -> t -> pid:int -> int
+  val read_recover : ?cp:Crash.t -> t -> pid:int -> int
+
+  val response : t -> pid:int -> int
+  (** The strict READ's persisted [Res_p] (-1 before any READ). *)
+
+  val inc_cp : Crash.t -> t -> pid:int -> unit
+  val read_cp : Crash.t -> t -> pid:int -> int
+end

@@ -20,3 +20,19 @@ val faa : ?cp:Crash.t -> ?committed:bool ref -> t -> pid:int -> int -> int
 val recover : ?cp:Crash.t -> ?committed:bool -> t -> pid:int -> int -> int
 (** [FAA.RECOVER] with the wrapper-preserved commit flag of the latest
     attempt. *)
+
+(** Unboxed int specialization on {!Rscas.Int}: per-process [seq]/[att]/
+    [own] metadata in plain padded slots (owner-only state; <seq, value>
+    pairs are crash-atomic because no crash point separates their two
+    stores).  Allocation-free on the crash-free path. *)
+module Int : sig
+  type t = {
+    c : Rscas.Int.t;
+    meta : int array;
+  }
+
+  val create : nprocs:int -> ?init:int -> unit -> t
+  val read : ?cp:Crash.t -> t -> int
+  val faa : ?cp:Crash.t -> ?committed:bool ref -> t -> pid:int -> int -> int
+  val recover : ?cp:Crash.t -> ?committed:bool -> t -> pid:int -> int -> int
+end

@@ -1,7 +1,8 @@
 (** Strict recoverable CAS on real multicore: {!Rcas} plus per-invocation
     tagged response persistence, mirroring the simulator's
     {!Objects.Scas_obj}.  The caller supplies a [seq] tag, distinct and
-    non-negative across its invocations. *)
+    non-negative across its invocations.  The [_cp] variants take the
+    crash point positionally (optional re-passing allocates). *)
 
 type 'a t = {
   c : (int * 'a) Atomic.t;  (** <last successful writer (-1 = null), value> *)
@@ -17,6 +18,9 @@ val read : ?cp:Crash.t -> 'a t -> 'a
 val read_content : ?cp:Crash.t -> 'a t -> int * 'a
 (** The full <id, value> content, for retry loops that CAS on the
     physical content. *)
+
+val persist : ?cp:Crash.t -> 'a t -> pid:int -> seq:int -> bool -> bool
+(** Persist [<seq, ret>] into [res.(pid)], returning [ret]. *)
 
 val cas : ?cp:Crash.t -> 'a t -> pid:int -> old:'a -> new_:'a -> seq:int -> bool
 (** Algorithm 2's CAS, persisting [<seq, ret>] before returning. *)
@@ -37,3 +41,45 @@ val outcome : ?cp:Crash.t -> 'a t -> pid:int -> new_:'a -> seq:int -> bool optio
     Lemma 3's argument the cas then never took effect.  Nesting callers'
     recoveries need this (the machine gets it from the recovery cascade;
     native code must ask). *)
+
+val read_content_cp : Crash.t -> 'a t -> int * 'a
+val cas_content_cp : Crash.t -> 'a t -> pid:int -> content:int * 'a -> new_:'a -> seq:int -> bool
+val outcome_cp : Crash.t -> 'a t -> pid:int -> new_:'a -> seq:int -> bool option
+
+(** Unboxed int specialization: packed <id, value> content in one padded
+    atomic; flat stride-padded plain helping matrix (memory-model
+    argument in rcas.ml); [res] as plain padded slots (owner-only
+    state).  Allocation-free on every path; values 48-bit signed. *)
+module Int : sig
+  type t = {
+    c : int Atomic.t;
+    r : int array;
+    res : int array;
+    nprocs : int;
+  }
+
+  val create : nprocs:int -> int -> t
+  val read : ?cp:Crash.t -> t -> int
+
+  val read_content : ?cp:Crash.t -> t -> int
+  (** The packed <id, value> content — itself the retry-loop token
+      ([Enc.value]/[Enc.id] decode it). *)
+
+  val persist : ?cp:Crash.t -> t -> pid:int -> seq:int -> bool -> bool
+  val cas : ?cp:Crash.t -> t -> pid:int -> old:int -> new_:int -> seq:int -> bool
+
+  val cas_content :
+    ?cp:Crash.t -> t -> pid:int -> content:int -> new_:int -> seq:int -> bool
+
+  val cas_recover :
+    ?cp:Crash.t -> t -> pid:int -> old:int -> new_:int -> seq:int -> bool
+
+  val outcome : ?cp:Crash.t -> t -> pid:int -> new_:int -> seq:int -> bool option
+  val read_cp : Crash.t -> t -> int
+  val read_content_cp : Crash.t -> t -> int
+
+  val cas_content_cp :
+    Crash.t -> t -> pid:int -> content:int -> new_:int -> seq:int -> bool
+
+  val outcome_cp : Crash.t -> t -> pid:int -> new_:int -> seq:int -> bool option
+end

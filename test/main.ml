@@ -22,6 +22,9 @@ let () =
       ("impossibility", Test_impossibility.suite);
       ("runtime", Test_runtime.suite);
       ("runtime-ext", Test_runtime_extensions.suite);
+      ("native-vs-vm", Test_native_vs_vm.suite);
+      ("native-parallel", Test_native_parallel.suite);
+      ("bench-native-json", Test_bench_native_json.suite);
       ("obs", Test_obs.suite);
       ("resilience", Test_resilience.suite);
       ("prng", Test_prng.suite);

@@ -1,0 +1,350 @@
+(* Cross-check: the native runtime against the simulator.
+
+   The same deterministic solo op sequences run through both backends:
+   lib/runtime on real OCaml atomics with a crash/recovery drilled at
+   every [Crash.point], and the simulator objects (lib/objects on the
+   machine's simulated NVM) with a crash drilled after every machine
+   step.  The two backends count steps differently — the simulator
+   steps individual memory accesses of the pseudocode interpreter, the
+   native code its [Crash.point] markers — so the comparison is on the
+   abstract responses, which for these solo sequences are unique:
+
+   - a CAS from the initial value succeeds (response [true]),
+   - a lone T&S wins (response 0),
+   - a solo FAA returns the initial value 0 and applies its delta
+     exactly once,
+   - a push of 7 acknowledges and the following pop returns 7.
+
+   Both backends must report exactly these responses at every crash
+   position; a disagreement means one of them lost or duplicated an
+   operation across the crash. *)
+
+open Machine
+open Runtime
+
+let value = Alcotest.testable Nvm.Value.pp Nvm.Value.equal
+
+let nrl_ok sim =
+  match Workload.Check.nrl_violation sim with
+  | None -> ()
+  | Some reason ->
+    Fmt.epr "history:@.%a@." History.pp (Sim.history sim);
+    Alcotest.failf "NRL violation: %s" reason
+
+let run_rr sim =
+  match Schedule.run sim (Schedule.round_robin ()) with
+  | Schedule.Completed -> ()
+  | _ -> Alcotest.fail "execution did not complete"
+
+let steps sim p n =
+  for _ = 1 to n do
+    Sim.step sim p
+  done
+
+(* {2 Drill harnesses} *)
+
+(* how many crash points a crash-free run of [op] traverses (arm far
+   past the end; [traversed] must be read before [disarm] resets it) *)
+let native_positions op =
+  let cp = Crash.create () in
+  Crash.arm cp max_int;
+  ignore (op cp);
+  let n = Crash.traversed cp in
+  Crash.disarm cp;
+  n
+
+(* run [op] with a crash armed at position [k]; on crash the harness
+   plays the system's role and invokes [recover] *)
+let native_drill ~op ~recover k =
+  let cp = Crash.create () in
+  Crash.arm cp k;
+  match op cp with
+  | r ->
+    Crash.disarm cp;
+    r
+  | exception Crash.Crashed ->
+    Crash.disarm cp;
+    recover ()
+
+(* crash the solo simulator process after [k] steps (if its operation
+   is still open), recover, run to completion, check NRL *)
+let vm_drill sim k =
+  (try
+     steps sim 0 k;
+     if (Sim.proc sim 0).Sim.stack <> [] then begin
+       Sim.crash sim 0;
+       Sim.recover sim 0
+     end
+   with Invalid_argument _ -> () (* script exhausted before step k *));
+  run_rr sim;
+  nrl_ok sim
+
+(* enough steps to cover any solo op in the scripts below, crash or not *)
+let vm_bound = 60
+
+(* {2 CAS} *)
+
+let test_cas_cross_check () =
+  let drills =
+    [
+      ( "poly",
+        fun k ->
+          let c = Rcas.create ~nprocs:1 0 in
+          let ret =
+            native_drill k
+              ~op:(fun cp -> Rcas.cas ~cp c ~pid:0 ~old:0 ~new_:1)
+              ~recover:(fun () -> Rcas.cas_recover c ~pid:0 ~old:0 ~new_:1)
+          in
+          (ret, Rcas.read c) );
+      ( "int",
+        fun k ->
+          let c = Rcas.Int.create ~nprocs:1 0 in
+          let ret =
+            native_drill k
+              ~op:(fun cp -> Rcas.Int.cas ~cp c ~pid:0 ~old:0 ~new_:1)
+              ~recover:(fun () -> Rcas.Int.cas_recover c ~pid:0 ~old:0 ~new_:1)
+          in
+          (ret, Rcas.Int.read c) );
+    ]
+  in
+  let n =
+    native_positions (fun cp ->
+        ignore (Rcas.Int.cas ~cp (Rcas.Int.create ~nprocs:1 0) ~pid:0 ~old:0 ~new_:1))
+  in
+  Alcotest.(check bool) "the native drill covers real positions" true (n > 0);
+  for k = 0 to n do
+    List.iter
+      (fun (name, drill) ->
+        let ret, v = drill k in
+        Alcotest.(check bool)
+          (Printf.sprintf "native %s CAS succeeds, crash at %d" name k)
+          true ret;
+        Alcotest.(check int)
+          (Printf.sprintf "native %s CAS applied once, crash at %d" name k)
+          1 v)
+      drills
+  done;
+  for k = 1 to vm_bound do
+    let sim = Sim.create ~seed:(900 + k) ~nprocs:1 () in
+    let inst = Objects.Cas_obj.make sim ~name:"C" in
+    Sim.set_script sim 0
+      [ Workload.Opgen.cas_fixed ~pid:0 inst ~old:Nvm.Value.Null ~seq:1 ];
+    vm_drill sim k;
+    Alcotest.check value
+      (Printf.sprintf "vm CAS succeeds, crash after step %d" k)
+      (Bool true)
+      (List.assoc "CAS" (Sim.results sim 0))
+  done
+
+(* {2 T&S} *)
+
+let test_tas_cross_check () =
+  let n =
+    native_positions (fun cp ->
+        ignore (Rtas.test_and_set ~cp (Rtas.create ~nprocs:1) ~pid:0))
+  in
+  Alcotest.(check bool) "the native drill covers real positions" true (n > 0);
+  for k = 0 to n do
+    let t = Rtas.create ~nprocs:1 in
+    let ret =
+      native_drill k
+        ~op:(fun cp -> Rtas.test_and_set ~cp t ~pid:0)
+        ~recover:(fun () -> Rtas.recover t ~pid:0)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "native lone T&S wins, crash at %d" k)
+      0 ret;
+    Alcotest.(check int)
+      (Printf.sprintf "native T&S response persisted, crash at %d" k)
+      0 (Rtas.response t ~pid:0)
+  done;
+  for k = 1 to vm_bound do
+    let sim = Sim.create ~seed:(940 + k) ~nprocs:1 () in
+    let inst = Objects.Tas_obj.make sim ~name:"T" in
+    Sim.set_script sim 0 [ (inst, "T&S", Sim.Args [||]) ];
+    vm_drill sim k;
+    Alcotest.check value
+      (Printf.sprintf "vm lone T&S wins, crash after step %d" k)
+      (Int 0)
+      (List.assoc "T&S" (Sim.results sim 0))
+  done
+
+(* {2 FAA} *)
+
+let test_faa_cross_check () =
+  let delta = 3 in
+  let drills =
+    [
+      ( "poly",
+        fun k ->
+          let f = Rfaa.create ~nprocs:1 () in
+          let committed = ref false in
+          let ret =
+            native_drill k
+              ~op:(fun cp -> Rfaa.faa ~cp ~committed f ~pid:0 delta)
+              ~recover:(fun () -> Rfaa.recover ~committed:!committed f ~pid:0 delta)
+          in
+          (ret, Rfaa.read f) );
+      ( "int",
+        fun k ->
+          let f = Rfaa.Int.create ~nprocs:1 () in
+          let committed = ref false in
+          let ret =
+            native_drill k
+              ~op:(fun cp -> Rfaa.Int.faa ~cp ~committed f ~pid:0 delta)
+              ~recover:(fun () -> Rfaa.Int.recover ~committed:!committed f ~pid:0 delta)
+          in
+          (ret, Rfaa.Int.read f) );
+    ]
+  in
+  let n =
+    native_positions (fun cp ->
+        let f = Rfaa.Int.create ~nprocs:1 () in
+        ignore (Rfaa.Int.faa ~cp f ~pid:0 delta))
+  in
+  Alcotest.(check bool) "the native drill covers real positions" true (n > 0);
+  for k = 0 to n do
+    List.iter
+      (fun (name, drill) ->
+        let ret, v = drill k in
+        Alcotest.(check int)
+          (Printf.sprintf "native %s FAA returns the initial value, crash at %d" name k)
+          0 ret;
+        Alcotest.(check int)
+          (Printf.sprintf "native %s FAA applied exactly once, crash at %d" name k)
+          delta v)
+      drills
+  done;
+  for k = 1 to vm_bound do
+    let sim = Sim.create ~seed:(980 + k) ~nprocs:1 () in
+    let inst = Objects.Faa_obj.make sim ~name:"F" in
+    Sim.set_script sim 0
+      [
+        (inst, "FAA", Sim.Args [| Nvm.Value.Int delta |]); (inst, "READ", Sim.Args [||]);
+      ];
+    vm_drill sim k;
+    Alcotest.check value
+      (Printf.sprintf "vm FAA returns the initial value, crash after step %d" k)
+      (Int 0)
+      (List.assoc "FAA" (Sim.results sim 0));
+    Alcotest.check value
+      (Printf.sprintf "vm FAA applied exactly once, crash after step %d" k)
+      (Int delta)
+      (List.assoc "READ" (Sim.results sim 0))
+  done
+
+(* {2 Stack} *)
+
+let test_stack_cross_check () =
+  (* two native passes per implementation: drill the push (then pop
+     crash-free), and drill the pop (after a crash-free push) *)
+  let poly_push k =
+    let s = Rstack.create ~nprocs:1 () in
+    let committed = ref false in
+    let r1 =
+      native_drill k
+        ~op:(fun cp -> Rstack.push ~cp ~committed s ~pid:0 7)
+        ~recover:(fun () -> Rstack.push_recover ~committed:!committed s ~pid:0 7)
+    in
+    (match r1 with
+    | Rstack.Pushed -> ()
+    | _ -> Alcotest.failf "poly push response wrong, crash at %d" k);
+    (match Rstack.pop s ~pid:0 with
+    | Rstack.Popped 7 -> ()
+    | _ -> Alcotest.failf "poly push lost or duplicated, crash at %d" k);
+    match Rstack.pop s ~pid:0 with
+    | Rstack.Empty -> ()
+    | _ -> Alcotest.failf "poly stack not empty after pop, crash at %d" k
+  in
+  let poly_pop k =
+    let s = Rstack.create ~nprocs:1 () in
+    ignore (Rstack.push s ~pid:0 7);
+    let committed = ref false in
+    let r =
+      native_drill k
+        ~op:(fun cp -> Rstack.pop ~cp ~committed s ~pid:0)
+        ~recover:(fun () -> Rstack.pop_recover ~committed:!committed s ~pid:0)
+    in
+    (match r with
+    | Rstack.Popped 7 -> ()
+    | _ -> Alcotest.failf "poly pop response wrong, crash at %d" k);
+    if Rstack.peek s <> None then
+      Alcotest.failf "poly pop applied more or less than once, crash at %d" k
+  in
+  let int_push k =
+    let s = Rstack.Int.create ~nprocs:1 () in
+    let committed = ref false in
+    let r1 =
+      native_drill k
+        ~op:(fun cp -> Rstack.Int.push ~cp ~committed s ~pid:0 7)
+        ~recover:(fun () -> Rstack.Int.push_recover ~committed:!committed s ~pid:0 7)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "int push response, crash at %d" k)
+      Rstack.Int.resp_pushed r1;
+    (match Rstack.Int.decode (Rstack.Int.pop s ~pid:0) with
+    | Rstack.Popped 7 -> ()
+    | _ -> Alcotest.failf "int push lost or duplicated, crash at %d" k);
+    Alcotest.(check int)
+      (Printf.sprintf "int stack empty after pop, crash at %d" k)
+      Rstack.Int.resp_empty
+      (Rstack.Int.pop s ~pid:0)
+  in
+  let int_pop k =
+    let s = Rstack.Int.create ~nprocs:1 () in
+    ignore (Rstack.Int.push s ~pid:0 7);
+    let committed = ref false in
+    let r =
+      native_drill k
+        ~op:(fun cp -> Rstack.Int.pop ~cp ~committed s ~pid:0)
+        ~recover:(fun () -> Rstack.Int.pop_recover ~committed:!committed s ~pid:0)
+    in
+    (match Rstack.Int.decode r with
+    | Rstack.Popped 7 -> ()
+    | _ -> Alcotest.failf "int pop response wrong, crash at %d" k);
+    if Rstack.Int.peek s <> None then
+      Alcotest.failf "int pop applied more or less than once, crash at %d" k
+  in
+  let n_push =
+    native_positions (fun cp ->
+        ignore (Rstack.Int.push ~cp (Rstack.Int.create ~nprocs:1 ()) ~pid:0 7))
+  in
+  let n_pop =
+    native_positions (fun cp ->
+        let s = Rstack.Int.create ~nprocs:1 () in
+        ignore (Rstack.Int.push s ~pid:0 7);
+        ignore (Rstack.Int.pop ~cp s ~pid:0))
+  in
+  Alcotest.(check bool) "the native drill covers real positions" true
+    (n_push > 0 && n_pop > 0);
+  for k = 0 to n_push do
+    poly_push k;
+    int_push k
+  done;
+  for k = 0 to n_pop do
+    poly_pop k;
+    int_pop k
+  done;
+  for k = 1 to vm_bound do
+    let sim = Sim.create ~seed:(1020 + k) ~nprocs:1 () in
+    let inst = Objects.Stack_obj.make sim ~name:"S" in
+    Sim.set_script sim 0
+      [ (inst, "PUSH", Sim.Args [| Nvm.Value.Int 7 |]); (inst, "POP", Sim.Args [||]) ];
+    vm_drill sim k;
+    Alcotest.check value
+      (Printf.sprintf "vm pop returns the pushed value, crash after step %d" k)
+      (Int 7)
+      (List.assoc "POP" (Sim.results sim 0))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "cas: both backends agree at every crash position" `Quick
+      test_cas_cross_check;
+    Alcotest.test_case "t&s: both backends agree at every crash position" `Quick
+      test_tas_cross_check;
+    Alcotest.test_case "faa: both backends agree at every crash position" `Quick
+      test_faa_cross_check;
+    Alcotest.test_case "stack: both backends agree at every crash position" `Quick
+      test_stack_cross_check;
+  ]

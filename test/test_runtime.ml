@@ -117,7 +117,7 @@ let test_rtas_crash_positions_solo () =
 let test_rtas_strict_response_persisted () =
   let t = Rtas.create ~nprocs:2 in
   let r0 = Rtas.test_and_set t ~pid:0 in
-  Alcotest.(check int) "Res_p persisted" r0 (Atomic.get t.Rtas.res.(0))
+  Alcotest.(check int) "Res_p persisted" r0 (Rtas.response t ~pid:0)
 
 (* {2 Parallel executions on real domains} *)
 
